@@ -1,0 +1,128 @@
+(* The benchmark harness: regenerates every table and figure of the
+   paper's evaluation (Sec. 2, Sec. 4.2, Sec. 5, Appendix B) and runs
+   Bechamel micro-benchmarks of the per-decision costs that drive the
+   overhead results.
+
+     dune exec bench/main.exe                 # everything, quick scale
+     dune exec bench/main.exe -- fig7 tab6    # selected experiments
+     dune exec bench/main.exe -- micro        # micro-benchmarks only
+     dune exec bench/main.exe -- --full all   # paper-scale durations
+
+   Absolute numbers come from a packet-level simulator rather than the
+   authors' kernel/Mahimahi testbed; EXPERIMENTS.md records, per
+   experiment, the paper's claim next to what this harness measures. *)
+
+open Bechamel
+open Toolkit
+
+(* ------------------------------------------------------------------ *)
+(* Micro-benchmarks: the per-decision costs behind Fig. 2(c)/Fig. 12. *)
+
+let synthetic_ack i =
+  {
+    Netsim.Cca.now = 0.01 *. float_of_int i;
+    seq = i;
+    rtt = 0.05 +. (0.001 *. float_of_int (i mod 7));
+    acked_bytes = 1500;
+    inflight = 20;
+    delivered_bytes = 1500 * i;
+    rate_sample = 3e6;
+    newly_lost = (if i mod 97 = 0 then 1 else 0);
+  }
+
+(* Drive a CCA's on_ack handler; the counter makes each call distinct. *)
+let cca_on_ack_test ~name make =
+  let cca = make () in
+  let i = ref 0 in
+  Test.make ~name
+    (Staged.stage (fun () ->
+         incr i;
+         cca.Netsim.Cca.on_ack (synthetic_ack !i)))
+
+let micro_tests () =
+  let policy = (Rlcc.Pretrained.libra_policy ()).Rlcc.Train.policy in
+  let state = Array.make 20 0.3 in
+  let utility_snap =
+    {
+      Netsim.Monitor.duration = 0.05;
+      throughput = 3e6;
+      avg_rtt = 0.06;
+      min_rtt = 0.05;
+      rtt_gradient = 0.01;
+      rtt_grad_se = 0.001;
+      loss_rate = 0.001;
+      acked = 100;
+      lost_pkts = 0;
+    }
+  in
+  [
+    cca_on_ack_test ~name:"cubic/on-ack" Classic_cc.Cubic.make;
+    cca_on_ack_test ~name:"bbr/on-ack" Classic_cc.Bbr.make;
+    cca_on_ack_test ~name:"copa/on-ack" Classic_cc.Copa.make;
+    Test.make ~name:"drl/forward-pass"
+      (Staged.stage (fun () -> ignore (Rlcc.Ppo.mean_action policy state)));
+    Test.make ~name:"libra/utility-eval"
+      (Staged.stage (fun () ->
+           ignore (Libra.Utility.eval Libra.Utility.default ~rate_bps:3e6 utility_snap)));
+    Test.make ~name:"netsim/heap-push-pop"
+      (let heap = Netsim.Event_heap.create () in
+       let i = ref 0 in
+       Staged.stage (fun () ->
+           incr i;
+           Netsim.Event_heap.push heap ~time:(float_of_int (!i mod 1000)) (fun () -> ());
+           if !i mod 2 = 0 then ignore (Netsim.Event_heap.pop heap)));
+  ]
+
+let run_micro () =
+  Harness.Table.heading "Micro-benchmarks: per-decision costs";
+  let tests = Test.make_grouped ~name:"libra" ~fmt:"%s/%s" (micro_tests ()) in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~stabilize:true ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all cfg instances tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols_result acc ->
+        let estimate =
+          match Analyze.OLS.estimates ols_result with
+          | Some (v :: _) -> Printf.sprintf "%.0f ns" v
+          | Some [] | None -> "-"
+        in
+        [ name; estimate ] :: acc)
+      results []
+    |> List.sort compare
+  in
+  Harness.Table.print ~header:[ "operation"; "time/call" ] rows;
+  print_endline
+    "\nThe DRL forward pass costs orders of magnitude more than a classic\n\
+     CCA's per-ACK update -- running it only in Libra's exploration stage\n\
+     is what Fig. 2(c) and Fig. 12 measure at the system level."
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let full = List.mem "--full" args in
+  let args = List.filter (fun a -> a <> "--full") args in
+  Harness.Scale.set (if full then Harness.Scale.full else Harness.Scale.quick);
+  let t0 = Sys.time () in
+  (match args with
+  | [] | [ "all" ] ->
+    Harness.Registry.run_all ();
+    run_micro ()
+  | [ "micro" ] -> run_micro ()
+  | ids ->
+    List.iter
+      (fun id ->
+        if id = "micro" then run_micro ()
+        else
+          match Harness.Registry.find id with
+          | Some e -> e.Harness.Registry.run ()
+          | None ->
+            Printf.eprintf "unknown experiment %S (known: %s, micro)\n" id
+              (String.concat ", " (Harness.Registry.ids ())))
+      ids);
+  Printf.printf "\n[bench] total CPU time: %.1fs\n" (Sys.time () -. t0)

@@ -1,0 +1,45 @@
+(* experiments: run any paper experiment by id.
+
+     experiments fig1 fig7
+     experiments --all
+     experiments --full tab6      # paper-scale durations and trials *)
+
+open Cmdliner
+
+let run_cmd full ids all =
+  Harness.Scale.set (if full then Harness.Scale.full else Harness.Scale.quick);
+  if all || ids = [] then begin
+    Harness.Registry.run_all ();
+    0
+  end
+  else begin
+    let missing =
+      List.filter (fun id -> Harness.Registry.find id = None) ids
+    in
+    if missing <> [] then begin
+      Printf.eprintf "unknown experiment(s): %s\nknown: %s\n"
+        (String.concat ", " missing)
+        (String.concat ", " (Harness.Registry.ids ()));
+      1
+    end
+    else begin
+      List.iter
+        (fun id ->
+          match Harness.Registry.find id with
+          | Some e -> e.Harness.Registry.run ()
+          | None -> ())
+        ids;
+      0
+    end
+  end
+
+let full = Arg.(value & flag & info [ "full" ] ~doc:"paper-scale durations")
+let all = Arg.(value & flag & info [ "all" ] ~doc:"run every experiment")
+let ids = Arg.(value & pos_all string [] & info [] ~docv:"ID")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "experiments" ~doc:"reproduce the paper's tables and figures")
+    Term.(const run_cmd $ full $ ids $ all)
+
+let () = exit (Cmd.eval' cmd)

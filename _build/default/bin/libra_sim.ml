@@ -1,0 +1,112 @@
+(* libra_sim: run any CCA over any scenario and print the measured
+   throughput / delay / loss, plus per-second series if asked.
+
+     libra_sim --cca c-libra --trace lte:driving --rtt 30 --duration 20
+     libra_sim --cca cubic --trace wired:48 --flows 2
+     libra_sim --list
+
+   Trace syntax: wired:<mbps> | lte:<stationary|walking|driving|moving>
+   | step:<mbps,mbps,...> | wan:<inter|intra>. *)
+
+open Cmdliner
+
+let parse_trace ~duration ~seed spec =
+  match String.split_on_char ':' spec with
+  | [ "wired"; mbps ] -> `Trace (Traces.Rate.constant (float_of_string mbps))
+  | [ "lte"; scenario ] ->
+    let s =
+      match scenario with
+      | "stationary" -> Traces.Lte.Stationary
+      | "walking" -> Traces.Lte.Walking
+      | "driving" -> Traces.Lte.Driving
+      | "moving" -> Traces.Lte.Moving
+      | other -> invalid_arg (Printf.sprintf "unknown LTE scenario %S" other)
+    in
+    `Trace (Traces.Lte.generate ~seed ~duration s)
+  | [ "step"; levels ] ->
+    let levels = List.map float_of_string (String.split_on_char ',' levels) in
+    `Trace (Traces.Rate.step ~period:10.0 levels)
+  | [ "wan"; "inter" ] -> `Wan (Traces.Wan.inter_continental ~duration ())
+  | [ "wan"; "intra" ] -> `Wan (Traces.Wan.intra_continental ~duration ())
+  | _ -> invalid_arg (Printf.sprintf "bad trace spec %S" spec)
+
+let run_cmd cca trace_spec rtt_ms buffer_kb loss duration flows seed series list_all =
+  if list_all then begin
+    print_endline "CCAs:";
+    List.iter (fun (name, _) -> Printf.printf "  %s\n" name) Harness.Ccas.all;
+    print_endline "traces: wired:<mbps> lte:<scenario> step:<m1,m2,..> wan:<inter|intra>";
+    0
+  end
+  else begin
+    let factory = Harness.Ccas.find cca in
+    let spec =
+      match parse_trace ~duration ~seed trace_spec with
+      | `Trace trace ->
+        Harness.Scenario.make_spec ~rtt:(rtt_ms /. 1000.0) ~buffer_kb
+          ~loss_p:loss trace
+      | `Wan path ->
+        {
+          Harness.Scenario.trace = path.Traces.Wan.rate;
+          rtt = path.Traces.Wan.rtt;
+          buffer_bytes = path.Traces.Wan.buffer_bytes;
+          loss_p = path.Traces.Wan.loss_p;
+      aqm = `Fifo;
+        }
+    in
+    let outcome =
+      Harness.Scenario.run_uniform ~seed ~n_flows:flows ~factory ~duration spec
+    in
+    Printf.printf "cca=%s trace=%s flows=%d duration=%.0fs\n" cca trace_spec flows
+      duration;
+    Printf.printf "utilization   %.3f\n" outcome.Harness.Scenario.utilization;
+    Printf.printf "throughput    %.2f Mbit/s\n"
+      (Netsim.Units.bps_to_mbps outcome.Harness.Scenario.throughput);
+    Printf.printf "avg delay     %.1f ms\n"
+      (1000.0 *. outcome.Harness.Scenario.mean_delay);
+    Printf.printf "loss rate     %.2f%%\n" (100.0 *. outcome.Harness.Scenario.loss_rate);
+    if series then begin
+      print_endline "\nper-second throughput (Mbit/s) per flow:";
+      List.iter
+        (fun f ->
+          let s = Netsim.Flow_stats.throughput_series f.Netsim.Network.stats in
+          Printf.printf "flow %d:" f.Netsim.Network.flow_id;
+          let seconds = int_of_float duration in
+          for sec = 0 to seconds - 1 do
+            let vals =
+              Array.to_list s
+              |> List.filter (fun (time, _) ->
+                     time >= float_of_int sec && time < float_of_int (sec + 1))
+              |> List.map snd
+            in
+            let avg =
+              match vals with
+              | [] -> 0.0
+              | _ -> List.fold_left ( +. ) 0.0 vals /. float_of_int (List.length vals)
+            in
+            Printf.printf " %.1f" (Netsim.Units.bps_to_mbps avg)
+          done;
+          print_newline ())
+        outcome.Harness.Scenario.summary.Netsim.Network.flows
+    end;
+    0
+  end
+
+let cca = Arg.(value & opt string "c-libra" & info [ "cca" ] ~doc:"CCA to run")
+let trace = Arg.(value & opt string "wired:48" & info [ "trace" ] ~doc:"trace spec")
+let rtt = Arg.(value & opt float 30.0 & info [ "rtt" ] ~doc:"min RTT in ms")
+let buffer = Arg.(value & opt int 150 & info [ "buffer" ] ~doc:"buffer in KB")
+let loss = Arg.(value & opt float 0.0 & info [ "loss" ] ~doc:"stochastic loss prob")
+let duration = Arg.(value & opt float 20.0 & info [ "duration" ] ~doc:"seconds")
+let flows = Arg.(value & opt int 1 & info [ "flows" ] ~doc:"number of flows")
+let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"random seed")
+let series = Arg.(value & flag & info [ "series" ] ~doc:"print per-second series")
+let list_all = Arg.(value & flag & info [ "list" ] ~doc:"list CCAs and traces")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "libra_sim" ~doc:"packet-level congestion-control simulator")
+    Term.(
+      const run_cmd $ cca $ trace $ rtt $ buffer $ loss $ duration $ flows $ seed
+      $ series $ list_all)
+
+let () = exit (Cmd.eval' cmd)

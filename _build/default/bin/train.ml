@@ -1,0 +1,62 @@
+(* train: run PPO training for one of the named state sets and report
+   the learning curve and tail statistics. Useful for exploring the
+   Sec. 4.2 design space from the command line. *)
+
+open Cmdliner
+
+let sets =
+  List.map (fun s -> (String.lowercase_ascii s.Rlcc.Features.set_name, s))
+    Rlcc.Features.fig5_sets
+
+let run_cmd set_name episodes steps seed randomized delta no_loss =
+  match List.assoc_opt set_name sets with
+  | None ->
+    Printf.eprintf "unknown state set %S (known: %s)\n" set_name
+      (String.concat ", " (List.map fst sets));
+    1
+  | Some state_set ->
+    let reward =
+      { Rlcc.Reward.default with Rlcc.Reward.use_delta = delta; include_loss = not no_loss }
+    in
+    let cfg =
+      {
+        Rlcc.Train.default_config with
+        Rlcc.Train.state_set;
+        episodes;
+        steps_per_episode = steps;
+        seed;
+        reward;
+        env_mode = (if randomized then `Randomized else `Fixed Rlcc.Env.default_cfg);
+      }
+    in
+    let t0 = Sys.time () in
+    let outcome = Rlcc.Train.run cfg in
+    let elapsed = Sys.time () -. t0 in
+    let curve = Rlcc.Train.smooth outcome.Rlcc.Train.episode_rewards in
+    Printf.printf "state set %s, %d episodes x %d steps (%.1fs CPU)\n"
+      state_set.Rlcc.Features.set_name episodes steps elapsed;
+    print_endline "smoothed reward curve (10 samples):";
+    for i = 0 to 9 do
+      let idx = i * (Array.length curve - 1) / 9 in
+      Printf.printf "  ep %4d: %8.1f\n" idx curve.(idx)
+    done;
+    Printf.printf "tail: throughput %.1f Mbit/s, rtt %.0f ms, loss %.2f%%\n"
+      (Netsim.Units.bps_to_mbps outcome.Rlcc.Train.final_throughput)
+      (outcome.Rlcc.Train.final_rtt *. 1000.0)
+      (outcome.Rlcc.Train.final_loss *. 100.0);
+    0
+
+let set_name = Arg.(value & opt string "libra" & info [ "set" ] ~doc:"state set")
+let episodes = Arg.(value & opt int 150 & info [ "episodes" ] ~doc:"episodes")
+let steps = Arg.(value & opt int 160 & info [ "steps" ] ~doc:"steps per episode")
+let seed = Arg.(value & opt int 23 & info [ "seed" ] ~doc:"seed")
+let randomized = Arg.(value & flag & info [ "randomized" ] ~doc:"randomized envs")
+let delta = Arg.(value & flag & info [ "delta" ] ~doc:"train on delta-r")
+let no_loss = Arg.(value & flag & info [ "no-loss" ] ~doc:"drop the loss term")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "train" ~doc:"PPO training for the DRL-based CCA")
+    Term.(const run_cmd $ set_name $ episodes $ steps $ seed $ randomized $ delta $ no_loss)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,58 @@
+(* Cloud gaming: a delay-sensitive application on a cellular link.
+
+   Run with:  dune exec examples/cloud_gaming.exe
+
+   A cloud-gaming session cares about the tail of the frame-delivery
+   delay, not peak throughput. The application selects Libra's La-2
+   preference (3x the default latency weight); we compare the RTT
+   distribution against CUBIC and default Libra on a driving-user LTE
+   trace. *)
+
+let percentile sorted q =
+  let n = Array.length sorted in
+  sorted.(min (n - 1) (int_of_float (q *. float_of_int (n - 1))))
+
+let rtt_distribution (o : Harness.Scenario.outcome) =
+  let stats =
+    (List.hd o.Harness.Scenario.summary.Netsim.Network.flows).Netsim.Network.stats
+  in
+  let rtts =
+    Netsim.Flow_stats.rtt_series stats
+    |> Array.to_list
+    |> List.filter_map (fun (_, r) -> if Float.is_nan r then None else Some r)
+    |> Array.of_list
+  in
+  Array.sort compare rtts;
+  rtts
+
+let () =
+  let duration = 25.0 in
+  let trace = Traces.Lte.generate ~seed:5 ~duration Traces.Lte.Walking in
+  print_endline "walking-user LTE trace, 30 ms propagation RTT\n";
+  let contenders =
+    [
+      ("C-Libra La-2 (gaming preference)", Harness.Ccas.c_libra_pref "La-2");
+      ("C-Libra default", Harness.Ccas.c_libra);
+      ("CUBIC", Harness.Ccas.cubic);
+      ("Sprout", Harness.Ccas.sprout);
+    ]
+  in
+  Printf.printf "%-34s %9s %9s %9s %11s\n" "" "p50 (ms)" "p95 (ms)" "p99 (ms)"
+    "Mbit/s";
+  List.iter
+    (fun (name, factory) ->
+      let spec = Harness.Scenario.make_spec ~rtt:0.03 ~buffer_kb:150 trace in
+      let o = Harness.Scenario.run_uniform ~factory ~duration spec in
+      let rtts = rtt_distribution o in
+      Printf.printf "%-34s %9.1f %9.1f %9.1f %11.2f\n" name
+        (1000.0 *. percentile rtts 0.5)
+        (1000.0 *. percentile rtts 0.95)
+        (1000.0 *. percentile rtts 0.99)
+        (Netsim.Units.bps_to_mbps o.Harness.Scenario.throughput))
+    contenders;
+  print_endline
+    "\nLibra's utility framework backs off before the 150 KB buffer fills,\n\
+     cutting the delay tail that CUBIC's buffer-filling probing creates;\n\
+     Sprout is the most conservative of all and pays for it in throughput.\n\
+     (Deep LTE fades still inflate everyone's worst case: with 0.3 Mbit/s\n\
+     of instantaneous capacity, even an empty buffer drains slowly.)"

@@ -1,0 +1,1 @@
+lib/classic/bbr.ml: Array Embedded Float Netsim

@@ -1,0 +1,1 @@
+lib/classic/bbr.mli: Embedded Netsim

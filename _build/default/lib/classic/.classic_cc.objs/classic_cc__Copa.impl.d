@@ -1,0 +1,1 @@
+lib/classic/copa.ml: Embedded Float Netsim

@@ -1,0 +1,1 @@
+lib/classic/copa.mli: Embedded Netsim

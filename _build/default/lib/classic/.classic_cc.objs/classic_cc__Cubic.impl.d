@@ -1,0 +1,1 @@
+lib/classic/cubic.ml: Embedded Float Netsim

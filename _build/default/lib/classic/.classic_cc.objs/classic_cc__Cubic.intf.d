@@ -1,0 +1,1 @@
+lib/classic/cubic.mli: Embedded Netsim

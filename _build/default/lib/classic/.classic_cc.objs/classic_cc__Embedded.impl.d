@@ -1,0 +1,1 @@
+lib/classic/embedded.ml: Float Netsim

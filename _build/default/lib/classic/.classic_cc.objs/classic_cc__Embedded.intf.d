@@ -1,0 +1,1 @@
+lib/classic/embedded.mli: Netsim

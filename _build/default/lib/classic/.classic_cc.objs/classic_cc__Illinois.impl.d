@@ -1,0 +1,1 @@
+lib/classic/illinois.ml: Embedded Float Netsim

@@ -1,0 +1,1 @@
+lib/classic/illinois.mli: Embedded Netsim

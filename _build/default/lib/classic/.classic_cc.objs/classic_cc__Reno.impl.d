@@ -1,0 +1,1 @@
+lib/classic/reno.ml: Embedded Float Netsim

@@ -1,0 +1,1 @@
+lib/classic/reno.mli: Embedded Netsim

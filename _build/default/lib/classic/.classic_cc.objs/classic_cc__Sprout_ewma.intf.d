@@ -1,0 +1,1 @@
+lib/classic/sprout_ewma.mli: Netsim

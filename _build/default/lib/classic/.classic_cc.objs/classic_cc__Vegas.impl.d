@@ -1,0 +1,1 @@
+lib/classic/vegas.ml: Embedded Float Netsim

@@ -1,0 +1,1 @@
+lib/classic/vegas.mli: Embedded Netsim

@@ -1,0 +1,1 @@
+lib/classic/westwood.ml: Embedded Float Netsim

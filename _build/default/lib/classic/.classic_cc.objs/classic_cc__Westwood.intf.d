@@ -1,0 +1,1 @@
+lib/classic/westwood.mli: Embedded Netsim

@@ -1,0 +1,17 @@
+(** Copa (Arun & Balakrishnan 2018): steers towards the target rate
+    1 / (delta * queueing delay) with velocity doubling while the
+    direction persists. *)
+
+type t
+
+val create : ?delta:float -> ?initial_cwnd:float -> ?mss:int -> unit -> t
+
+val cwnd : t -> float
+val srtt : t -> float
+
+val on_ack : t -> Netsim.Cca.ack_info -> unit
+val on_loss : t -> Netsim.Cca.loss_info -> unit
+
+val as_cca : ?name:string -> t -> Netsim.Cca.t
+val make : unit -> Netsim.Cca.t
+val embedded : unit -> Embedded.t

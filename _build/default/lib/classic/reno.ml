@@ -1,0 +1,63 @@
+(* TCP NewReno-style AIMD: the canonical loss-based scheme and the
+   simplest "classic" baseline. Slow start doubles per RTT, congestion
+   avoidance adds one packet per RTT, a loss halves the window. *)
+
+type t = {
+  mutable cwnd : float;  (* packets *)
+  mutable ssthresh : float;
+  mutable recovery_until : float;
+  rtt : Netsim.Cca.Rtt_tracker.tracker;
+  mss : int;
+}
+
+let create ?(initial_cwnd = 10.0) ?(mss = Netsim.Units.mtu) () =
+  {
+    cwnd = initial_cwnd;
+    ssthresh = infinity;
+    recovery_until = 0.0;
+    rtt = Netsim.Cca.Rtt_tracker.create ();
+    mss;
+  }
+
+let cwnd t = t.cwnd
+let srtt t = Netsim.Cca.Rtt_tracker.srtt t.rtt
+
+let on_ack t (ack : Netsim.Cca.ack_info) =
+  Netsim.Cca.Rtt_tracker.observe t.rtt ack.rtt;
+  if ack.now >= t.recovery_until then
+    if t.cwnd < t.ssthresh then t.cwnd <- t.cwnd +. 1.0
+    else t.cwnd <- t.cwnd +. (1.0 /. t.cwnd)
+
+let on_loss t (loss : Netsim.Cca.loss_info) =
+  if loss.now >= t.recovery_until then begin
+    (match loss.kind with
+    | Netsim.Cca.Gap_detected ->
+      t.ssthresh <- Float.max 2.0 (t.cwnd /. 2.0);
+      t.cwnd <- t.ssthresh
+    | Netsim.Cca.Timeout ->
+      t.ssthresh <- Float.max 2.0 (t.cwnd /. 2.0);
+      t.cwnd <- 2.0);
+    t.recovery_until <- loss.now +. Netsim.Cca.Rtt_tracker.srtt t.rtt
+  end
+
+let pacing t = 1.2 *. t.cwnd *. float_of_int t.mss /. Float.max 1e-3 (srtt t)
+
+let as_cca ?(name = "reno") t =
+  {
+    Netsim.Cca.name;
+    on_ack = on_ack t;
+    on_loss = on_loss t;
+    on_send = (fun _ -> ());
+    pacing_rate = (fun ~now:_ -> pacing t);
+    cwnd = (fun ~now:_ -> t.cwnd);
+  }
+
+let make () = as_cca (create ())
+
+let embedded () =
+  let t = create () in
+  Embedded.of_window ~cca:(as_cca t)
+    ~get_cwnd_pkts:(fun () -> t.cwnd)
+    ~set_cwnd_pkts:(fun w -> t.cwnd <- w)
+    ~srtt:(fun () -> srtt t)
+    ~mss:t.mss ()

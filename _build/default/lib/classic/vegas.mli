@@ -1,0 +1,18 @@
+(** TCP Vegas (Brakmo & Peterson 1995): delay-based; once per RTT the
+    estimated queue occupancy steers the window between the [alpha] and
+    [beta] packet thresholds. *)
+
+type t
+
+val create :
+  ?alpha:float -> ?beta:float -> ?initial_cwnd:float -> ?mss:int -> unit -> t
+
+val cwnd : t -> float
+val srtt : t -> float
+
+val on_ack : t -> Netsim.Cca.ack_info -> unit
+val on_loss : t -> Netsim.Cca.loss_info -> unit
+
+val as_cca : ?name:string -> t -> Netsim.Cca.t
+val make : unit -> Netsim.Cca.t
+val embedded : unit -> Embedded.t

@@ -1,0 +1,21 @@
+(** TCP Westwood+ : AIMD whose loss response sets the window to the
+    estimated bandwidth-delay product instead of halving, giving
+    robustness to non-congestion loss. Named by the paper's Sec. 7 as a
+    classic CCA Libra's guidelines extend to. *)
+
+type t
+
+val create : ?initial_cwnd:float -> ?mss:int -> unit -> t
+
+val cwnd : t -> float
+val srtt : t -> float
+
+(** Low-pass delivery-rate estimate, bytes/s. *)
+val bandwidth_estimate : t -> float
+
+val on_ack : t -> Netsim.Cca.ack_info -> unit
+val on_loss : t -> Netsim.Cca.loss_info -> unit
+
+val as_cca : ?name:string -> t -> Netsim.Cca.t
+val make : unit -> Netsim.Cca.t
+val embedded : unit -> Embedded.t

@@ -1,0 +1,1 @@
+lib/core/libra.ml: Classic_cc Controller Ideal List Netsim Params Printf Rlcc Telemetry Utility

@@ -1,0 +1,1 @@
+lib/core/libra.mli: Classic_cc Controller Ideal Netsim Params Telemetry Utility

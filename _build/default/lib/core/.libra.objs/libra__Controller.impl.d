@@ -1,0 +1,1 @@
+lib/core/controller.ml: Classic_cc Float List Netsim Params Printf Queue Rlcc Telemetry Utility

@@ -1,0 +1,1 @@
+lib/core/controller.mli: Classic_cc Netsim Params Rlcc Telemetry

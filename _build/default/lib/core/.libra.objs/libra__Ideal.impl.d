@@ -1,0 +1,1 @@
+lib/core/ideal.ml: Array Float Netsim Utility

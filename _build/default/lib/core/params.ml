@@ -1,0 +1,37 @@
+(* Libra's tunables, with the paper's defaults (Sec. 5 Setup, Sec. 7).
+
+   Stage durations are in units of the estimated RTT. When
+   [exploration_rtts] is [None] the classic CCA's own preference is
+   used (1 RTT for CUBIC-like schemes, 3 for BBR); the exploitation
+   stage mirrors the exploration stage, as in the paper's
+   [1, 0.5, 1] / [3, 1, 3] stage patterns. *)
+
+type t = {
+  ei_rtts : float;  (* one evaluation interval, default 0.5 RTT *)
+  exploration_rtts : float option;
+  exploitation_rtts : float option;
+  th1_frac : float;  (* early-exit threshold as a fraction of x_prev *)
+  eval_lower_first : bool;  (* Fig. 4's "lower rate first" rule; the
+                               ablation bench flips it *)
+  utility : Utility.params;
+  history : int;  (* RL state history length h *)
+  mi_of_rtt : float;  (* RL decision interval within exploration *)
+  rl_stochastic : bool;
+  seed : int;
+  debug : bool;  (* print per-cycle utility components *)
+}
+
+let default =
+  {
+    ei_rtts = 0.5;
+    exploration_rtts = None;
+    exploitation_rtts = None;
+    th1_frac = 0.3;
+    eval_lower_first = true;
+    utility = Utility.default;
+    history = 5;
+    mi_of_rtt = 1.0;
+    rl_stochastic = true;
+    seed = 211;
+    debug = false;
+  }

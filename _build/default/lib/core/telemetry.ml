@@ -1,0 +1,43 @@
+(* Per-cycle bookkeeping: which candidate won (Fig. 17) and the utility
+   trajectory (Fig. 18). *)
+
+type choice = Prev | Rl | Cl
+
+type cycle = {
+  at : float;
+  chosen : choice;
+  u_prev : float;
+  u_rl : float;
+  u_cl : float;
+  x_next : float;  (* the base rate adopted for the next cycle, bytes/s *)
+}
+
+type t = { mutable cycles : cycle list; mutable skipped : int }
+
+let create () = { cycles = []; skipped = 0 }
+
+let record t cycle = t.cycles <- cycle :: t.cycles
+
+let record_skip t = t.skipped <- t.skipped + 1
+
+let cycles t = List.rev t.cycles
+
+let total t = List.length t.cycles
+
+(* Fractions of control cycles won by each candidate. *)
+let fractions t =
+  let n = float_of_int (max 1 (total t)) in
+  let count c = List.length (List.filter (fun cy -> cy.chosen = c) t.cycles) in
+  ( float_of_int (count Prev) /. n,
+    float_of_int (count Rl) /. n,
+    float_of_int (count Cl) /. n )
+
+(* (time, utility of the adopted decision) series for Fig. 18. *)
+let utility_series t =
+  List.map
+    (fun cy ->
+      let u =
+        match cy.chosen with Prev -> cy.u_prev | Rl -> cy.u_rl | Cl -> cy.u_cl
+      in
+      (cy.at, u))
+    (cycles t)

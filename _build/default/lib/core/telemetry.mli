@@ -1,0 +1,36 @@
+(** Per-control-cycle bookkeeping: which candidate rate won each cycle
+    (Fig. 17) and the utility trajectory (Fig. 18). *)
+
+type choice = Prev | Rl | Cl
+
+type cycle = {
+  at : float;
+  chosen : choice;
+  u_prev : float;
+  u_rl : float;
+  u_cl : float;
+  x_next : float;  (** the base rate adopted for the next cycle, bytes/s *)
+}
+
+type t
+
+val create : unit -> t
+
+(** Record one completed decision. *)
+val record : t -> cycle -> unit
+
+(** Record a cycle whose feedback was insufficient to evaluate. *)
+val record_skip : t -> unit
+
+(** All decisions, oldest first. *)
+val cycles : t -> cycle list
+
+(** Number of decisions recorded. *)
+val total : t -> int
+
+(** Fractions of cycles won by (x_prev, x_rl, x_cl); sums to 1 when any
+    cycles were recorded. *)
+val fractions : t -> float * float * float
+
+(** (time, utility of the adopted decision) series. *)
+val utility_series : t -> (float * float) list

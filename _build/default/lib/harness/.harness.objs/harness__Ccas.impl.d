@@ -1,0 +1,1 @@
+lib/harness/ccas.ml: Classic_cc Libra List Netsim Printf Rlcc String

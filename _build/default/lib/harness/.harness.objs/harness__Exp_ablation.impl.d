@@ -1,0 +1,1 @@
+lib/harness/exp_ablation.ml: Libra List Scale Scenario Table

@@ -1,0 +1,1 @@
+lib/harness/exp_convergence.ml: Array Ccas Float Hashtbl List Metrics Netsim Option Printf Scale Scenario Table Traces

@@ -1,0 +1,1 @@
+lib/harness/exp_deepdive.ml: Array Ccas Exp_fig2 Float Libra List Netsim Printf Scale Scenario Table Traces

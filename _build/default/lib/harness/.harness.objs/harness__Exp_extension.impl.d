@@ -1,0 +1,1 @@
+lib/harness/exp_extension.ml: Ccas Classic_cc Libra List Printf Scale Scenario Table Traces

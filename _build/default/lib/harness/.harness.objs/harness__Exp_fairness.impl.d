@@ -1,0 +1,1 @@
+lib/harness/exp_fairness.ml: Ccas List Netsim Scale Scenario Table Traces

@@ -1,0 +1,1 @@
+lib/harness/exp_fig1.ml: Ccas List Scale Scenario Table Traces

@@ -1,0 +1,1 @@
+lib/harness/exp_fig2.ml: Array Ccas Float Lazy List Metrics Netsim Printf Rlcc Scale Scenario Sys Table Traces

@@ -1,0 +1,1 @@
+lib/harness/exp_fig7.ml: Ccas List Scale Scenario Table

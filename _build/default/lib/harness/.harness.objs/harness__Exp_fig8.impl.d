@@ -1,0 +1,1 @@
+lib/harness/exp_fig8.ml: Array Ccas Float List Netsim Printf Scale Scenario Table Traces

@@ -1,0 +1,1 @@
+lib/harness/exp_flex.ml: Ccas List Netsim Scale Scenario Table

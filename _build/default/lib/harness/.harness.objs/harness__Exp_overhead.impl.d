@@ -1,0 +1,1 @@
+lib/harness/exp_overhead.ml: Exp_fig2 Float List Printf Scale Scenario Table Traces

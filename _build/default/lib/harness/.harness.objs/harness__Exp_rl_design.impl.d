@@ -1,0 +1,1 @@
+lib/harness/exp_rl_design.ml: Array Float List Netsim Option Printf Rlcc Scale Scenario Table Traces

@@ -1,0 +1,1 @@
+lib/harness/exp_safety.ml: Array Ccas List Metrics Printf Scale Scenario Table Traces

@@ -1,0 +1,1 @@
+lib/harness/exp_sensitivity.ml: Libra List Printf Scale Scenario Table

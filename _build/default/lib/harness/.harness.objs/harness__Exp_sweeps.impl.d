@@ -1,0 +1,1 @@
+lib/harness/exp_sweeps.ml: Ccas List Printf Scale Scenario Table Traces

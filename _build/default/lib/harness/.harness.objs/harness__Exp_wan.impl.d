@@ -1,0 +1,1 @@
+lib/harness/exp_wan.ml: Ccas Float List Scale Scenario Table Traces

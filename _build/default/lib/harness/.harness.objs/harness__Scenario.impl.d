@@ -1,0 +1,1 @@
+lib/harness/scenario.ml: Array Float List Metrics Netsim Traces

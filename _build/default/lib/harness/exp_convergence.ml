@@ -1,0 +1,99 @@
+(* Fig. 15 / Tab. 5 -- convergence: three same-CCA flows start 5 s
+   apart on a 48 Mbit/s link (100 ms RTT, 1 BDP buffer). Tab. 5 reports
+   the third flow's convergence time (stable within +/-25% for 5 s),
+   its throughput deviation after convergence, and its average
+   throughput. *)
+
+let candidates =
+  [
+    ("bbr", Ccas.bbr);
+    ("cubic", Ccas.cubic);
+    ("mod-rl", Ccas.mod_rl);
+    ("indigo", Ccas.indigo);
+    ("proteus", Ccas.proteus);
+    ("orca", Ccas.orca);
+    ("c-libra", Ccas.c_libra);
+    ("b-libra", Ccas.b_libra);
+  ]
+
+let spec () =
+  let rate = Netsim.Units.mbps_to_bps 48.0 in
+  let spec = Scenario.make_spec ~rtt:0.1 (Traces.Rate.constant 48.0) in
+  { spec with Scenario.buffer_bytes = Netsim.Units.bdp_bytes ~rate_bps:rate ~rtt_s:0.1 }
+
+(* Coarsen a 10 ms-binned series to [step]-second averages. *)
+let coarsen ~step series =
+  let acc = Hashtbl.create 64 in
+  Array.iter
+    (fun (time, v) ->
+      let slot = int_of_float (time /. step) in
+      let sum, n = Option.value (Hashtbl.find_opt acc slot) ~default:(0.0, 0) in
+      Hashtbl.replace acc slot (sum +. v, n + 1))
+    series;
+  List.sort compare (Hashtbl.fold (fun slot (sum, n) l ->
+      ((float_of_int slot +. 0.5) *. step, sum /. float_of_int n) :: l) acc [])
+
+let run () =
+  let scale = Scale.get () in
+  let duration = Float.max 40.0 scale.Scale.duration in
+  let entry3 = 10.0 in
+  Table.heading "Fig. 15 / Tab. 5: convergence of three staggered flows";
+  let results =
+    List.map
+      (fun (name, factory) ->
+        let summary =
+          Scenario.run_mixed
+            ~flows:[ (factory, 0.0); (factory, 5.0); (factory, entry3) ]
+            ~duration (spec ())
+        in
+        (name, summary))
+      candidates
+  in
+  (* Fig. 15: per-flow throughput at 2-second grain. *)
+  List.iter
+    (fun (name, summary) ->
+      Table.subheading (Printf.sprintf "Fig. 15 [%s]: per-flow throughput (Mbit/s)" name);
+      let series =
+        List.map
+          (fun f -> coarsen ~step:2.0 (Netsim.Flow_stats.throughput_series f.Netsim.Network.stats))
+          summary.Netsim.Network.flows
+      in
+      let slots = List.map fst (List.hd series) in
+      Table.print
+        ~header:[ "t(s)"; "flow1"; "flow2"; "flow3" ]
+        (List.map
+           (fun t ->
+             Printf.sprintf "%.0f" t
+             :: List.map
+                  (fun s ->
+                    match List.assoc_opt t s with
+                    | Some v -> Table.mbps v
+                    | None -> "-")
+                  series)
+           slots))
+    results;
+  (* Tab. 5 for the third flow. *)
+  Table.heading "Tab. 5: quantitative convergence of the third flow";
+  Table.print
+    ~header:[ "cca"; "conv.time"; "thr.deviation"; "avg.throughput"; "jain(final)" ]
+    (List.map
+       (fun (name, summary) ->
+         let third = List.nth summary.Netsim.Network.flows 2 in
+         let series = Netsim.Flow_stats.throughput_series third.Netsim.Network.stats in
+         let coarse = Array.of_list (coarsen ~step:0.5 series) in
+         let conv = Metrics.Convergence.analyse ~entry:entry3 coarse in
+         let jain = Scenario.jain ~duration summary in
+         [
+           name;
+           (match conv.Metrics.Convergence.conv_time with
+           | Some v -> Printf.sprintf "%.1fs" v
+           | None -> "-");
+           (match conv.Metrics.Convergence.conv_time with
+           | Some _ -> Table.mbps conv.Metrics.Convergence.stability ^ "Mbps"
+           | None -> "-");
+           (match conv.Metrics.Convergence.conv_time with
+           | Some _ -> Table.mbps conv.Metrics.Convergence.avg_throughput ^ "Mbps"
+           | None -> "-");
+           Table.f3 jain;
+         ])
+       results)

@@ -1,0 +1,59 @@
+(* Fig. 13 (inter-protocol) and Fig. 14 (intra-protocol) fairness on a
+   48 Mbit/s link, 100 ms minimum RTT, 1 BDP buffer. *)
+
+let candidates =
+  [
+    ("cubic", Ccas.cubic);
+    ("bbr", Ccas.bbr);
+    ("copa", Ccas.copa);
+    ("aurora", Ccas.aurora);
+    ("proteus", Ccas.proteus);
+    ("orca", Ccas.orca);
+    ("mod-rl", Ccas.mod_rl);
+    ("c-libra", Ccas.c_libra);
+    ("b-libra", Ccas.b_libra);
+  ]
+
+let spec () =
+  let rate = Netsim.Units.mbps_to_bps 48.0 in
+  let spec = Scenario.make_spec ~rtt:0.1 (Traces.Rate.constant 48.0) in
+  { spec with Scenario.buffer_bytes = Netsim.Units.bdp_bytes ~rate_bps:rate ~rtt_s:0.1 }
+
+let run_fig13 () =
+  let scale = Scale.get () in
+  let duration = scale.Scale.duration in
+  Table.heading "Fig. 13: inter-protocol fairness (CCA under test vs CUBIC)";
+  Table.print
+    ~header:[ "cca"; "cca share"; "cubic share"; "jain" ]
+    (List.map
+       (fun (name, factory) ->
+         let summary =
+           Scenario.run_mixed ~flows:[ (factory, 0.0); (Ccas.cubic, 0.0) ] ~duration
+             (spec ())
+         in
+         let share = Scenario.share_of_first ~duration summary in
+         let jain = Scenario.jain ~duration summary in
+         [ name; Table.f2 share; Table.f2 (1.0 -. share); Table.f3 jain ])
+       candidates);
+  print_endline "optimal share: 0.50 each"
+
+let run_fig14 () =
+  let scale = Scale.get () in
+  let duration = scale.Scale.duration in
+  Table.heading "Fig. 14: intra-protocol fairness (two flows, same CCA)";
+  Table.print
+    ~header:[ "cca"; "flow1 share"; "flow2 share"; "jain" ]
+    (List.map
+       (fun (name, factory) ->
+         let summary =
+           Scenario.run_mixed ~flows:[ (factory, 0.0); (factory, 0.0) ] ~duration
+             (spec ())
+         in
+         let share = Scenario.share_of_first ~duration summary in
+         let jain = Scenario.jain ~duration summary in
+         [ name; Table.f2 share; Table.f2 (1.0 -. share); Table.f3 jain ])
+       candidates)
+
+let run () =
+  run_fig13 ();
+  run_fig14 ()

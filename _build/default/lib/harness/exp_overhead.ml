@@ -1,0 +1,61 @@
+(* Fig. 12 -- overhead vs link capacity (10 to 200 Mbit/s).
+
+   The measured quantity is CPU time inside CCA callbacks per simulated
+   second (the paper's iperf CPU utilization analogue); Libra should
+   track its underlying classic CCAs and sit far below pure
+   learning-based schemes, because its DRL agent only runs during the
+   exploration stage. *)
+
+let capacities_mbps = [ 10.0; 20.0; 30.0; 50.0; 100.0; 200.0 ]
+
+let run () =
+  let scale = Scale.get () in
+  Table.heading "Fig. 12: CPU overhead vs link capacity";
+  let duration = scale.Scale.duration in
+  let reports =
+    List.map
+      (fun mbps ->
+        let trace = Traces.Rate.constant mbps in
+        let spec = Scenario.make_spec ~rtt:0.03 ~buffer_kb:300 trace in
+        ( mbps,
+          List.map
+            (fun (name, factory) ->
+              (name, Exp_fig2.measure_overhead ~factory ~duration spec))
+            Exp_fig2.overhead_candidates ))
+      capacities_mbps
+  in
+  let max_cpu =
+    List.fold_left
+      (fun a (_, per) ->
+        List.fold_left (fun a (_, r) -> Float.max a (Exp_fig2.projected_cpu r)) a per)
+      1e-12 reports
+  in
+  Table.print
+    ~header:("capacity" :: List.map fst Exp_fig2.overhead_candidates)
+    (List.map
+       (fun (mbps, per) ->
+         Printf.sprintf "%gMbps" mbps
+         :: List.map
+              (fun (_, r) -> Table.f3 (Exp_fig2.projected_cpu r /. max_cpu))
+              per)
+       reports);
+  print_endline
+    "cells: CPU per simulated second with DRL inference priced at the
+     paper's 2x512 network size, normalised (see DESIGN.md)";
+  (* Mean reduction of Libra vs each learning-based CCA, as in Sec. 5.3. *)
+  let mean name =
+    let vals =
+      List.map (fun (_, per) -> Exp_fig2.projected_cpu (List.assoc name per)) reports
+    in
+    List.fold_left ( +. ) 0.0 vals /. float_of_int (List.length vals)
+  in
+  let libra = mean "c-libra" in
+  Table.subheading "avg CPU reduction of C-Libra vs learning-based CCAs";
+  Table.print ~header:[ "vs"; "reduction" ]
+    (List.filter_map
+       (fun (name, _) ->
+         if List.mem name [ "orca"; "cl-libra"; "mod-rl"; "indigo"; "copa"; "proteus" ]
+         then
+           Some [ name; Table.pct (1.0 -. (libra /. Float.max 1e-12 (mean name))) ]
+         else None)
+       Exp_fig2.overhead_candidates)

@@ -1,0 +1,63 @@
+(* Tab. 6 -- safety assurance: link-utilization statistics over
+   repeated trials of the same scenario for Orca, C-Libra and B-Libra.
+   The paper's claim: Libra's utilization fluctuates in a small range
+   while Orca's is highly variable, because Libra's evaluation stage
+   filters out the DRL agent's unexpected decisions. *)
+
+let candidates = [ ("orca", Ccas.orca); ("c-libra", Ccas.c_libra); ("b-libra", Ccas.b_libra) ]
+
+let scenarios ~duration =
+  [
+    ("Wired#1(24M)", fun _trial -> Traces.Rate.constant 24.0);
+    ("Wired#2(48M)", fun _trial -> Traces.Rate.constant 48.0);
+    ( "LTE#1(stationary)",
+      fun trial -> Traces.Lte.generate ~seed:(300 + trial) ~duration Traces.Lte.Stationary );
+    ( "LTE#2(moving)",
+      fun trial -> Traces.Lte.generate ~seed:(400 + trial) ~duration Traces.Lte.Moving );
+  ]
+
+let run () =
+  let scale = Scale.get () in
+  let duration = scale.Scale.duration in
+  let trials = scale.Scale.safety_trials in
+  Table.heading
+    (Printf.sprintf "Tab. 6: link-utilization statistics over %d trials" trials);
+  let stats =
+    List.map
+      (fun (scn_name, trace_of) ->
+        ( scn_name,
+          List.map
+            (fun (cca_name, factory) ->
+              let utils =
+                Array.init trials (fun trial ->
+                    let spec =
+                      Scenario.make_spec ~rtt:0.03 ~buffer_kb:150 (trace_of trial)
+                    in
+                    let o =
+                      Scenario.run_uniform ~seed:(1 + (13 * trial)) ~factory ~duration
+                        spec
+                    in
+                    o.Scenario.utilization)
+              in
+              (cca_name, Metrics.Safety.of_trials utils))
+            candidates ))
+      (scenarios ~duration)
+  in
+  let row label f =
+    List.concat_map
+      (fun (_, per) -> List.map (fun (_, s) -> Table.f3 (f s)) per)
+      stats
+    |> fun cells -> label :: cells
+  in
+  let header =
+    "metric"
+    :: List.concat_map
+         (fun (scn, per) -> List.map (fun (cca, _) -> scn ^ "/" ^ cca) per)
+         stats
+  in
+  Table.print ~header
+    [
+      row "mean" (fun s -> s.Metrics.Safety.mean);
+      row "range" (fun s -> s.Metrics.Safety.range);
+      row "stddev" (fun s -> s.Metrics.Safety.stddev);
+    ]

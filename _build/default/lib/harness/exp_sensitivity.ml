@@ -1,0 +1,76 @@
+(* Appendix B -- parameter sensitivity.
+
+   Fig. 19: C-Libra's performance under stage-duration patterns
+   [exploration, EI, exploitation] in RTTs; Tab. 7: the switching
+   threshold th1 from 0.1x to 0.4x the base rate. Both over the wired
+   and cellular trace sets. *)
+
+let durations = [ (1.0, 0.5, 1.0); (1.0, 1.0, 1.0); (2.0, 0.5, 2.0); (2.0, 1.0, 2.0); (3.0, 0.5, 3.0); (3.0, 1.0, 3.0) ]
+
+let thresholds = [ 0.1; 0.2; 0.3; 0.4 ]
+
+let evaluate ~params ~traces =
+  let scale = Scale.get () in
+  let factory ~seed =
+    Libra.make_c_libra ~params:{ params with Libra.Params.seed } ()
+  in
+  let per =
+    List.map
+      (fun trace ->
+        let spec = Scenario.make_spec ~rtt:0.03 ~buffer_kb:150 trace in
+        let util, delay, _, _ =
+          Scenario.averaged ~runs:scale.Scale.runs ~factory
+            ~duration:scale.Scale.duration spec
+        in
+        (util, delay))
+      traces
+  in
+  let n = float_of_int (List.length per) in
+  ( List.fold_left (fun a (u, _) -> a +. u) 0.0 per /. n,
+    List.fold_left (fun a (_, d) -> a +. d) 0.0 per /. n )
+
+let run_fig19 () =
+  let scale = Scale.get () in
+  Table.heading "Fig. 19: C-Libra under different stage durations";
+  let wired = Scenario.wired_traces () in
+  let cellular = Scenario.cellular_traces ~seed:31 ~duration:scale.Scale.duration () in
+  Table.print
+    ~header:[ "[expl,EI,expt](RTT)"; "wired util"; "wired delay"; "cell util"; "cell delay" ]
+    (List.map
+       (fun (expl, ei, expt) ->
+         let params =
+           {
+             Libra.Params.default with
+             Libra.Params.exploration_rtts = Some expl;
+             exploitation_rtts = Some expt;
+             ei_rtts = ei;
+           }
+         in
+         let wu, wd = evaluate ~params ~traces:wired in
+         let cu, cd = evaluate ~params ~traces:cellular in
+         [
+           Printf.sprintf "[%g,%g,%g]" expl ei expt;
+           Table.f2 wu; Table.ms wd; Table.f2 cu; Table.ms cd;
+         ])
+       durations)
+
+let run_tab7 () =
+  let scale = Scale.get () in
+  Table.heading "Tab. 7: C-Libra under different switching thresholds";
+  let wired = Scenario.wired_traces () in
+  let cellular = Scenario.cellular_traces ~seed:31 ~duration:scale.Scale.duration () in
+  Table.print
+    ~header:[ "config"; "utilization"; "avg delay(ms)" ]
+    (List.concat_map
+       (fun (label, traces) ->
+         List.map
+           (fun th1_frac ->
+             let params = { Libra.Params.default with Libra.Params.th1_frac } in
+             let u, d = evaluate ~params ~traces in
+             [ Printf.sprintf "%s-%.1fx" label th1_frac; Table.f2 u; Table.ms d ])
+           thresholds)
+       [ ("Wired", wired); ("Cellular", cellular) ])
+
+let run () =
+  run_fig19 ();
+  run_tab7 ()

@@ -1,0 +1,56 @@
+(* Fig. 16 -- the live-Internet experiments, reproduced over synthetic
+   WAN paths (see DESIGN.md's substitution table): an inter-continental
+   path (180 ms, 0.8% stochastic loss, wobbling 60 Mbit/s bottleneck)
+   and an intra-continental one (40 ms, 0.08%, 90 Mbit/s). Results are
+   normalised as in the paper's figure. *)
+
+let candidates =
+  [
+    ("c-libra-Th1", Ccas.c_libra_pref "Th-1");
+    ("c-libra", Ccas.c_libra);
+    ("c-libra-La1", Ccas.c_libra_pref "La-1");
+    ("b-libra", Ccas.b_libra);
+    ("proteus", Ccas.proteus);
+    ("bbr", Ccas.bbr);
+    ("cubic", Ccas.cubic);
+    ("orca", Ccas.orca);
+  ]
+
+let run_path label (path : Traces.Wan.path) =
+  let scale = Scale.get () in
+  Table.subheading label;
+  let spec =
+    {
+      Scenario.trace = path.Traces.Wan.rate;
+      rtt = path.Traces.Wan.rtt;
+      buffer_bytes = path.Traces.Wan.buffer_bytes;
+      loss_p = path.Traces.Wan.loss_p;
+      aqm = `Fifo;
+    }
+  in
+  let rows =
+    List.map
+      (fun (name, factory) ->
+        let _, delay, loss, thr =
+          Scenario.averaged ~runs:scale.Scale.runs ~factory
+            ~duration:scale.Scale.duration spec
+        in
+        (name, thr, delay, loss))
+      candidates
+  in
+  let max_thr = List.fold_left (fun a (_, t, _, _) -> Float.max a t) 1e-9 rows in
+  let min_delay = List.fold_left (fun a (_, _, d, _) -> Float.min a d) infinity rows in
+  Table.print
+    ~header:[ "cca"; "norm.thr"; "norm.delay"; "loss" ]
+    (List.map
+       (fun (name, thr, delay, loss) ->
+         [ name; Table.f2 (thr /. max_thr); Table.f2 (delay /. min_delay); Table.pct loss ])
+       rows)
+
+let run () =
+  let scale = Scale.get () in
+  Table.heading "Fig. 16: synthetic live-Internet (WAN) scenarios";
+  run_path "(a) inter-continental"
+    (Traces.Wan.inter_continental ~duration:scale.Scale.duration ());
+  run_path "(b) intra-continental"
+    (Traces.Wan.intra_continental ~duration:scale.Scale.duration ())

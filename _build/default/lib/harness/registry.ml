@@ -1,0 +1,51 @@
+(* Experiment registry: every table and figure of the paper's
+   evaluation, addressable by id from the bench executable and the CLI.
+   DESIGN.md's per-experiment index mirrors this list. *)
+
+type entry = { id : string; what : string; run : unit -> unit; group : string }
+
+let all =
+  [
+    { id = "fig1"; what = "adaptability under wired/cellular networks"; run = Exp_fig1.run; group = "fig1" };
+    { id = "fig2a"; what = "throughput over the step-scenario"; run = Exp_fig2.run_fig2a; group = "fig2a" };
+    { id = "fig2b"; what = "CDF of link utilization over cellular runs"; run = Exp_fig2.run_fig2b; group = "fig2b" };
+    { id = "fig2c"; what = "normalised overhead comparison"; run = Exp_fig2.run_fig2c; group = "fig2c" };
+    { id = "fig5"; what = "reward curves per state space"; run = Exp_rl_design.run_fig5; group = "fig5" };
+    { id = "tab2"; what = "state-space add/remove search"; run = Exp_rl_design.run_tab2; group = "tab2" };
+    { id = "fig6"; what = "AIAD vs MIMD action spaces"; run = Exp_rl_design.run_fig6; group = "fig6" };
+    { id = "tab3"; what = "reward with/without loss term"; run = Exp_rl_design.run_tab3; group = "tab3" };
+    { id = "tab4"; what = "reward r vs delta-r"; run = Exp_rl_design.run_tab4; group = "tab4" };
+    { id = "fig7"; what = "throughput/delay scatter over 8 traces"; run = Exp_fig7.run; group = "fig7" };
+    { id = "fig8"; what = "following LTE capacity"; run = Exp_fig8.run; group = "fig8" };
+    { id = "fig9"; what = "buffer-size sweep"; run = Exp_sweeps.run_fig9; group = "fig9" };
+    { id = "fig10"; what = "stochastic-loss sweep"; run = Exp_sweeps.run_fig10; group = "fig10" };
+    { id = "fig11"; what = "flexibility via utility preferences"; run = Exp_flex.run; group = "fig11" };
+    { id = "fig12"; what = "CPU overhead vs link capacity"; run = Exp_overhead.run; group = "fig12" };
+    { id = "fig13"; what = "inter-protocol fairness vs CUBIC"; run = Exp_fairness.run_fig13; group = "fig13" };
+    { id = "fig14"; what = "intra-protocol fairness"; run = Exp_fairness.run_fig14; group = "fig14" };
+    { id = "fig15"; what = "convergence of three staggered flows"; run = Exp_convergence.run; group = "fig15" };
+    { id = "tab5"; what = "quantitative convergence (part of fig15)"; run = Exp_convergence.run; group = "fig15" };
+    { id = "tab6"; what = "safety assurance over repeated trials"; run = Exp_safety.run; group = "tab6" };
+    { id = "fig16"; what = "synthetic live-Internet scenarios"; run = Exp_wan.run; group = "fig16" };
+    { id = "fig17"; what = "fraction of applied decisions"; run = Exp_deepdive.run_fig17; group = "fig17" };
+    { id = "fig18"; what = "Libra vs ideal combination"; run = Exp_deepdive.run_fig18; group = "fig18" };
+    { id = "fig19"; what = "stage-duration sensitivity"; run = Exp_sensitivity.run_fig19; group = "fig19" };
+    { id = "tab7"; what = "switching-threshold sensitivity"; run = Exp_sensitivity.run_tab7; group = "tab7" };
+    { id = "ablate"; what = "eval-order / exploitation ablations"; run = Exp_ablation.run; group = "ablate" };
+    { id = "extend"; what = "Sec. 7 extensions: other CCAs, satellite/5G, CoDel"; run = Exp_extension.run; group = "extend" };
+  ]
+
+let find id = List.find_opt (fun e -> e.id = id) all
+
+let ids () = List.map (fun e -> e.id) all
+
+(* fig15 and tab5 share a runner; don't run it twice in run_all. *)
+let run_all () =
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun e ->
+      if not (Hashtbl.mem seen e.group) then begin
+        Hashtbl.replace seen e.group ();
+        e.run ()
+      end)
+    all

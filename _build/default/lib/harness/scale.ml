@@ -1,0 +1,29 @@
+(* Experiment scale.
+
+   The paper runs 60-second flows averaged over 5 runs, with RL agents
+   trained for thousands of episodes. The default scale shortens runs
+   so the whole suite finishes on one laptop core; [full] restores the
+   paper's durations. Every experiment takes its sizes from here, so a
+   single flag rescales the entire harness. *)
+
+type t = {
+  duration : float;  (* seconds per flow *)
+  runs : int;  (* repetitions averaged per data point *)
+  safety_trials : int;  (* Tab. 6 repeated trials *)
+  train_episodes : int;  (* Fig. 5 / Fig. 6 learning-curve length *)
+  eval_episodes : int;  (* pretraining for evaluation agents *)
+}
+
+let quick =
+  { duration = 20.0; runs = 2; safety_trials = 8; train_episodes = 120; eval_episodes = 400 }
+
+let full =
+  { duration = 60.0; runs = 5; safety_trials = 20; train_episodes = 600; eval_episodes = 1000 }
+
+let current = ref quick
+
+let set scale =
+  current := scale;
+  Rlcc.Pretrained.eval_episodes := scale.eval_episodes
+
+let get () = !current

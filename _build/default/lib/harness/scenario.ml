@@ -1,0 +1,135 @@
+(* Scenario runners: the repeated shapes behind the paper's experiments.
+
+   A scenario is a trace + propagation RTT + buffer + stochastic loss;
+   runners place one or more flows on it, repeat over seeds, and reduce
+   the per-flow statistics into the metrics the figures report. *)
+
+type spec = {
+  trace : Traces.Rate.t;
+  rtt : float;  (* seconds *)
+  buffer_bytes : int;
+  loss_p : float;
+  aqm : [ `Fifo | `Codel ];
+}
+
+let make_spec ?(rtt = 0.03) ?(buffer_kb = 150) ?(loss_p = 0.0) ?(aqm = `Fifo) trace =
+  { trace; rtt; buffer_bytes = Netsim.Units.kb buffer_kb; loss_p; aqm }
+
+let link_of spec =
+  {
+    Netsim.Network.rate_fn = Traces.Rate.fn spec.trace;
+    grain = Traces.Rate.grain spec.trace;
+    buffer_bytes = spec.buffer_bytes;
+    loss_p = spec.loss_p;
+    aqm = spec.aqm;
+  }
+
+type outcome = {
+  utilization : float;
+  mean_delay : float;  (* seconds *)
+  loss_rate : float;
+  throughput : float;  (* bytes/s, aggregate over flows *)
+  summary : Netsim.Network.summary;
+}
+
+(* Run [n_flows] copies of one CCA for [duration]; all flows start at 0. *)
+let run_uniform ?(seed = 1) ?(n_flows = 1) ~factory ~duration spec =
+  let flows =
+    List.init n_flows (fun i ->
+        {
+          Netsim.Network.cca = factory ~seed:(seed + (1000 * i));
+          start_at = 0.0;
+          stop_at = duration;
+          rtt = spec.rtt;
+        })
+  in
+  let summary = Netsim.Network.run ~seed ~link:(link_of spec) ~flows ~duration () in
+  let stats = List.map (fun f -> f.Netsim.Network.stats) summary.Netsim.Network.flows in
+  let delays = List.filter_map (fun s ->
+      let d = Netsim.Flow_stats.mean_rtt s in
+      if Float.is_nan d then None else Some d) stats
+  in
+  let mean_delay =
+    if delays = [] then nan
+    else List.fold_left ( +. ) 0.0 delays /. float_of_int (List.length delays)
+  in
+  let acked = List.fold_left (fun a s -> a + Netsim.Flow_stats.total_acked_pkts s) 0 stats in
+  let lost = List.fold_left (fun a s -> a + Netsim.Flow_stats.total_lost_pkts s) 0 stats in
+  let loss_rate =
+    if acked + lost = 0 then 0.0 else float_of_int lost /. float_of_int (acked + lost)
+  in
+  let throughput =
+    List.fold_left
+      (fun a s -> a +. Netsim.Flow_stats.mean_throughput ~from_t:0.0 ~to_t:duration s)
+      0.0 stats
+  in
+  {
+    utilization = Netsim.Network.utilization summary;
+    mean_delay;
+    loss_rate;
+    throughput;
+    summary;
+  }
+
+(* Average an outcome over [runs] seeds. *)
+let averaged ?(base_seed = 1) ~runs ~factory ~duration spec =
+  let outcomes =
+    List.init runs (fun i ->
+        run_uniform ~seed:(base_seed + (7919 * i)) ~factory ~duration spec)
+  in
+  let n = float_of_int runs in
+  let avg f = List.fold_left (fun a o -> a +. f o) 0.0 outcomes /. n in
+  ( avg (fun o -> o.utilization),
+    avg (fun o -> o.mean_delay),
+    avg (fun o -> o.loss_rate),
+    avg (fun o -> o.throughput) )
+
+(* Two (or more) heterogeneous flows with individual start times;
+   returns the raw summary for fairness/convergence analysis. *)
+let run_mixed ?(seed = 1) ~flows ~duration spec =
+  let flows =
+    List.mapi
+      (fun i (factory, start_at) ->
+        {
+          Netsim.Network.cca = factory ~seed:(seed + (1000 * i));
+          start_at;
+          stop_at = duration;
+          rtt = spec.rtt;
+        })
+      flows
+  in
+  Netsim.Network.run ~seed ~link:(link_of spec) ~flows ~duration ()
+
+(* Steady-state throughput share of flow 0 vs the rest (Fig. 13's
+   normalised throughput ratio), measured over the second half. *)
+let share_of_first ~duration (summary : Netsim.Network.summary) =
+  let thr f =
+    Netsim.Flow_stats.mean_throughput ~from_t:(duration /. 2.0) ~to_t:duration
+      f.Netsim.Network.stats
+  in
+  match summary.Netsim.Network.flows with
+  | [] -> nan
+  | first :: rest ->
+    let t0 = thr first in
+    let total = List.fold_left (fun a f -> a +. thr f) t0 rest in
+    if total <= 0.0 then nan else t0 /. total
+
+(* Jain index over steady-state per-flow throughputs. *)
+let jain ~duration (summary : Netsim.Network.summary) =
+  let thr =
+    List.map
+      (fun f ->
+        Netsim.Flow_stats.mean_throughput ~from_t:(duration /. 2.0) ~to_t:duration
+          f.Netsim.Network.stats)
+      summary.Netsim.Network.flows
+  in
+  Metrics.Jain.index (Array.of_list thr)
+
+(* The paper's standard wired and cellular trace sets (Fig. 7). *)
+let wired_traces () =
+  List.map Traces.Rate.constant [ 12.0; 24.0; 48.0; 96.0 ]
+
+let cellular_traces ?(seed = 1) ~duration () =
+  List.map
+    (fun s -> Traces.Lte.generate ~seed ~duration s)
+    Traces.Lte.all_scenarios

@@ -1,0 +1,42 @@
+(* Plain-text table/series printing shared by the benches: every
+   experiment emits the same rows or series its paper figure shows. *)
+
+let heading title =
+  let bar = String.make (String.length title) '=' in
+  Printf.printf "\n%s\n%s\n" title bar
+
+let subheading title = Printf.printf "\n-- %s --\n" title
+
+(* Print rows with left-aligned first column and right-aligned cells. *)
+let print ~header rows =
+  let all = header :: rows in
+  let cols = List.length header in
+  let width c =
+    List.fold_left (fun acc row -> max acc (String.length (List.nth row c))) 0 all
+  in
+  let widths = List.init cols width in
+  let print_row row =
+    List.iteri
+      (fun c cell ->
+        let w = List.nth widths c in
+        if c = 0 then Printf.printf "%-*s" (w + 2) cell
+        else Printf.printf "%*s  " w cell)
+      row;
+    print_newline ()
+  in
+  print_row header;
+  print_row (List.map (fun w -> String.make w '-') widths);
+  List.iter print_row rows
+
+(* (x, y) series as two columns, for the paper's line plots. *)
+let print_series ~name ~x_label ~y_label points =
+  subheading name;
+  print
+    ~header:[ x_label; y_label ]
+    (List.map (fun (x, y) -> [ Printf.sprintf "%.2f" x; Printf.sprintf "%.3f" y ]) points)
+
+let pct v = Printf.sprintf "%.1f%%" (100.0 *. v)
+let ms v = Printf.sprintf "%.1f" (1000.0 *. v)
+let mbps v = Printf.sprintf "%.2f" (Netsim.Units.bps_to_mbps v)
+let f2 v = Printf.sprintf "%.2f" v
+let f3 v = Printf.sprintf "%.3f" v

@@ -1,0 +1,1 @@
+lib/metrics/overhead.ml: Float Gc Netsim Rlcc Sys

@@ -1,0 +1,1 @@
+lib/metrics/safety.ml: Cdf

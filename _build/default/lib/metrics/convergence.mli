@@ -1,0 +1,17 @@
+(** The paper's Tab. 5 convergence metrics: time from a flow's entry to
+    the earliest point after which its throughput stays within a
+    tolerance band for a window, plus the stability (standard
+    deviation) and mean throughput after that point. *)
+
+type result = {
+  converged_at : float option;  (** absolute time; None if never *)
+  conv_time : float option;  (** seconds from the flow's entry *)
+  stability : float;  (** stddev of throughput after convergence *)
+  avg_throughput : float;
+}
+
+(** [analyse ~entry series] over a (time, throughput) series; defaults
+    follow the paper: stable = within +/-25% of the window mean
+    ([tolerance]) for 5 seconds ([window]). *)
+val analyse :
+  ?window:float -> ?tolerance:float -> entry:float -> (float * float) array -> result

@@ -1,0 +1,9 @@
+(* Jain's fairness index: (sum x)^2 / (n * sum x^2), in (0, 1], equal to
+   1 exactly for an equal allocation. *)
+
+let index allocations =
+  let n = Array.length allocations in
+  assert (n > 0);
+  let sum = Array.fold_left ( +. ) 0.0 allocations in
+  let sum_sq = Array.fold_left (fun acc x -> acc +. (x *. x)) 0.0 allocations in
+  if sum_sq <= 0.0 then 1.0 else sum *. sum /. (float_of_int n *. sum_sq)

@@ -1,0 +1,6 @@
+(** Jain's fairness index. *)
+
+(** [(sum x)^2 / (n * sum x^2)], in (0, 1]; 1 iff the allocation is
+    equal. Requires a non-empty array; an all-zero allocation counts as
+    fair. *)
+val index : float array -> float

@@ -1,0 +1,53 @@
+(* Decision-cost accounting (Fig. 2(c), Fig. 12).
+
+   The paper measures CPU/memory of the sender processes; the dominant
+   contributor for learning-based CCAs is the DRL agent's inference.
+   We wrap a CCA so that wall-clock CPU time spent inside its callbacks
+   and the number of neural-network forward passes it triggered are
+   recorded; per simulated second these give the same ordering the
+   paper reports. Allocation (minor-heap words) stands in for memory. *)
+
+type ledger = {
+  mutable cpu_time : float;  (* seconds of Sys.time inside callbacks *)
+  mutable callbacks : int;
+  mutable nn_forwards : int;
+  mutable allocated_words : float;
+}
+
+let create () =
+  { cpu_time = 0.0; callbacks = 0; nn_forwards = 0; allocated_words = 0.0 }
+
+let timed ledger f =
+  let t0 = Sys.time () in
+  let a0 = Gc.minor_words () in
+  let fw0 = !Rlcc.Nn.forward_count in
+  let result = f () in
+  ledger.cpu_time <- ledger.cpu_time +. (Sys.time () -. t0);
+  ledger.allocated_words <- ledger.allocated_words +. (Gc.minor_words () -. a0);
+  ledger.nn_forwards <- ledger.nn_forwards + (!Rlcc.Nn.forward_count - fw0);
+  ledger.callbacks <- ledger.callbacks + 1;
+  result
+
+(* Decorate a CCA so every callback is accounted to [ledger]. *)
+let wrap ledger (cca : Netsim.Cca.t) =
+  {
+    cca with
+    Netsim.Cca.on_ack = (fun ack -> timed ledger (fun () -> cca.Netsim.Cca.on_ack ack));
+    on_loss = (fun loss -> timed ledger (fun () -> cca.Netsim.Cca.on_loss loss));
+    on_send = (fun send -> timed ledger (fun () -> cca.Netsim.Cca.on_send send));
+  }
+
+(* Normalised summaries per simulated second. *)
+type report = {
+  cpu_per_sim_s : float;
+  forwards_per_sim_s : float;
+  kwords_per_sim_s : float;
+}
+
+let report ledger ~sim_seconds =
+  let s = Float.max 1e-9 sim_seconds in
+  {
+    cpu_per_sim_s = ledger.cpu_time /. s;
+    forwards_per_sim_s = float_of_int ledger.nn_forwards /. s;
+    kwords_per_sim_s = ledger.allocated_words /. 1000.0 /. s;
+  }

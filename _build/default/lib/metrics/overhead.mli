@@ -1,0 +1,26 @@
+(** Decision-cost accounting (Fig. 2(c), Fig. 12): CPU time,
+    minor-heap allocation and neural-network forward passes inside a
+    CCA's callbacks, per simulated second. *)
+
+type ledger = {
+  mutable cpu_time : float;
+  mutable callbacks : int;
+  mutable nn_forwards : int;
+  mutable allocated_words : float;
+}
+
+val create : unit -> ledger
+
+(** Run a thunk, attributing its cost to the ledger. *)
+val timed : ledger -> (unit -> 'a) -> 'a
+
+(** Decorate a CCA so every callback is accounted. *)
+val wrap : ledger -> Netsim.Cca.t -> Netsim.Cca.t
+
+type report = {
+  cpu_per_sim_s : float;
+  forwards_per_sim_s : float;
+  kwords_per_sim_s : float;
+}
+
+val report : ledger -> sim_seconds:float -> report

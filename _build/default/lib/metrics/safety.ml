@@ -1,0 +1,14 @@
+(* Tab. 6 safety-assurance statistics: the spread of link utilization
+   over repeated trials of the same scenario. A safe CCA's repeated
+   runs cluster tightly; a stochastic learner's do not. *)
+
+type stats = { mean : float; range : float; stddev : float; trials : int }
+
+let of_trials utilizations =
+  let cdf = Cdf.of_samples utilizations in
+  {
+    mean = Cdf.mean cdf;
+    range = Cdf.range cdf;
+    stddev = Cdf.stddev cdf;
+    trials = Cdf.n cdf;
+  }

@@ -1,0 +1,6 @@
+(** Tab. 6 safety-assurance statistics: the spread of link utilization
+    over repeated trials of one scenario. *)
+
+type stats = { mean : float; range : float; stddev : float; trials : int }
+
+val of_trials : float array -> stats

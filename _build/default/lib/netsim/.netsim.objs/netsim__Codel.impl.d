@@ -1,0 +1,1 @@
+lib/netsim/codel.ml: Float Option Packet Queue Units

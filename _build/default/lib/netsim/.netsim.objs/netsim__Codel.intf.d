@@ -1,0 +1,1 @@
+lib/netsim/codel.mli: Packet

@@ -1,0 +1,1 @@
+lib/netsim/droptail.ml: Packet Queue

@@ -1,0 +1,1 @@
+lib/netsim/flow.ml: Cca Float Flow_stats Link Packet Queue Sim Units

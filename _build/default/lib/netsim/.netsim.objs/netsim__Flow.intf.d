@@ -1,0 +1,1 @@
+lib/netsim/flow.mli: Cca Flow_stats Link Packet Sim

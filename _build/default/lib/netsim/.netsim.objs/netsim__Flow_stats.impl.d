@@ -1,0 +1,1 @@
+lib/netsim/flow_stats.ml: Array Float

@@ -1,0 +1,1 @@
+lib/netsim/link.ml: Codel Droptail Float Packet Rng Sim

@@ -1,0 +1,1 @@
+lib/netsim/monitor.ml: Cca Float

@@ -1,0 +1,1 @@
+lib/netsim/network.ml: Array Cca Float Flow Flow_stats Link List Packet Rng Sim

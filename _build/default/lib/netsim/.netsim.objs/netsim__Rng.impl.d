@@ -1,0 +1,1 @@
+lib/netsim/rng.ml: Float Int64

@@ -1,0 +1,1 @@
+lib/netsim/tagger.ml: Queue

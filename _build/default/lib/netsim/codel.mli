@@ -1,0 +1,27 @@
+(** CoDel AQM (Nichols & Jacobson 2012): head-drop when packet sojourn
+    time has exceeded [target] for at least [interval], accelerating as
+    1/sqrt(count). Used by the extension bench to compare CUBIC+CoDel
+    against Libra's end-to-end delay control. *)
+
+type t
+
+(** Defaults: target 5 ms, interval 100 ms. [capacity] is a hard
+    tail-drop byte bound. *)
+val create : ?target:float -> ?interval:float -> capacity:int -> unit -> t
+
+val bytes : t -> int
+
+(** Packets dropped (CoDel head drops plus capacity tail drops). *)
+val drops : t -> int
+
+val enqueued : t -> int
+val length : t -> int
+val is_empty : t -> bool
+
+(** [false] when tail-dropped at the byte capacity. *)
+val enqueue : t -> Packet.t -> now:float -> bool
+
+(** Apply the CoDel control law and return the surviving head. *)
+val dequeue : t -> now:float -> Packet.t option
+
+val peek : t -> Packet.t option

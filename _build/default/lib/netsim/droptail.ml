@@ -1,0 +1,44 @@
+(* Byte-limited FIFO (droptail) queue, the bottleneck buffer model used
+   throughout the paper's emulation. *)
+
+type t = {
+  capacity : int;  (* bytes *)
+  items : Packet.t Queue.t;
+  mutable bytes : int;
+  mutable drops : int;
+  mutable enqueued : int;
+}
+
+let create ~capacity =
+  assert (capacity > 0);
+  { capacity; items = Queue.create (); bytes = 0; drops = 0; enqueued = 0 }
+
+let bytes t = t.bytes
+let capacity t = t.capacity
+let drops t = t.drops
+let enqueued t = t.enqueued
+let length t = Queue.length t.items
+let is_empty t = Queue.is_empty t.items
+
+(* Returns [true] when the packet was admitted. A packet is dropped when
+   admitting it would exceed the byte capacity (tail drop). *)
+let enqueue t pkt =
+  if t.bytes + pkt.Packet.size > t.capacity then begin
+    t.drops <- t.drops + 1;
+    false
+  end
+  else begin
+    Queue.push pkt t.items;
+    t.bytes <- t.bytes + pkt.Packet.size;
+    t.enqueued <- t.enqueued + 1;
+    true
+  end
+
+let peek t = Queue.peek_opt t.items
+
+let dequeue t =
+  match Queue.take_opt t.items with
+  | None -> None
+  | Some pkt ->
+    t.bytes <- t.bytes - pkt.Packet.size;
+    Some pkt

@@ -1,0 +1,30 @@
+(** Byte-limited droptail FIFO queue (the bottleneck buffer). *)
+
+type t
+
+(** [create ~capacity] makes a queue holding at most [capacity] bytes.
+    Requires [capacity > 0]. *)
+val create : capacity:int -> t
+
+(** Bytes currently queued. *)
+val bytes : t -> int
+
+val capacity : t -> int
+
+(** Packets dropped at the tail so far. *)
+val drops : t -> int
+
+(** Packets admitted so far. *)
+val enqueued : t -> int
+
+(** Packets currently queued. *)
+val length : t -> int
+
+val is_empty : t -> bool
+
+(** [enqueue t pkt] is [true] when admitted, [false] when tail-dropped. *)
+val enqueue : t -> Packet.t -> bool
+
+val peek : t -> Packet.t option
+
+val dequeue : t -> Packet.t option

@@ -1,0 +1,75 @@
+(* Binary min-heap of timed events.
+
+   Events firing at equal times are delivered in insertion order, which a
+   sequence number enforces; this keeps simulations deterministic. *)
+
+type entry = { time : float; seq : int; action : unit -> unit }
+
+type t = {
+  mutable entries : entry array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let dummy = { time = 0.0; seq = 0; action = (fun () -> ()) }
+
+let create () = { entries = Array.make 256 dummy; size = 0; next_seq = 0 }
+
+let size t = t.size
+
+let is_empty t = t.size = 0
+
+let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let grow t =
+  let entries = Array.make (2 * Array.length t.entries) dummy in
+  Array.blit t.entries 0 entries 0 t.size;
+  t.entries <- entries
+
+let push t ~time action =
+  if t.size = Array.length t.entries then grow t;
+  let entry = { time; seq = t.next_seq; action } in
+  t.next_seq <- t.next_seq + 1;
+  (* Sift up. *)
+  let rec up i =
+    if i = 0 then t.entries.(0) <- entry
+    else
+      let parent = (i - 1) / 2 in
+      if before entry t.entries.(parent) then begin
+        t.entries.(i) <- t.entries.(parent);
+        up parent
+      end
+      else t.entries.(i) <- entry
+  in
+  up t.size;
+  t.size <- t.size + 1
+
+let peek_time t = if t.size = 0 then None else Some t.entries.(0).time
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let top = t.entries.(0) in
+    t.size <- t.size - 1;
+    let last = t.entries.(t.size) in
+    t.entries.(t.size) <- dummy;
+    if t.size > 0 then begin
+      (* Sift down. *)
+      let rec down i =
+        let l = (2 * i) + 1 and r = (2 * i) + 2 in
+        let smallest = ref i and holder = ref last in
+        if l < t.size && before t.entries.(l) !holder then begin
+          smallest := l;
+          holder := t.entries.(l)
+        end;
+        if r < t.size && before t.entries.(r) !holder then smallest := r;
+        if !smallest = i then t.entries.(i) <- last
+        else begin
+          t.entries.(i) <- t.entries.(!smallest);
+          down !smallest
+        end
+      in
+      down 0
+    end;
+    Some (top.time, top.action)
+  end

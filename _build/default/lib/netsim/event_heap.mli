@@ -1,0 +1,22 @@
+(** Binary min-heap of timed events with FIFO tie-breaking.
+
+    Events scheduled for the same instant fire in insertion order, which
+    keeps simulations deterministic. *)
+
+type t
+
+val create : unit -> t
+
+(** Number of pending events. *)
+val size : t -> int
+
+val is_empty : t -> bool
+
+(** [push t ~time action] schedules [action] at [time]. *)
+val push : t -> time:float -> (unit -> unit) -> unit
+
+(** Earliest scheduled time, if any. *)
+val peek_time : t -> float option
+
+(** Remove and return the earliest event. *)
+val pop : t -> (float * (unit -> unit)) option

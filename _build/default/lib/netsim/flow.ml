@@ -1,0 +1,199 @@
+(* A sending endpoint and its (implicit) receiver.
+
+   The sender paces packets at the CCA's [pacing_rate], capped by its
+   [cwnd]. Because the bottleneck queue is FIFO, a flow's packets cannot
+   be reordered: when an ACK arrives for sequence s, every outstanding
+   sequence below s was dropped, which gives exact gap-based loss
+   detection. A retransmission timeout covers tail losses (no ACKs at
+   all). Lost data is not retransmitted -- flows model infinite sources
+   and we measure delivered goodput, as the paper's emulation does. *)
+
+type outstanding = {
+  seq : int;
+  sent_at : float;
+  size : int;
+  delivered_at_send : int;
+}
+
+type t = {
+  id : int;
+  sim : Sim.t;
+  cca : Cca.t;
+  mutable link : Link.t option;
+  return_delay : float;  (* link egress -> receiver -> ACK at sender *)
+  start_at : float;
+  stop_at : float;
+  pkt_size : int;
+  stats : Flow_stats.t;
+  rtt : Cca.Rtt_tracker.tracker;
+  out : outstanding Queue.t;
+  mutable next_seq : int;
+  mutable inflight : int;
+  mutable delivered_bytes : int;
+  mutable send_version : int;  (* invalidates stale pacing events *)
+  mutable next_send_not_before : float;
+  mutable rto_version : int;
+  mutable finished : bool;
+}
+
+let min_pacing = 750.0 (* bytes/s: half a packet per second floor *)
+
+let create ~sim ~id ~cca ~return_delay ~start_at ~stop_at ?(pkt_size = Units.mtu)
+    ?(stats_bin = 0.01) () =
+  {
+    id;
+    sim;
+    cca;
+    link = None;
+    return_delay;
+    start_at;
+    stop_at;
+    pkt_size;
+    stats = Flow_stats.create ~bin:stats_bin ();
+    rtt = Cca.Rtt_tracker.create ();
+    out = Queue.create ();
+    next_seq = 0;
+    inflight = 0;
+    delivered_bytes = 0;
+    send_version = 0;
+    next_send_not_before = 0.0;
+    rto_version = 0;
+    finished = false;
+  }
+
+let id t = t.id
+let stats t = t.stats
+let cca t = t.cca
+let inflight t = t.inflight
+let sent_pkts t = t.next_seq
+
+let running t now = (not t.finished) && now >= t.start_at && now < t.stop_at
+
+let rto_timeout t =
+  if Cca.Rtt_tracker.samples t.rtt = 0 then 1.0
+  else
+    Float.max 0.2
+      (Cca.Rtt_tracker.srtt t.rtt +. (4.0 *. Cca.Rtt_tracker.rttvar t.rtt))
+
+let rec arm_rto t =
+  t.rto_version <- t.rto_version + 1;
+  let v = t.rto_version in
+  let timeout = rto_timeout t in
+  Sim.after t.sim timeout (fun () -> fire_rto t v)
+
+and fire_rto t v =
+  if v = t.rto_version && t.inflight > 0 && not t.finished then begin
+    let now = Sim.now t.sim in
+    let lost = Queue.length t.out in
+    Queue.clear t.out;
+    t.inflight <- 0;
+    Flow_stats.record_loss t.stats ~now ~pkts:lost;
+    t.cca.Cca.on_loss { now; lost; kind = Cca.Timeout; inflight = 0 };
+    schedule_send t now
+  end
+
+and schedule_send t at =
+  t.send_version <- t.send_version + 1;
+  let v = t.send_version in
+  let at = Float.max at (Sim.now t.sim) in
+  Sim.at t.sim at (fun () -> try_send t v)
+
+and try_send t v =
+  if v = t.send_version && not t.finished then begin
+    let now = Sim.now t.sim in
+    if now >= t.stop_at then ()
+    else if now < t.start_at then schedule_send t t.start_at
+    else if now < t.next_send_not_before then schedule_send t t.next_send_not_before
+    else begin
+      let cwnd = Float.max 1.0 (t.cca.Cca.cwnd ~now) in
+      if float_of_int t.inflight < cwnd then begin
+        send_packet t now;
+        let rate = Float.max min_pacing (t.cca.Cca.pacing_rate ~now) in
+        t.next_send_not_before <- now +. (float_of_int t.pkt_size /. rate);
+        schedule_send t t.next_send_not_before
+      end
+      (* else: window-blocked; an ACK (or RTO) will reschedule us. *)
+    end
+  end
+
+and send_packet t now =
+  match t.link with
+  | None -> invalid_arg "Flow.send_packet: flow not attached to a link"
+  | Some link ->
+    let seq = t.next_seq in
+    t.next_seq <- seq + 1;
+    let pkt =
+      {
+        Packet.flow = t.id;
+        seq;
+        size = t.pkt_size;
+        sent_at = now;
+        delivered_at_send = t.delivered_bytes;
+      }
+    in
+    Queue.push
+      { seq; sent_at = now; size = t.pkt_size; delivered_at_send = t.delivered_bytes }
+      t.out;
+    t.inflight <- t.inflight + 1;
+    Flow_stats.record_send t.stats ~now ~bytes:t.pkt_size;
+    t.cca.Cca.on_send { now; seq; size = t.pkt_size; inflight = t.inflight };
+    Link.send link pkt;
+    arm_rto t
+
+(* Called (via the network) when the receiver's ACK reaches the sender. *)
+let handle_ack t (pkt : Packet.t) =
+  if not t.finished then begin
+    let now = Sim.now t.sim in
+    (* Declare every outstanding packet older than [pkt] lost. *)
+    let lost = ref 0 in
+    let rec drop_older () =
+      match Queue.peek_opt t.out with
+      | Some o when o.seq < pkt.seq ->
+        ignore (Queue.pop t.out);
+        incr lost;
+        drop_older ()
+      | Some _ | None -> ()
+    in
+    drop_older ();
+    match Queue.peek_opt t.out with
+    | Some o when o.seq = pkt.seq ->
+      ignore (Queue.pop t.out);
+      t.inflight <- t.inflight - !lost - 1;
+      let rtt = now -. o.sent_at in
+      t.delivered_bytes <- t.delivered_bytes + o.size;
+      Cca.Rtt_tracker.observe t.rtt rtt;
+      Flow_stats.record_delivery t.stats ~now ~bytes:o.size ~rtt;
+      if !lost > 0 then begin
+        Flow_stats.record_loss t.stats ~now ~pkts:!lost;
+        t.cca.Cca.on_loss
+          { now; lost = !lost; kind = Cca.Gap_detected; inflight = t.inflight }
+      end;
+      let elapsed = Float.max 1e-9 (now -. o.sent_at) in
+      let rate_sample =
+        float_of_int (t.delivered_bytes - o.delivered_at_send) /. elapsed
+      in
+      t.cca.Cca.on_ack
+        {
+          now;
+          seq = o.seq;
+          rtt;
+          acked_bytes = o.size;
+          inflight = t.inflight;
+          delivered_bytes = t.delivered_bytes;
+          rate_sample;
+          newly_lost = !lost;
+        };
+      arm_rto t;
+      (* The window may have opened or the rate risen: re-evaluate. *)
+      schedule_send t now
+    | Some _ | None ->
+      (* Stale ACK for a packet already written off by an RTO. *)
+      t.inflight <- max 0 (t.inflight - !lost)
+  end
+
+let attach t link = t.link <- Some link
+
+let start t =
+  Sim.at t.sim t.start_at (fun () -> schedule_send t t.start_at)
+
+let finish t = t.finished <- true

@@ -1,0 +1,51 @@
+(** A sending endpoint (with implicit receiver) driven by a {!Cca.t}.
+
+    Senders pace packets at the CCA's rate, capped by its window. Loss
+    is detected exactly from sequence gaps (the bottleneck is FIFO) plus
+    a retransmission timeout for tail losses. Lost data is not
+    retransmitted: flows model infinite sources and goodput is what is
+    measured, as in the paper's emulation. *)
+
+type t
+
+(** [create ~sim ~id ~cca ~return_delay ~start_at ~stop_at ()] builds a
+    flow. [return_delay] is the fixed latency from bottleneck egress to
+    the ACK arriving back at the sender (i.e. the propagation part of
+    the RTT). *)
+val create :
+  sim:Sim.t ->
+  id:int ->
+  cca:Cca.t ->
+  return_delay:float ->
+  start_at:float ->
+  stop_at:float ->
+  ?pkt_size:int ->
+  ?stats_bin:float ->
+  unit ->
+  t
+
+val id : t -> int
+val stats : t -> Flow_stats.t
+val cca : t -> Cca.t
+
+(** Packets currently in flight. *)
+val inflight : t -> int
+
+(** Total packets sent so far. *)
+val sent_pkts : t -> int
+
+(** Whether the flow is active at [now]. *)
+val running : t -> float -> bool
+
+(** Attach the flow to the link it injects into. Must be called before
+    the simulation starts. *)
+val attach : t -> Link.t -> unit
+
+(** Process the ACK for [pkt] arriving at the sender now. *)
+val handle_ack : t -> Packet.t -> unit
+
+(** Schedule the flow's first transmission at its start time. *)
+val start : t -> unit
+
+(** Permanently silence the flow. *)
+val finish : t -> unit

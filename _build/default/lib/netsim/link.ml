@@ -1,0 +1,121 @@
+(* The shared bottleneck link: a droptail buffer drained by a server
+   whose rate may vary over time (trace-driven), plus optional Bernoulli
+   stochastic loss at ingress.
+
+   The serialization time of the packet at the head of the queue is
+   computed from the instantaneous rate when its transmission starts;
+   variable-rate traces are piecewise constant at a fine grain, so this
+   per-packet sampling tracks the trace closely. When the instantaneous
+   rate is (near) zero -- cellular outage -- the server retries at the
+   trace grain. *)
+
+type qdisc = Fifo of Droptail.t | Codel_q of Codel.t
+
+type t = {
+  sim : Sim.t;
+  rate_fn : float -> float;  (* time -> bytes/s *)
+  grain : float;  (* retry interval when the rate is zero *)
+  queue : qdisc;
+  loss_p : float;
+  rng : Rng.t;
+  deliver : Packet.t -> unit;  (* invoked when a packet finishes service *)
+  mutable busy : bool;
+  mutable delivered_bytes : int;
+  mutable delivered_pkts : int;
+  mutable random_drops : int;
+  mutable queue_delay_sum : float;
+  mutable queue_delay_samples : int;
+}
+
+let min_rate = 1.0 (* bytes/s; below this the link is treated as stalled *)
+
+let create ?(aqm = `Fifo) ~sim ~rate_fn ~grain ~buffer_bytes ~loss_p ~rng ~deliver () =
+  {
+    sim;
+    rate_fn;
+    grain;
+    queue =
+      (match aqm with
+      | `Fifo -> Fifo (Droptail.create ~capacity:buffer_bytes)
+      | `Codel -> Codel_q (Codel.create ~capacity:buffer_bytes ()));
+    loss_p;
+    rng;
+    deliver;
+    busy = false;
+    delivered_bytes = 0;
+    delivered_pkts = 0;
+    random_drops = 0;
+    queue_delay_sum = 0.0;
+    queue_delay_samples = 0;
+  }
+
+let queue_bytes t =
+  match t.queue with Fifo q -> Droptail.bytes q | Codel_q q -> Codel.bytes q
+
+let queue_drops t =
+  match t.queue with Fifo q -> Droptail.drops q | Codel_q q -> Codel.drops q
+
+let queue_is_empty t =
+  match t.queue with Fifo q -> Droptail.is_empty q | Codel_q q -> Codel.is_empty q
+
+let delivered_bytes t = t.delivered_bytes
+let delivered_pkts t = t.delivered_pkts
+let random_drops t = t.random_drops
+let rate_at t time = t.rate_fn time
+
+let mean_queue_delay t =
+  if t.queue_delay_samples = 0 then 0.0
+  else t.queue_delay_sum /. float_of_int t.queue_delay_samples
+
+let peek t =
+  match t.queue with Fifo q -> Droptail.peek q | Codel_q q -> Codel.peek q
+
+let dequeue t ~now =
+  match t.queue with
+  | Fifo q -> Droptail.dequeue q
+  | Codel_q q -> Codel.dequeue q ~now
+
+let rec start_service t =
+  match peek t with
+  | None -> t.busy <- false
+  | Some pkt ->
+    t.busy <- true;
+    let now = Sim.now t.sim in
+    let rate = t.rate_fn now in
+    if rate < min_rate then
+      (* Outage: look again one grain later. *)
+      Sim.after t.sim t.grain (fun () -> start_service t)
+    else begin
+      let tx_time = float_of_int pkt.Packet.size /. rate in
+      Sim.after t.sim tx_time (fun () -> finish_service t)
+    end
+
+and finish_service t =
+  match dequeue t ~now:(Sim.now t.sim) with
+  | None -> t.busy <- false
+  | Some pkt ->
+    t.delivered_bytes <- t.delivered_bytes + pkt.Packet.size;
+    t.delivered_pkts <- t.delivered_pkts + 1;
+    t.deliver pkt;
+    start_service t
+
+(* Admit a packet: Bernoulli stochastic loss first, then droptail. *)
+let send t pkt =
+  if t.loss_p > 0.0 && Rng.bool t.rng ~p:t.loss_p then
+    t.random_drops <- t.random_drops + 1
+  else begin
+    let now = Sim.now t.sim in
+    let admitted =
+      match t.queue with
+      | Fifo q -> Droptail.enqueue q pkt
+      | Codel_q q -> Codel.enqueue q pkt ~now
+    in
+    if admitted then begin
+      (* Track queueing delay via the backlog at admission. *)
+      let rate = Float.max min_rate (t.rate_fn now) in
+      t.queue_delay_sum <-
+        t.queue_delay_sum +. (float_of_int (queue_bytes t) /. rate);
+      t.queue_delay_samples <- t.queue_delay_samples + 1;
+      if not t.busy then start_service t
+    end
+  end

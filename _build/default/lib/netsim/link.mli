@@ -1,0 +1,45 @@
+(** Shared bottleneck link: droptail buffer + time-varying-rate server +
+    optional Bernoulli stochastic loss at ingress. *)
+
+type t
+
+(** [create ~sim ~rate_fn ~grain ~buffer_bytes ~loss_p ~rng ~deliver]
+    builds a link whose service rate at time [now] is [rate_fn now]
+    (bytes/s). When the rate is (near) zero the server retries every
+    [grain] seconds. [deliver] fires when a packet finishes service. *)
+val create :
+  ?aqm:[ `Fifo | `Codel ] ->
+  sim:Sim.t ->
+  rate_fn:(float -> float) ->
+  grain:float ->
+  buffer_bytes:int ->
+  loss_p:float ->
+  rng:Rng.t ->
+  deliver:(Packet.t -> unit) ->
+  unit ->
+  t
+
+(** Inject a packet at the link ingress. *)
+val send : t -> Packet.t -> unit
+
+(** Bytes currently queued at the bottleneck. *)
+val queue_bytes : t -> int
+
+(** Packets dropped by the queue (tail drop or CoDel). *)
+val queue_drops : t -> int
+
+val queue_is_empty : t -> bool
+
+(** Total bytes that completed service. *)
+val delivered_bytes : t -> int
+
+val delivered_pkts : t -> int
+
+(** Packets dropped by the stochastic-loss process (not droptail). *)
+val random_drops : t -> int
+
+(** Instantaneous service rate at [time], bytes/s. *)
+val rate_at : t -> float -> float
+
+(** Mean queueing delay experienced at admission, seconds. *)
+val mean_queue_delay : t -> float

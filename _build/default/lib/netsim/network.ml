@@ -1,0 +1,97 @@
+(* Dumbbell assembly: n flows share one bottleneck link.
+
+   This is the topology behind every experiment in the paper (Mahimahi
+   emulates exactly this shape: one trace-driven bottleneck with a
+   droptail buffer and a fixed propagation delay). *)
+
+type link_cfg = {
+  rate_fn : float -> float;  (* time -> bytes/s *)
+  grain : float;
+  buffer_bytes : int;
+  loss_p : float;
+  aqm : [ `Fifo | `Codel ];
+}
+
+type flow_cfg = {
+  cca : Cca.t;
+  start_at : float;
+  stop_at : float;
+  rtt : float;  (* two-way propagation delay, seconds *)
+}
+
+type result = { flow_id : int; cca_name : string; stats : Flow_stats.t }
+
+type summary = {
+  flows : result list;
+  link_delivered_bytes : int;
+  capacity_bytes : float;  (* integral of the rate over the run *)
+  queue_drops : int;
+  random_drops : int;
+  duration : float;
+}
+
+(* Integral of the (piecewise-constant) rate function over [0, duration],
+   sampled at the trace grain. *)
+let capacity_integral ~rate_fn ~grain ~duration =
+  let steps = int_of_float (ceil (duration /. grain)) in
+  let acc = ref 0.0 in
+  for i = 0 to steps - 1 do
+    let t0 = float_of_int i *. grain in
+    let t1 = Float.min duration (t0 +. grain) in
+    acc := !acc +. (rate_fn t0 *. (t1 -. t0))
+  done;
+  !acc
+
+let run ?(seed = 42) ?(stats_bin = 0.01) ~link ~flows ~duration () =
+  let sim = Sim.create () in
+  let rng = Rng.create seed in
+  let flow_arr =
+    List.mapi
+      (fun i (cfg : flow_cfg) ->
+        Flow.create ~sim ~id:i ~cca:cfg.cca ~return_delay:cfg.rtt
+          ~start_at:cfg.start_at ~stop_at:cfg.stop_at ~stats_bin ())
+      flows
+    |> Array.of_list
+  in
+  let rtts = Array.of_list (List.map (fun (cfg : flow_cfg) -> cfg.rtt) flows) in
+  let deliver (pkt : Packet.t) =
+    let flow = flow_arr.(pkt.Packet.flow) in
+    Sim.after sim rtts.(pkt.Packet.flow) (fun () -> Flow.handle_ack flow pkt)
+  in
+  let the_link =
+    Link.create ~aqm:link.aqm ~sim ~rate_fn:link.rate_fn ~grain:link.grain
+      ~buffer_bytes:link.buffer_bytes ~loss_p:link.loss_p ~rng ~deliver ()
+  in
+  Array.iter
+    (fun f ->
+      Flow.attach f the_link;
+      Flow.start f)
+    flow_arr;
+  Sim.run sim ~until:duration;
+  Array.iter Flow.finish flow_arr;
+  let results =
+    Array.to_list flow_arr
+    |> List.map (fun f ->
+           {
+             flow_id = Flow.id f;
+             cca_name = (Flow.cca f).Cca.name;
+             stats = Flow.stats f;
+           })
+  in
+  {
+    flows = results;
+    link_delivered_bytes = Link.delivered_bytes the_link;
+    capacity_bytes =
+      capacity_integral ~rate_fn:link.rate_fn ~grain:link.grain ~duration;
+    queue_drops = Link.queue_drops the_link;
+    random_drops = Link.random_drops the_link;
+    duration;
+  }
+
+(* Overall link utilization: bytes that crossed the bottleneck divided by
+   the bytes the link could have carried. *)
+let utilization summary =
+  if summary.capacity_bytes <= 0.0 then 0.0
+  else
+    Float.min 1.0
+      (float_of_int summary.link_delivered_bytes /. summary.capacity_bytes)

@@ -1,0 +1,47 @@
+(** Dumbbell topology: n flows over one bottleneck link.
+
+    Measured RTT = configured propagation RTT + queueing + serialization,
+    so the configured value is the "minimum RTT" of the paper's setups. *)
+
+type link_cfg = {
+  rate_fn : float -> float;  (** time -> bytes/s *)
+  grain : float;  (** trace granularity / outage retry, seconds *)
+  buffer_bytes : int;
+  loss_p : float;  (** Bernoulli stochastic loss probability *)
+  aqm : [ `Fifo | `Codel ];  (** queue discipline at the bottleneck *)
+}
+
+type flow_cfg = {
+  cca : Cca.t;
+  start_at : float;
+  stop_at : float;
+  rtt : float;  (** two-way propagation delay, seconds *)
+}
+
+type result = { flow_id : int; cca_name : string; stats : Flow_stats.t }
+
+type summary = {
+  flows : result list;
+  link_delivered_bytes : int;
+  capacity_bytes : float;
+  queue_drops : int;
+  random_drops : int;
+  duration : float;
+}
+
+(** Integral of the rate function over [0, duration] (bytes). *)
+val capacity_integral : rate_fn:(float -> float) -> grain:float -> duration:float -> float
+
+(** Run the scenario to completion and return per-flow and link
+    aggregates. [seed] drives the stochastic loss process. *)
+val run :
+  ?seed:int ->
+  ?stats_bin:float ->
+  link:link_cfg ->
+  flows:flow_cfg list ->
+  duration:float ->
+  unit ->
+  summary
+
+(** Bottleneck bytes delivered / bytes the link could have carried. *)
+val utilization : summary -> float

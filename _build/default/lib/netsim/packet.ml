@@ -1,0 +1,13 @@
+(* A data packet traversing the network.
+
+   [delivered_at_send] snapshots the sender's cumulative delivered byte
+   count when the packet left, which yields per-ACK delivery-rate samples
+   in the style of BBR's rate estimator. *)
+
+type t = {
+  flow : int;
+  seq : int;
+  size : int;
+  sent_at : float;
+  delivered_at_send : int;
+}

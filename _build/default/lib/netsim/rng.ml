@@ -1,0 +1,47 @@
+(* Deterministic splitmix64 PRNG.
+
+   Every stochastic component of the simulator draws from an explicit
+   [Rng.t] so that a run is fully reproducible from its seed, and
+   repeated-trial experiments can vary the seed alone. *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(* Uniform float in [0, 1). Uses the top 53 bits of the state. *)
+let float t =
+  let bits = Int64.shift_right_logical (next_int64 t) 11 in
+  Int64.to_float bits *. (1.0 /. 9007199254740992.0)
+
+let uniform t ~lo ~hi =
+  assert (hi >= lo);
+  lo +. ((hi -. lo) *. float t)
+
+let int t bound =
+  assert (bound > 0);
+  int_of_float (float t *. float_of_int bound)
+
+let bool t ~p = float t < p
+
+(* Standard normal via Box-Muller. *)
+let normal t =
+  let u1 = max 1e-12 (float t) in
+  let u2 = float t in
+  sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2)
+
+let gaussian t ~mu ~sigma = mu +. (sigma *. normal t)
+
+let exponential t ~mean =
+  let u = max 1e-12 (float t) in
+  -.mean *. log u
+
+let split t = create (Int64.to_int (next_int64 t))

@@ -1,0 +1,39 @@
+(* Simulation clock and event loop. *)
+
+type t = {
+  heap : Event_heap.t;
+  mutable now : float;
+  mutable stopped : bool;
+}
+
+let create () = { heap = Event_heap.create (); now = 0.0; stopped = false }
+
+let now t = t.now
+
+let at t time action =
+  assert (time >= t.now);
+  Event_heap.push t.heap ~time action
+
+let after t delay action = at t (t.now +. delay) action
+
+let stop t = t.stopped <- true
+
+let run t ~until =
+  let rec loop () =
+    if t.stopped then ()
+    else
+      match Event_heap.pop t.heap with
+      | None -> ()
+      | Some (time, action) ->
+        if time > until then begin
+          (* Put the horizon where we stopped looking. *)
+          t.now <- until
+        end
+        else begin
+          t.now <- time;
+          action ();
+          loop ()
+        end
+  in
+  loop ();
+  if t.now < until then t.now <- until

@@ -1,0 +1,22 @@
+(** Discrete-event simulation clock and scheduler. *)
+
+type t
+
+val create : unit -> t
+
+(** Current simulation time in seconds. *)
+val now : t -> float
+
+(** [at t time action] schedules [action] at absolute [time]. Requires
+    [time >= now t]. *)
+val at : t -> float -> (unit -> unit) -> unit
+
+(** [after t delay action] schedules [action] at [now t +. delay]. *)
+val after : t -> float -> (unit -> unit) -> unit
+
+(** Abort the event loop after the current event. *)
+val stop : t -> unit
+
+(** [run t ~until] processes events in time order until the queue is
+    empty or the horizon is reached; the clock finishes at [until]. *)
+val run : t -> until:float -> unit

@@ -1,0 +1,42 @@
+(* Sequence-tagged measurement windows.
+
+   A rate controller that tries candidate rates in consecutive
+   intervals must attribute each ACK to the interval whose rate
+   produced the packet -- ACKs arrive one RTT late, so attributing by
+   arrival time systematically scores one rate with another rate's
+   behaviour. The tagger records the first sequence number sent under
+   each label and routes ACKs to per-label monitors exactly.
+
+   Used by PCC Vivace/Proteus and by Libra's three-stage controller. *)
+
+type 'label t = {
+  boundaries : (int * 'label) Queue.t;
+  mutable pending : 'label option;
+  mutable current : 'label;
+}
+
+let create ~initial = { boundaries = Queue.create (); pending = None; current = initial }
+
+(* The next packet sent starts the window [label]. *)
+let mark t label = t.pending <- Some label
+
+(* Feed a send event; consumes a pending mark. *)
+let on_send t ~seq =
+  match t.pending with
+  | Some label ->
+    Queue.push (seq, label) t.boundaries;
+    t.pending <- None
+  | None -> ()
+
+(* Label for the window the acknowledged packet was sent in. *)
+let on_ack t ~seq =
+  let rec catch_up () =
+    match Queue.peek_opt t.boundaries with
+    | Some (first_seq, label) when seq >= first_seq ->
+      ignore (Queue.pop t.boundaries);
+      t.current <- label;
+      catch_up ()
+    | Some _ | None -> ()
+  in
+  catch_up ();
+  t.current

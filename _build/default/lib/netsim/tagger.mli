@@ -1,0 +1,20 @@
+(** Sequence-tagged measurement windows.
+
+    A controller trying candidate rates in consecutive intervals must
+    attribute each ACK to the interval whose rate *sent* the packet;
+    ACKs lag one RTT, so attributing by arrival time scores one rate
+    with another's behaviour. The tagger records the first sequence
+    number sent under each label and resolves ACKs exactly. *)
+
+type 'label t
+
+val create : initial:'label -> 'label t
+
+(** The next packet sent starts the window [label]. *)
+val mark : 'label t -> 'label -> unit
+
+(** Feed a send event; consumes a pending mark. *)
+val on_send : 'label t -> seq:int -> unit
+
+(** Label of the window the acknowledged packet was sent in. *)
+val on_ack : 'label t -> seq:int -> 'label

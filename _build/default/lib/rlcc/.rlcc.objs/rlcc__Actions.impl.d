@@ -1,0 +1,1 @@
+lib/rlcc/actions.ml: Float Printf

@@ -1,0 +1,1 @@
+lib/rlcc/agent.ml: Actions Features Float Netsim Ppo

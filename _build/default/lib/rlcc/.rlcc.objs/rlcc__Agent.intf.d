@@ -1,0 +1,1 @@
+lib/rlcc/agent.mli: Actions Features Netsim Ppo

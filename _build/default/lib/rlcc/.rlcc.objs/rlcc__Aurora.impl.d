@@ -1,0 +1,1 @@
+lib/rlcc/aurora.ml: Actions Agent Features Float Netsim Pretrained Train

@@ -1,0 +1,1 @@
+lib/rlcc/aurora.mli: Agent Netsim

@@ -1,0 +1,1 @@
+lib/rlcc/env.ml: Features Float Netsim

@@ -1,0 +1,1 @@
+lib/rlcc/env.mli: Features Netsim

@@ -1,0 +1,1 @@
+lib/rlcc/features.ml: Array Float List

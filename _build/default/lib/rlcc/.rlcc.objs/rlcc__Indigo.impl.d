@@ -1,0 +1,1 @@
+lib/rlcc/indigo.ml: Float Netsim

@@ -1,0 +1,1 @@
+lib/rlcc/mod_rl.ml: Actions Agent Aurora Features Pretrained Train

@@ -1,0 +1,1 @@
+lib/rlcc/mod_rl.mli: Netsim

@@ -1,0 +1,1 @@
+lib/rlcc/nn.ml: Array Float List Netsim

@@ -1,0 +1,1 @@
+lib/rlcc/orca.ml: Actions Agent Aurora Classic_cc Features Float Netsim Pretrained Train

@@ -1,0 +1,1 @@
+lib/rlcc/orca.mli: Netsim

@@ -1,0 +1,1 @@
+lib/rlcc/ppo.ml: Adam Array Float Netsim Nn

@@ -1,0 +1,1 @@
+lib/rlcc/ppo.mli: Adam Netsim Nn

@@ -1,0 +1,1 @@
+lib/rlcc/pretrained.ml: Actions Env Features Hashtbl Printf Reward Train

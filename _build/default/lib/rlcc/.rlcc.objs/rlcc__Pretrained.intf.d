@@ -1,0 +1,1 @@
+lib/rlcc/pretrained.mli: Train

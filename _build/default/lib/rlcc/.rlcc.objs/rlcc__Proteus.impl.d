@@ -1,0 +1,1 @@
+lib/rlcc/proteus.ml: Vivace

@@ -1,0 +1,1 @@
+lib/rlcc/remy.ml: Float Netsim

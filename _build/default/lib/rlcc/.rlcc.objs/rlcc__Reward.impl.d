@@ -1,0 +1,1 @@
+lib/rlcc/reward.ml: Features Float

@@ -1,0 +1,1 @@
+lib/rlcc/train.ml: Actions Array Env Features List Netsim Ppo Reward

@@ -1,0 +1,1 @@
+lib/rlcc/train.mli: Actions Env Features Ppo Reward

@@ -1,0 +1,1 @@
+lib/rlcc/vivace.ml: Actions Aurora Float Hashtbl Netsim Queue

@@ -1,0 +1,45 @@
+(* Action-space design (paper Sec. 4.2, Fig. 6).
+
+   AIAD adds/subtracts packets-per-RTT; MIMD multiplies the rate.
+   Aurora's MIMD uses a small step factor delta; Orca's uses 2^a with
+   a in [-2, 2]. *)
+
+type mode =
+  | Aiad of float  (* scale: a in [-scale, scale] packets/RTT *)
+  | Mimd_aurora of float  (* scale; delta = 0.025 *)
+  | Mimd_orca  (* x * 2^a, a in [-2, 2] *)
+
+let delta = 0.025
+
+let name = function
+  | Aiad s -> Printf.sprintf "AIAD(scale=%g)" s
+  | Mimd_aurora s -> Printf.sprintf "MIMD(scale=%g)" s
+  | Mimd_orca -> "MIMD(2^a)"
+
+let bound = function Aiad s -> s | Mimd_aurora s -> s | Mimd_orca -> 2.0
+
+let clamp mode a =
+  let b = bound mode in
+  Float.min b (Float.max (-.b) a)
+
+(* Hard rate ceiling: MIMD growth compounds (up to 4x per monitor
+   interval), so without a cap a mis-trained policy's rate -- and with
+   it the window, the in-flight set and the event queue -- explodes
+   exponentially. 500 Mbit/s is 2.5x the top of the paper's training
+   and evaluation range. *)
+let max_rate = 500.0 *. 1_000_000.0 /. 8.0
+
+(* [apply mode ~rate ~min_rtt ~mss a] maps a raw policy output to the
+   next sending rate in bytes/s. *)
+let apply mode ~rate ~min_rtt ~mss a =
+  let a = clamp mode a in
+  let next =
+    match mode with
+    | Aiad _ ->
+      (* One action unit = one packet per RTT. *)
+      rate +. (a *. float_of_int mss /. Float.max 1e-3 min_rtt)
+    | Mimd_aurora _ ->
+      if a >= 0.0 then rate *. (1.0 +. (delta *. a)) else rate /. (1.0 -. (delta *. a))
+    | Mimd_orca -> rate *. (2.0 ** a)
+  in
+  Float.min max_rate (Float.max 1500.0 next)

@@ -1,0 +1,25 @@
+(** Action-space design (paper Sec. 4.2, Fig. 6): AIAD adds packets per
+    RTT; MIMD multiplies the rate (Aurora's small-delta form or Orca's
+    2^a). *)
+
+type mode =
+  | Aiad of float  (** scale: a in [-scale, scale] packets/RTT *)
+  | Mimd_aurora of float  (** scale; step factor delta = 0.025 *)
+  | Mimd_orca  (** x * 2^a, a in [-2, 2] *)
+
+val delta : float
+val name : mode -> string
+
+(** The action bound for a mode. *)
+val bound : mode -> float
+
+val clamp : mode -> float -> float
+
+(** Hard rate ceiling (500 Mbit/s in bytes/s): MIMD growth compounds,
+    so an unchecked mis-trained policy would explode the rate, the
+    window and the event queue exponentially. *)
+val max_rate : float
+
+(** Map a raw policy output to the next rate in bytes/s, clamped to
+    [1500, max_rate]. *)
+val apply : mode -> rate:float -> min_rtt:float -> mss:int -> float -> float

@@ -1,0 +1,9 @@
+(** Adam optimiser (Kingma & Ba 2015) over a flat parameter vector. *)
+
+type t
+
+(** [create n] holds first/second-moment state for [n] parameters. *)
+val create : ?lr:float -> ?beta1:float -> ?beta2:float -> ?eps:float -> int -> t
+
+(** One bias-corrected update step; [params] is modified in place. *)
+val step : t -> params:float array -> grads:float array -> unit

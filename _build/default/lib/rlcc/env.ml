@@ -1,0 +1,153 @@
+(* Fluid single-bottleneck training environment.
+
+   PPO training needs hundreds of thousands of monitor-interval steps;
+   simulating each one packet-by-packet would dominate the repository's
+   runtime. During one MI the queue of a droptail bottleneck follows
+   q' = q + (x_admitted - C) dt with overflow loss above the buffer --
+   exactly the dynamics that the reward function (throughput, delay,
+   loss) observes -- so a fluid integration at sub-MI resolution
+   preserves the training signal while running ~1000x faster. Trained
+   policies are then *evaluated* on the packet-level simulator. *)
+
+type cfg = {
+  capacity : float;  (* bytes/s *)
+  min_rtt : float;
+  buffer : float;  (* bytes *)
+  loss_p : float;
+  mi_of_rtt : float;  (* monitor interval as a fraction of min RTT *)
+  change_p : float;  (* per-step probability of a capacity change *)
+}
+
+let default_cfg =
+  {
+    capacity = Netsim.Units.mbps_to_bps 100.0;
+    min_rtt = 0.1;
+    buffer = Netsim.Units.mbps_to_bps 100.0 *. 0.1;  (* 1 BDP *)
+    loss_p = 0.0;
+    mi_of_rtt = 1.0;
+    change_p = 0.0;
+  }
+
+(* The paper's training distribution: capacity 10-200 Mbit/s, RTT
+   10-200 ms, buffer 10 KB-5 MB, stochastic loss 0-10%. Capacity is
+   sampled log-uniformly so the low-bandwidth links -- where an
+   over-aggressive policy is most destructive -- are as well
+   represented as the fast ones. *)
+let random_cfg rng =
+  let capacity =
+    Netsim.Units.mbps_to_bps
+      (exp (Netsim.Rng.uniform rng ~lo:(log 10.0) ~hi:(log 200.0)))
+  in
+  {
+    capacity;
+    min_rtt = Netsim.Rng.uniform rng ~lo:0.01 ~hi:0.2;
+    buffer = Netsim.Rng.uniform rng ~lo:10_000.0 ~hi:5_000_000.0;
+    loss_p = (if Netsim.Rng.bool rng ~p:0.3 then Netsim.Rng.uniform rng ~lo:0.0 ~hi:0.1 else 0.0);
+    mi_of_rtt = 1.0;
+    change_p = 0.02;
+  }
+
+type t = {
+  rng : Netsim.Rng.t;
+  mutable cfg : cfg;
+  mutable queue : float;  (* bytes *)
+  mutable rate_norm : float;
+  mutable min_rtt_seen : float;
+  mutable ack_gap : float;
+  mutable send_gap : float;
+  mutable prev_rtt : float;
+  mutable time : float;
+}
+
+let mss = float_of_int Netsim.Units.mtu
+
+let create ?(seed = 5) cfg =
+  {
+    rng = Netsim.Rng.create seed;
+    cfg;
+    queue = 0.0;
+    rate_norm = cfg.capacity /. 4.0;
+    min_rtt_seen = cfg.min_rtt;
+    ack_gap = 0.0;
+    send_gap = 0.0;
+    prev_rtt = cfg.min_rtt;
+    time = 0.0;
+  }
+
+(* Note: [rate_norm] is the historical x_max of Alg. 2 and deliberately
+   survives resets -- within one episode throughput/x_max must stay
+   monotone in throughput, or the agent sees no reward gradient toward
+   higher rates once it touches its own record. *)
+let reset t cfg =
+  t.cfg <- cfg;
+  t.queue <- 0.0;
+  t.rate_norm <- Float.max t.rate_norm (cfg.capacity /. 4.0);
+  t.min_rtt_seen <- cfg.min_rtt;
+  t.ack_gap <- 0.0;
+  t.send_gap <- 0.0;
+  t.prev_rtt <- cfg.min_rtt;
+  t.time <- 0.0
+
+let mi_duration t = t.cfg.mi_of_rtt *. t.cfg.min_rtt
+
+let capacity t = t.cfg.capacity
+
+(* Simulate one monitor interval at sending rate [rate]; returns the
+   observation summarising it. *)
+let step t ~rate =
+  (* Occasional capacity jump (training-time network dynamics). *)
+  if t.cfg.change_p > 0.0 && Netsim.Rng.bool t.rng ~p:t.cfg.change_p then begin
+    let factor = Netsim.Rng.uniform t.rng ~lo:0.5 ~hi:2.0 in
+    let capacity =
+      Float.min (Netsim.Units.mbps_to_bps 200.0)
+        (Float.max (Netsim.Units.mbps_to_bps 5.0) (t.cfg.capacity *. factor))
+    in
+    t.cfg <- { t.cfg with capacity }
+  end;
+  let mi = mi_duration t in
+  let substeps = 8 in
+  let dt = mi /. float_of_int substeps in
+  let delivered = ref 0.0 in
+  let arrivals = ref 0.0 in
+  let lost = ref 0.0 in
+  let rtt_sum = ref 0.0 in
+  let rtt_start = t.cfg.min_rtt +. (t.queue /. t.cfg.capacity) in
+  for _ = 1 to substeps do
+    let offered = rate *. dt in
+    let dropped_random = offered *. t.cfg.loss_p in
+    let admitted = offered -. dropped_random in
+    arrivals := !arrivals +. offered;
+    lost := !lost +. dropped_random;
+    t.queue <- t.queue +. admitted;
+    let served = Float.min t.queue (t.cfg.capacity *. dt) in
+    t.queue <- t.queue -. served;
+    delivered := !delivered +. served;
+    if t.queue > t.cfg.buffer then begin
+      lost := !lost +. (t.queue -. t.cfg.buffer);
+      t.queue <- t.cfg.buffer
+    end;
+    rtt_sum := !rtt_sum +. t.cfg.min_rtt +. (t.queue /. t.cfg.capacity)
+  done;
+  let rtt_end = t.cfg.min_rtt +. (t.queue /. t.cfg.capacity) in
+  t.time <- t.time +. mi;
+  let throughput = !delivered /. mi in
+  let avg_rtt = !rtt_sum /. float_of_int substeps in
+  let loss_rate = if !arrivals <= 0.0 then 0.0 else !lost /. !arrivals in
+  if avg_rtt < t.min_rtt_seen then t.min_rtt_seen <- avg_rtt;
+  t.rate_norm <- Float.max t.rate_norm throughput;
+  let blend old v = if old <= 0.0 then v else (0.7 *. old) +. (0.3 *. v) in
+  t.ack_gap <- blend t.ack_gap (mss /. Float.max 1.0 throughput);
+  t.send_gap <- blend t.send_gap (mss /. Float.max 1.0 rate);
+  let gradient = (rtt_end -. rtt_start) /. mi in
+  t.prev_rtt <- rtt_end;
+  {
+    Features.send_rate = rate;
+    throughput;
+    avg_rtt;
+    min_rtt = t.min_rtt_seen;
+    rtt_gradient = gradient;
+    loss_rate;
+    ack_gap_ewma = t.ack_gap;
+    send_gap_ewma = t.send_gap;
+    rate_norm = t.rate_norm;
+  }

@@ -1,0 +1,201 @@
+(* State-space design (paper Sec. 4.2, Tab. 1).
+
+   Each monitor interval yields one observation; a feature extracts a
+   normalised scalar from it. The nine candidates below are the ones the
+   paper collects from prior learning-based CCAs, and named sets
+   reproduce each CCA's state space plus the paper's searched
+   combinations (Tab. 2). The state vector handed to the policy stacks
+   the [h] most recent feature vectors. *)
+
+type obs = {
+  send_rate : float;  (* the rate the sender applied, bytes/s *)
+  throughput : float;  (* delivered during the MI, bytes/s *)
+  avg_rtt : float;  (* seconds *)
+  min_rtt : float;  (* flow-lifetime minimum, seconds *)
+  rtt_gradient : float;  (* d RTT / dt over the MI *)
+  loss_rate : float;
+  ack_gap_ewma : float;  (* EWMA inter-ACK gap, seconds *)
+  send_gap_ewma : float;  (* EWMA inter-send gap, seconds *)
+  rate_norm : float;  (* running max rate used for normalisation *)
+}
+
+type candidate =
+  | Ack_gap_ewma  (* (i) *)
+  | Send_gap_ewma  (* (ii) *)
+  | Rtt_ratio  (* (iii) *)
+  | Send_rate  (* (iv) *)
+  | Sent_acked_ratio  (* (v) *)
+  | Rtt_and_min  (* (vi) : contributes two scalars *)
+  | Loss_rate  (* (vii) *)
+  | Latency_gradient  (* (viii) *)
+  | Delivery_rate  (* (ix) *)
+
+let all_candidates =
+  [
+    Ack_gap_ewma;
+    Send_gap_ewma;
+    Rtt_ratio;
+    Send_rate;
+    Sent_acked_ratio;
+    Rtt_and_min;
+    Loss_rate;
+    Latency_gradient;
+    Delivery_rate;
+  ]
+
+let candidate_name = function
+  | Ack_gap_ewma -> "(i) ack-gap-ewma"
+  | Send_gap_ewma -> "(ii) send-gap-ewma"
+  | Rtt_ratio -> "(iii) rtt-ratio"
+  | Send_rate -> "(iv) send-rate"
+  | Sent_acked_ratio -> "(v) sent/acked"
+  | Rtt_and_min -> "(vi) rtt+min-rtt"
+  | Loss_rate -> "(vii) loss-rate"
+  | Latency_gradient -> "(viii) latency-gradient"
+  | Delivery_rate -> "(ix) delivery-rate"
+
+let clamp lo hi v = Float.min hi (Float.max lo v)
+
+(* Width (number of scalars) a candidate contributes. *)
+let width = function Rtt_and_min -> 2 | _ -> 1
+
+(* Extract a candidate's scalars from an observation, normalised into
+   small ranges so one policy architecture serves every state set. *)
+let extract obs = function
+  | Ack_gap_ewma -> [ clamp 0.0 4.0 (obs.ack_gap_ewma /. Float.max 1e-4 obs.min_rtt) ]
+  | Send_gap_ewma ->
+    [ clamp 0.0 4.0 (obs.send_gap_ewma /. Float.max 1e-4 obs.min_rtt) ]
+  | Rtt_ratio -> [ clamp 0.0 10.0 (obs.avg_rtt /. Float.max 1e-4 obs.min_rtt) ]
+  | Send_rate -> [ clamp 0.0 2.0 (obs.send_rate /. Float.max 1.0 obs.rate_norm) ]
+  | Sent_acked_ratio ->
+    [ clamp 0.0 4.0 (obs.send_rate /. Float.max 1.0 obs.throughput) ]
+  | Rtt_and_min ->
+    (* Scale seconds so typical WAN RTTs (10-400 ms) span the feature
+       range instead of huddling near zero. *)
+    [ clamp 0.0 4.0 (5.0 *. obs.avg_rtt); clamp 0.0 4.0 (5.0 *. obs.min_rtt) ]
+  | Loss_rate -> [ clamp 0.0 1.0 obs.loss_rate ]
+  | Latency_gradient -> [ clamp (-2.0) 2.0 obs.rtt_gradient ]
+  | Delivery_rate -> [ clamp 0.0 2.0 (obs.throughput /. Float.max 1.0 obs.rate_norm) ]
+
+type set = { set_name : string; candidates : candidate list }
+
+let set_width set = List.fold_left (fun acc c -> acc + width c) 0 set.candidates
+
+let vector set obs =
+  List.concat_map (extract obs) set.candidates |> Array.of_list
+
+(* State spaces of the prior CCAs the paper compares in Fig. 5. *)
+let aurora = { set_name = "Aurora"; candidates = [ Rtt_ratio; Sent_acked_ratio; Latency_gradient ] }
+
+let rl_tcp =
+  { set_name = "RL-TCP"; candidates = [ Ack_gap_ewma; Send_gap_ewma; Rtt_ratio; Send_rate ] }
+
+let pcc = { set_name = "PCC"; candidates = [ Send_rate; Loss_rate; Latency_gradient ] }
+
+let remy = { set_name = "Remy"; candidates = [ Ack_gap_ewma; Send_gap_ewma; Rtt_ratio ] }
+
+let drl_cc = { set_name = "DRL-CC"; candidates = [ Send_rate; Rtt_and_min; Delivery_rate ] }
+
+let orca =
+  {
+    set_name = "Orca";
+    candidates = [ Send_gap_ewma; Send_rate; Rtt_and_min; Loss_rate; Delivery_rate ];
+  }
+
+(* The paper's searched baseline: states (iv), (vi), (vii), (viii), (ix). *)
+let baseline =
+  {
+    set_name = "Baseline";
+    candidates = [ Send_rate; Rtt_and_min; Loss_rate; Latency_gradient; Delivery_rate ];
+  }
+
+(* The winner (Tab. 2, "-(vi)"): states (iv), (vii), (viii), (ix). *)
+let libra =
+  {
+    set_name = "Libra";
+    candidates = [ Send_rate; Loss_rate; Latency_gradient; Delivery_rate ];
+  }
+
+let fig5_sets = [ aurora; rl_tcp; pcc; remy; drl_cc; libra; orca ]
+
+(* Tab. 2 rows: modifications of the baseline. *)
+let tab2_variants =
+  [
+    ("Baseline", baseline);
+    ("-(vi)", libra);
+    ( "+(i)(ii)",
+      {
+        set_name = "+(i)(ii)";
+        candidates =
+          [ Ack_gap_ewma; Send_gap_ewma; Send_rate; Rtt_and_min; Loss_rate;
+            Latency_gradient; Delivery_rate ];
+      } );
+    ( "+(i)(ii)(iii)",
+      {
+        set_name = "+(i)(ii)(iii)";
+        candidates =
+          [ Ack_gap_ewma; Send_gap_ewma; Rtt_ratio; Send_rate; Rtt_and_min;
+            Loss_rate; Latency_gradient; Delivery_rate ];
+      } );
+    ( "+(ii)(iii)(v)-(iv)",
+      {
+        set_name = "+(ii)(iii)(v)-(iv)";
+        candidates =
+          [ Send_gap_ewma; Rtt_ratio; Sent_acked_ratio; Rtt_and_min; Loss_rate;
+            Latency_gradient; Delivery_rate ];
+      } );
+    ( "+(iii)",
+      {
+        set_name = "+(iii)";
+        candidates =
+          [ Rtt_ratio; Send_rate; Rtt_and_min; Loss_rate; Latency_gradient;
+            Delivery_rate ];
+      } );
+    ( "+(ii)",
+      {
+        set_name = "+(ii)";
+        candidates =
+          [ Send_gap_ewma; Send_rate; Rtt_and_min; Loss_rate; Latency_gradient;
+            Delivery_rate ];
+      } );
+    ( "+(i)",
+      {
+        set_name = "+(i)";
+        candidates =
+          [ Ack_gap_ewma; Send_rate; Rtt_and_min; Loss_rate; Latency_gradient;
+            Delivery_rate ];
+      } );
+    ( "-(ix)",
+      {
+        set_name = "-(ix)";
+        candidates = [ Send_rate; Rtt_and_min; Loss_rate; Latency_gradient ];
+      } );
+  ]
+
+(* Stacked history: S = <f_{t-h+1}, ..., f_t>. *)
+module History = struct
+  type t = { set : set; h : int; mutable frames : float array list }
+
+  let create ~set ~h = { set; h; frames = [] }
+
+  let dim t = set_width t.set * t.h
+
+  let push t obs =
+    let frame = vector t.set obs in
+    let frames = frame :: t.frames in
+    t.frames <-
+      (if List.length frames > t.h then
+         List.filteri (fun i _ -> i < t.h) frames
+       else frames)
+
+  (* Oldest-first concatenation, zero-padded until the history fills. *)
+  let state t =
+    let w = set_width t.set in
+    let out = Array.make (dim t) 0.0 in
+    List.iteri
+      (fun i frame ->
+        let slot = t.h - 1 - i in
+        Array.blit frame 0 out (slot * w) w)
+      t.frames;
+    out
+end

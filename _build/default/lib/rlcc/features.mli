@@ -1,0 +1,72 @@
+(** State-space design (paper Sec. 4.2, Tab. 1): the nine observation
+    candidates collected from prior learning-based CCAs, named feature
+    sets reproducing each CCA's state space, and the searched
+    combinations of Tab. 2. *)
+
+type obs = {
+  send_rate : float;  (** applied rate, bytes/s *)
+  throughput : float;  (** delivered during the MI, bytes/s *)
+  avg_rtt : float;
+  min_rtt : float;
+  rtt_gradient : float;
+  loss_rate : float;
+  ack_gap_ewma : float;
+  send_gap_ewma : float;
+  rate_norm : float;  (** historical x_max used for normalisation *)
+}
+
+type candidate =
+  | Ack_gap_ewma  (** (i) *)
+  | Send_gap_ewma  (** (ii) *)
+  | Rtt_ratio  (** (iii) *)
+  | Send_rate  (** (iv) *)
+  | Sent_acked_ratio  (** (v) *)
+  | Rtt_and_min  (** (vi): two scalars *)
+  | Loss_rate  (** (vii) *)
+  | Latency_gradient  (** (viii) *)
+  | Delivery_rate  (** (ix) *)
+
+val all_candidates : candidate list
+val candidate_name : candidate -> string
+
+(** Scalars a candidate contributes (2 for (vi), else 1). *)
+val width : candidate -> int
+
+(** Normalised scalars for one candidate from one observation. *)
+val extract : obs -> candidate -> float list
+
+type set = { set_name : string; candidates : candidate list }
+
+val set_width : set -> int
+val vector : set -> obs -> float array
+
+(** The Fig. 5 contenders. *)
+val aurora : set
+
+val rl_tcp : set
+val pcc : set
+val remy : set
+val drl_cc : set
+val orca : set
+
+(** The Tab. 2 baseline: states (iv), (vi), (vii), (viii), (ix). *)
+val baseline : set
+
+(** The winner ("-(vi)"): states (iv), (vii), (viii), (ix). *)
+val libra : set
+
+val fig5_sets : set list
+
+(** Tab. 2 rows: labelled modifications of the baseline. *)
+val tab2_variants : (string * set) list
+
+(** Stacked history S = <f_(t-h+1), ..., f_t>, zero-padded until it
+    fills, oldest first. *)
+module History : sig
+  type t
+
+  val create : set:set -> h:int -> t
+  val dim : t -> int
+  val push : t -> obs -> unit
+  val state : t -> float array
+end

@@ -1,0 +1,6 @@
+(** "Modified RL" (paper Sec. 5): the DRL agent rewarded directly with
+    the Eq. 1 utility, with no classic CCA and no Libra framework --
+    the baseline showing that the utility function alone does not
+    deliver convergence or fairness. *)
+
+val make : ?seed:int -> ?stochastic:bool -> unit -> Netsim.Cca.t

@@ -1,0 +1,53 @@
+(** Minimal multilayer perceptron with manual backpropagation.
+
+    Parameters live in one flat array so Adam can treat the network
+    uniformly; gradients accumulate into a parallel array. The global
+    {!forward_count} feeds the overhead accounting: the paper's CPU
+    comparisons reduce to how often each CCA runs its DRL agent. *)
+
+type activation = Tanh | Relu
+
+type spec = {
+  input : int;
+  hidden : int list;
+  output : int;
+  hidden_act : activation;
+}
+
+type t = {
+  spec : spec;
+  params : float array;
+  grads : float array;
+  layers : (int * int * int * int) array;
+}
+
+type cache = {
+  inputs : float array array;
+  preacts : float array array;
+  out : float array;
+}
+
+(** Global count of forward passes, for overhead ledgers. *)
+val forward_count : int ref
+
+(** Total parameter count of a network with this shape. *)
+val param_count : spec -> int
+
+(** Xavier-uniform initialisation from the given generator. *)
+val create : ?rng:Netsim.Rng.t -> spec -> t
+
+val n_params : t -> int
+
+(** Forward pass; the cache retains what backward needs. *)
+val forward : t -> float array -> cache
+
+val output : cache -> float array
+
+(** [backward t cache ~dout] accumulates parameter gradients for the
+    upstream gradient [dout] and returns the input gradient. *)
+val backward : t -> cache -> dout:float array -> float array
+
+val zero_grads : t -> unit
+
+(** Copy parameters between same-shaped networks. *)
+val copy_params : src:t -> dst:t -> unit

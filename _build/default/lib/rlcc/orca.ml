@@ -1,0 +1,47 @@
+(* Orca (Abbasloo et al., SIGCOMM 2020): the earlier combined approach
+   the paper compares against. CUBIC runs underneath; every monitor
+   interval the DRL agent rescales CUBIC's window multiplicatively
+   (cwnd <- cwnd * 2^a). Unlike Libra there is no evaluation step, so a
+   bad agent decision is applied directly -- the behaviour behind
+   Fig. 2(b) and Tab. 6. *)
+
+let make ?(seed = 113) ?(stochastic = true) () =
+  let cubic = Classic_cc.Cubic.create () in
+  let outcome = Pretrained.orca_policy () in
+  let agent =
+    Agent.create ~seed ~stochastic ~policy:outcome.Train.policy
+      ~action:Actions.Mimd_orca ~set:Features.orca ~history:5
+      ~initial_rate:Aurora.default_initial_rate ()
+  in
+  let mss = float_of_int Netsim.Units.mtu in
+  let cubic_rate () =
+    Classic_cc.Cubic.cwnd cubic *. mss /. Float.max 1e-3 (Classic_cc.Cubic.srtt cubic)
+  in
+  let on_ack ack =
+    Classic_cc.Cubic.on_ack cubic ack;
+    (* Mirror CUBIC's rate into the agent so the MIMD action rescales
+       the *current* operating point, then write the decision back. *)
+    Agent.set_rate agent (cubic_rate ());
+    let decided = Agent.on_ack agent ack in
+    if decided then begin
+      let new_cwnd =
+        Agent.rate agent
+        *. Float.max 1e-3 (Classic_cc.Cubic.srtt cubic)
+        /. mss
+      in
+      Classic_cc.Cubic.set_cwnd cubic (Float.max 2.0 new_cwnd)
+    end
+  in
+  {
+    Netsim.Cca.name = "orca";
+    on_ack;
+    on_loss =
+      (fun loss ->
+        Classic_cc.Cubic.on_loss cubic loss;
+        match loss.Netsim.Cca.kind with
+        | Netsim.Cca.Timeout -> Agent.on_timeout_loss agent ~pkts:loss.Netsim.Cca.lost
+        | Netsim.Cca.Gap_detected -> ());
+    on_send = (fun send -> Agent.observe_send agent send);
+    pacing_rate = (fun ~now:_ -> 1.2 *. cubic_rate ());
+    cwnd = (fun ~now:_ -> Classic_cc.Cubic.cwnd cubic);
+  }

@@ -1,0 +1,192 @@
+(* Proximal Policy Optimization (Schulman et al. 2017) with a Gaussian
+   policy over a one-dimensional action, as used by the paper's
+   DRL-based CCA (Alg. 2) and by Aurora/Orca.
+
+   Actor and critic are separate MLPs; the policy's log standard
+   deviation is a single free parameter optimised jointly. Advantages
+   use GAE(lambda). The clipped surrogate gradient flows only through
+   the active branch of min(r A, clip(r) A), the textbook
+   implementation. *)
+
+type t = {
+  actor : Nn.t;
+  critic : Nn.t;
+  log_std : float array;  (* length 1 *)
+  log_std_grad : float array;
+  actor_opt : Adam.t;
+  critic_opt : Adam.t;
+  log_std_opt : Adam.t;
+  clip : float;
+  entropy_coef : float;
+  epochs : int;
+  minibatch : int;
+  gamma : float;
+  lam : float;
+}
+
+type config = {
+  state_dim : int;
+  hidden : int list;
+  lr : float;
+  clip : float;
+  entropy_coef : float;
+  epochs : int;
+  minibatch : int;
+  gamma : float;
+  lam : float;
+  init_log_std : float;
+  seed : int;
+}
+
+let default_config ~state_dim =
+  {
+    state_dim;
+    hidden = [ 32; 32 ];
+    lr = 3e-4;
+    clip = 0.2;
+    entropy_coef = 0.003;
+    epochs = 4;
+    minibatch = 64;
+    gamma = 0.99;
+    lam = 0.95;
+    init_log_std = -0.5;
+    seed = 23;
+  }
+
+let create cfg =
+  let rng = Netsim.Rng.create cfg.seed in
+  let actor =
+    Nn.create ~rng:(Netsim.Rng.split rng)
+      { Nn.input = cfg.state_dim; hidden = cfg.hidden; output = 1; hidden_act = Nn.Tanh }
+  in
+  let critic =
+    Nn.create ~rng:(Netsim.Rng.split rng)
+      { Nn.input = cfg.state_dim; hidden = cfg.hidden; output = 1; hidden_act = Nn.Tanh }
+  in
+  {
+    actor;
+    critic;
+    log_std = [| cfg.init_log_std |];
+    log_std_grad = [| 0.0 |];
+    actor_opt = Adam.create ~lr:cfg.lr (Nn.n_params actor);
+    critic_opt = Adam.create ~lr:cfg.lr (Nn.n_params critic);
+    log_std_opt = Adam.create ~lr:cfg.lr 1;
+    clip = cfg.clip;
+    entropy_coef = cfg.entropy_coef;
+    epochs = cfg.epochs;
+    minibatch = cfg.minibatch;
+    gamma = cfg.gamma;
+    lam = cfg.lam;
+  }
+
+let log_2pi = log (2.0 *. Float.pi)
+
+let log_prob (t : t) ~mean ~action =
+  let sigma = exp t.log_std.(0) in
+  let z = (action -. mean) /. sigma in
+  (-0.5 *. z *. z) -. t.log_std.(0) -. (0.5 *. log_2pi)
+
+(* Mean action: deterministic evaluation-time behaviour. *)
+let mean_action (t : t) state = (Nn.forward t.actor state).Nn.out.(0)
+
+let value (t : t) state = (Nn.forward t.critic state).Nn.out.(0)
+
+(* Sample an action plus the bookkeeping PPO needs. *)
+let sample (t : t) rng state =
+  let mean = mean_action t state in
+  let sigma = exp t.log_std.(0) in
+  let action = mean +. (sigma *. Netsim.Rng.normal rng) in
+  let logp = log_prob t ~mean ~action in
+  (action, logp, value t state)
+
+type transition = {
+  state : float array;
+  action : float;
+  logp : float;
+  val_est : float;
+  reward : float;
+}
+
+(* GAE(lambda) over one episode; [last_value] bootstraps truncation. *)
+let advantages (t : t) ~transitions ~last_value =
+  let n = Array.length transitions in
+  let adv = Array.make n 0.0 in
+  let ret = Array.make n 0.0 in
+  let gae = ref 0.0 in
+  for i = n - 1 downto 0 do
+    let next_v = if i = n - 1 then last_value else transitions.(i + 1).val_est in
+    let delta =
+      transitions.(i).reward +. (t.gamma *. next_v) -. transitions.(i).val_est
+    in
+    gae := delta +. (t.gamma *. t.lam *. !gae);
+    adv.(i) <- !gae;
+    ret.(i) <- adv.(i) +. transitions.(i).val_est
+  done;
+  (adv, ret)
+
+let normalise a =
+  let n = float_of_int (Array.length a) in
+  if n < 2.0 then a
+  else begin
+    let mean = Array.fold_left ( +. ) 0.0 a /. n in
+    let var = Array.fold_left (fun acc v -> acc +. ((v -. mean) ** 2.0)) 0.0 a /. n in
+    let sd = Float.max 1e-6 (sqrt var) in
+    Array.map (fun v -> (v -. mean) /. sd) a
+  end
+
+(* One PPO update over a batch of transitions. *)
+let update (t : t) rng ~transitions ~last_value =
+  let n = Array.length transitions in
+  if n > 0 then begin
+    let adv_raw, ret = advantages t ~transitions ~last_value in
+    let adv = normalise adv_raw in
+    let idx = Array.init n (fun i -> i) in
+    for _ = 1 to t.epochs do
+      (* Fisher-Yates shuffle. *)
+      for i = n - 1 downto 1 do
+        let j = Netsim.Rng.int rng (i + 1) in
+        let tmp = idx.(i) in
+        idx.(i) <- idx.(j);
+        idx.(j) <- tmp
+      done;
+      let pos = ref 0 in
+      while !pos < n do
+        let batch = min t.minibatch (n - !pos) in
+        Nn.zero_grads t.actor;
+        Nn.zero_grads t.critic;
+        t.log_std_grad.(0) <- 0.0;
+        let scale = 1.0 /. float_of_int batch in
+        for k = !pos to !pos + batch - 1 do
+          let tr = transitions.(idx.(k)) in
+          let a = adv.(idx.(k)) and r = ret.(idx.(k)) in
+          (* Actor. *)
+          let cache = Nn.forward t.actor tr.state in
+          let mean = cache.Nn.out.(0) in
+          let logp = log_prob t ~mean ~action:tr.action in
+          let ratio = exp (logp -. tr.logp) in
+          let active =
+            if a >= 0.0 then ratio <= 1.0 +. t.clip else ratio >= 1.0 -. t.clip
+          in
+          let dlogp = if active then -.a *. ratio else 0.0 in
+          let sigma = exp t.log_std.(0) in
+          let z = (tr.action -. mean) /. sigma in
+          (* dlogp/dmean = z / sigma; dlogp/dlog_std = z^2 - 1. *)
+          let dmean = dlogp *. z /. sigma in
+          ignore (Nn.backward t.actor cache ~dout:[| dmean *. scale |]);
+          t.log_std_grad.(0) <-
+            t.log_std_grad.(0)
+            +. (scale *. ((dlogp *. ((z *. z) -. 1.0)) -. t.entropy_coef));
+          (* Critic: 0.5 (V - R)^2. *)
+          let vcache = Nn.forward t.critic tr.state in
+          let dv = vcache.Nn.out.(0) -. r in
+          ignore (Nn.backward t.critic vcache ~dout:[| dv *. scale |])
+        done;
+        Adam.step t.actor_opt ~params:t.actor.Nn.params ~grads:t.actor.Nn.grads;
+        Adam.step t.critic_opt ~params:t.critic.Nn.params ~grads:t.critic.Nn.grads;
+        Adam.step t.log_std_opt ~params:t.log_std ~grads:t.log_std_grad;
+        (* Keep the exploration noise in a sane band. *)
+        t.log_std.(0) <- Float.min 0.5 (Float.max (-3.0) t.log_std.(0));
+        pos := !pos + batch
+      done
+    done
+  end

@@ -1,0 +1,68 @@
+(** Proximal Policy Optimization with a Gaussian policy over a
+    one-dimensional action (the paper's DRL-based CCA, Alg. 2).
+
+    Actor and critic are separate MLPs; the log standard deviation is a
+    single free parameter optimised jointly; advantages use GAE. *)
+
+type t = {
+  actor : Nn.t;
+  critic : Nn.t;
+  log_std : float array;
+  log_std_grad : float array;
+  actor_opt : Adam.t;
+  critic_opt : Adam.t;
+  log_std_opt : Adam.t;
+  clip : float;
+  entropy_coef : float;
+  epochs : int;
+  minibatch : int;
+  gamma : float;
+  lam : float;
+}
+
+type config = {
+  state_dim : int;
+  hidden : int list;
+  lr : float;
+  clip : float;
+  entropy_coef : float;
+  epochs : int;
+  minibatch : int;
+  gamma : float;
+  lam : float;
+  init_log_std : float;
+  seed : int;
+}
+
+(** 2x32 tanh nets, lr 3e-4, clip 0.2, gamma 0.99, lambda 0.95. *)
+val default_config : state_dim:int -> config
+
+val create : config -> t
+
+(** Log-density of [action] under the current Gaussian at [mean]. *)
+val log_prob : t -> mean:float -> action:float -> float
+
+(** Deterministic (evaluation-time) action. *)
+val mean_action : t -> float array -> float
+
+(** Critic's value estimate. *)
+val value : t -> float array -> float
+
+(** Sample (action, log-prob, value). *)
+val sample : t -> Netsim.Rng.t -> float array -> float * float * float
+
+type transition = {
+  state : float array;
+  action : float;
+  logp : float;
+  val_est : float;
+  reward : float;
+}
+
+(** GAE(lambda) advantages and returns over one episode; [last_value]
+    bootstraps truncation. *)
+val advantages :
+  t -> transitions:transition array -> last_value:float -> float array * float array
+
+(** One PPO update (epochs x shuffled minibatches) over a batch. *)
+val update : t -> Netsim.Rng.t -> transitions:transition array -> last_value:float -> unit

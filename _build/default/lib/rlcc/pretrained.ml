@@ -1,0 +1,84 @@
+(* In-process policy cache.
+
+   The paper trains its agents offline on TensorFlow; here every policy
+   is trained on demand (seconds at the scaled-down sizes) and cached by
+   configuration, so all Libra variants in a bench share one "Libra"
+   policy, all Orca flows share one "Orca" policy, and so on.
+   Deterministic seeds make the cache reproducible across runs. *)
+
+let cache : (string, Train.outcome) Hashtbl.t = Hashtbl.create 8
+
+let key (cfg : Train.config) =
+  let form =
+    match cfg.reward.Reward.form with
+    | Reward.Weighted -> "weighted"
+    | Reward.Utility_eq1 { t; alpha; beta; gamma } ->
+      Printf.sprintf "eq1(%g,%g,%g,%g)" t alpha beta gamma
+  in
+  Printf.sprintf "%s/%s/w=%g,%g,%g/loss=%b/delta=%b/%s/ep=%d/st=%d/seed=%d/%s"
+    cfg.state_set.Features.set_name
+    (Actions.name cfg.action)
+    cfg.reward.Reward.w1 cfg.reward.Reward.w2 cfg.reward.Reward.w3
+    cfg.reward.Reward.include_loss cfg.reward.Reward.use_delta form cfg.episodes
+    cfg.steps_per_episode cfg.seed
+    (match cfg.env_mode with
+    | `Fixed e ->
+      Printf.sprintf "fixed(%g,%g,%g,%g)" e.Env.capacity e.Env.min_rtt e.Env.buffer
+        e.Env.loss_p
+    | `Randomized -> "rand")
+
+let get cfg =
+  let k = key cfg in
+  match Hashtbl.find_opt cache k with
+  | Some outcome -> outcome
+  | None ->
+    let outcome = Train.run cfg in
+    Hashtbl.replace cache k outcome;
+    outcome
+
+(* The agents used by the evaluation experiments: trained on the
+   randomized environment (the paper's training setup). *)
+let eval_episodes = ref 400
+
+let libra_policy () =
+  get
+    {
+      Train.default_config with
+      state_set = Features.libra;
+      env_mode = `Randomized;
+      episodes = !eval_episodes;
+      seed = 41;
+    }
+
+let aurora_policy () =
+  get
+    {
+      Train.default_config with
+      state_set = Features.aurora;
+      action = Actions.Mimd_aurora 5.0;
+      env_mode = `Randomized;
+      episodes = !eval_episodes;
+      seed = 43;
+    }
+
+let orca_policy () =
+  get
+    {
+      Train.default_config with
+      state_set = Features.orca;
+      action = Actions.Mimd_orca;
+      env_mode = `Randomized;
+      episodes = !eval_episodes;
+      seed = 47;
+    }
+
+let modified_rl_policy () =
+  get
+    {
+      Train.default_config with
+      state_set = Features.libra;
+      reward = Reward.modified_rl;
+      env_mode = `Randomized;
+      episodes = !eval_episodes;
+      seed = 53;
+    }

@@ -1,0 +1,18 @@
+(** In-process policy cache: policies are trained on demand (seconds at
+    the scaled-down sizes), keyed by their full training configuration,
+    and shared across all CCA instances in the process. *)
+
+(** Train (or fetch) the policy for a configuration. *)
+val get : Train.config -> Train.outcome
+
+(** Episode budget used for the evaluation agents below; the harness
+    scale sets it. *)
+val eval_episodes : int ref
+
+(** The agents used by the paper's evaluation experiments, trained on
+    the randomized environment. *)
+val libra_policy : unit -> Train.outcome
+
+val aurora_policy : unit -> Train.outcome
+val orca_policy : unit -> Train.outcome
+val modified_rl_policy : unit -> Train.outcome

@@ -1,0 +1,12 @@
+(* PCC Proteus (Meng et al., SIGCOMM 2020) in its primary-flow mode.
+
+   Proteus runs Vivace's online-learning machinery with a utility that
+   weighs latency deviation more aggressively, which is why the paper's
+   Fig. 1 shows it trading link utilization for delay in LTE scenarios.
+   (The scavenger mode of Proteus is out of the paper's evaluation
+   scope.) *)
+
+let utility = { Vivace.t_exp = 0.9; beta = 1800.0; gamma = 11.35 }
+
+let make () =
+  Vivace.as_cca ~name:"proteus" (Vivace.create ~u:utility ~eps:0.075 ())

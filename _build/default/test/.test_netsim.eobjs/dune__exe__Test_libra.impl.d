@@ -1,0 +1,1 @@
+test/test_libra.ml: Alcotest Array Classic_cc Float Hashtbl Libra List Netsim Printf QCheck QCheck_alcotest Rlcc

@@ -1,0 +1,1 @@
+test/test_more.ml: Alcotest Array Classic_cc Float Libra List Netsim Printf Rlcc String Traces

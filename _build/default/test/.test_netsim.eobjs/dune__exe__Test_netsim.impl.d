@@ -1,0 +1,1 @@
+test/test_netsim.ml: Alcotest Classic_cc Float List Netsim Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_rlcc.ml: Alcotest Array Float List Netsim Printf QCheck QCheck_alcotest Rlcc

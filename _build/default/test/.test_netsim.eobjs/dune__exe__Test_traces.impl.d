@@ -1,0 +1,1 @@
+test/test_traces.ml: Alcotest Array List Netsim QCheck QCheck_alcotest Traces

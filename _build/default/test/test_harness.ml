@@ -1,0 +1,99 @@
+(* Tests for the experiment harness: the CCA registry, scenario
+   reductions, and integration checks used by the benches. *)
+
+let check_bool = Alcotest.(check bool)
+
+let test_registry_finds_all_experiments () =
+  List.iter
+    (fun id ->
+      match Harness.Registry.find id with
+      | Some _ -> ()
+      | None -> Alcotest.fail (Printf.sprintf "missing experiment %s" id))
+    [ "fig1"; "fig2a"; "fig2b"; "fig2c"; "fig5"; "tab2"; "fig6"; "tab3"; "tab4";
+      "fig7"; "fig8"; "fig9"; "fig10"; "fig11"; "fig12"; "fig13"; "fig14";
+      "fig15"; "tab5"; "tab6"; "fig16"; "fig17"; "fig18"; "fig19"; "tab7"; "ablate" ]
+
+let test_registry_rejects_unknown () =
+  check_bool "unknown id" true (Harness.Registry.find "fig99" = None)
+
+let test_ccas_all_constructible () =
+  (* Classic/no-training CCAs must construct instantly; the factory list
+     must contain no duplicates. *)
+  let names = List.map fst Harness.Ccas.all in
+  let uniq = List.sort_uniq compare names in
+  check_bool "no duplicate names" true (List.length names = List.length uniq);
+  List.iter
+    (fun name ->
+      if not (List.mem name [ "aurora"; "orca"; "mod-rl"; "c-libra"; "b-libra";
+                              "cl-libra"; "r-libra" ])
+      then
+        let cca = (Harness.Ccas.find name) ~seed:1 in
+        check_bool name true (String.length cca.Netsim.Cca.name > 0))
+    names
+
+let test_ccas_find_raises_on_unknown () =
+  check_bool "raises" true
+    (try
+       let (_ : Harness.Ccas.factory) = Harness.Ccas.find "nope" in
+       false
+     with Invalid_argument _ -> true)
+
+let test_scenario_share_and_jain () =
+  (* Two identical CBR flows: share 0.5, jain ~1. *)
+  let spec = Harness.Scenario.make_spec ~rtt:0.03 (Traces.Rate.constant 20.0) in
+  let cbr ~seed:_ = Netsim.Cca.constant_rate (Netsim.Units.mbps_to_bps 15.0) in
+  let summary =
+    Harness.Scenario.run_mixed ~flows:[ (cbr, 0.0); (cbr, 0.0) ] ~duration:5.0 spec
+  in
+  let share = Harness.Scenario.share_of_first ~duration:5.0 summary in
+  check_bool "share near half" true (Float.abs (share -. 0.5) < 0.05);
+  let jain = Harness.Scenario.jain ~duration:5.0 summary in
+  check_bool "jain near 1" true (jain > 0.98)
+
+let test_scenario_averaged_runs_vary_seed () =
+  let trace = Traces.Lte.generate ~seed:3 ~duration:6.0 Traces.Lte.Driving in
+  let spec = Harness.Scenario.make_spec ~loss_p:0.02 trace in
+  let u1, _, _, _ =
+    Harness.Scenario.averaged ~base_seed:1 ~runs:2 ~factory:Harness.Ccas.cubic
+      ~duration:6.0 spec
+  in
+  let u2, _, _, _ =
+    Harness.Scenario.averaged ~base_seed:991 ~runs:2 ~factory:Harness.Ccas.cubic
+      ~duration:6.0 spec
+  in
+  (* Different seeds, same ballpark: these are the same scenario. *)
+  check_bool "results in same ballpark" true (Float.abs (u1 -. u2) < 0.3)
+
+let test_scenario_trace_sets () =
+  Alcotest.(check int) "four wired" 4 (List.length (Harness.Scenario.wired_traces ()));
+  Alcotest.(check int) "four cellular" 4
+    (List.length (Harness.Scenario.cellular_traces ~duration:5.0 ()))
+
+let test_scale_switches () =
+  Harness.Scale.set Harness.Scale.full;
+  check_bool "full durations" true ((Harness.Scale.get ()).Harness.Scale.duration = 60.0);
+  Harness.Scale.set Harness.Scale.quick;
+  check_bool "quick durations" true ((Harness.Scale.get ()).Harness.Scale.duration = 20.0)
+
+let () =
+  Alcotest.run "harness"
+    [
+      ( "registry",
+        [
+          Alcotest.test_case "all experiments present" `Quick
+            test_registry_finds_all_experiments;
+          Alcotest.test_case "unknown id" `Quick test_registry_rejects_unknown;
+        ] );
+      ( "ccas",
+        [
+          Alcotest.test_case "constructible" `Quick test_ccas_all_constructible;
+          Alcotest.test_case "unknown raises" `Quick test_ccas_find_raises_on_unknown;
+        ] );
+      ( "scenario",
+        [
+          Alcotest.test_case "share+jain" `Quick test_scenario_share_and_jain;
+          Alcotest.test_case "averaged seeds" `Slow test_scenario_averaged_runs_vary_seed;
+          Alcotest.test_case "trace sets" `Quick test_scenario_trace_sets;
+          Alcotest.test_case "scale" `Quick test_scale_switches;
+        ] );
+    ]

@@ -1,0 +1,363 @@
+(* Tests for the learning substrate: NN gradients, Adam, PPO pieces,
+   the fluid environment, features, rewards, and the PCC machinery. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Neural network *)
+
+let spec = { Rlcc.Nn.input = 3; hidden = [ 8; 8 ]; output = 2; hidden_act = Rlcc.Nn.Tanh }
+
+let test_nn_forward_deterministic () =
+  let nn = Rlcc.Nn.create spec in
+  let x = [| 0.3; -0.7; 1.2 |] in
+  let a = (Rlcc.Nn.forward nn x).Rlcc.Nn.out in
+  let b = (Rlcc.Nn.forward nn x).Rlcc.Nn.out in
+  Alcotest.(check (array (float 0.0))) "same output" a b
+
+let test_nn_output_dims () =
+  let nn = Rlcc.Nn.create spec in
+  check_int "output size" 2 (Array.length (Rlcc.Nn.forward nn [| 0.1; 0.2; 0.3 |]).Rlcc.Nn.out)
+
+(* Central-difference gradient check on a scalar loss L = sum(out). *)
+let test_nn_gradients_match_finite_differences () =
+  let nn = Rlcc.Nn.create ~rng:(Netsim.Rng.create 3) spec in
+  let x = [| 0.5; -0.25; 0.8 |] in
+  Rlcc.Nn.zero_grads nn;
+  let cache = Rlcc.Nn.forward nn x in
+  ignore (Rlcc.Nn.backward nn cache ~dout:[| 1.0; 1.0 |]);
+  let eps = 1e-5 in
+  let loss () =
+    let out = (Rlcc.Nn.forward nn x).Rlcc.Nn.out in
+    out.(0) +. out.(1)
+  in
+  (* Spot-check a spread of parameters. *)
+  let n = Rlcc.Nn.n_params nn in
+  List.iter
+    (fun idx ->
+      let idx = idx mod n in
+      let saved = nn.Rlcc.Nn.params.(idx) in
+      nn.Rlcc.Nn.params.(idx) <- saved +. eps;
+      let up = loss () in
+      nn.Rlcc.Nn.params.(idx) <- saved -. eps;
+      let down = loss () in
+      nn.Rlcc.Nn.params.(idx) <- saved;
+      let numeric = (up -. down) /. (2.0 *. eps) in
+      let analytic = nn.Rlcc.Nn.grads.(idx) in
+      check_bool
+        (Printf.sprintf "grad %d: %.6f vs %.6f" idx analytic numeric)
+        true
+        (Float.abs (analytic -. numeric) < 1e-4 *. Float.max 1.0 (Float.abs numeric)))
+    [ 0; 7; 23; 55; 91; n - 1 ]
+
+let test_nn_input_gradient () =
+  let nn = Rlcc.Nn.create ~rng:(Netsim.Rng.create 5) spec in
+  let x = [| 0.1; 0.2; -0.4 |] in
+  Rlcc.Nn.zero_grads nn;
+  let cache = Rlcc.Nn.forward nn x in
+  let dx = Rlcc.Nn.backward nn cache ~dout:[| 1.0; 0.0 |] in
+  let eps = 1e-5 in
+  let loss v =
+    let x' = Array.copy x in
+    x'.(1) <- v;
+    (Rlcc.Nn.forward nn x').Rlcc.Nn.out.(0)
+  in
+  let numeric = (loss (x.(1) +. eps) -. loss (x.(1) -. eps)) /. (2.0 *. eps) in
+  check_bool "input grad matches" true (Float.abs (dx.(1) -. numeric) < 1e-4)
+
+let prop_forward_count_increments =
+  QCheck.Test.make ~name:"forward counter counts" ~count:20 QCheck.small_int
+    (fun n ->
+      let n = (n mod 10) + 1 in
+      let nn = Rlcc.Nn.create spec in
+      let before = !Rlcc.Nn.forward_count in
+      for _ = 1 to n do
+        ignore (Rlcc.Nn.forward nn [| 0.0; 0.0; 0.0 |])
+      done;
+      !Rlcc.Nn.forward_count = before + n)
+
+(* ------------------------------------------------------------------ *)
+(* Adam *)
+
+let test_adam_minimises_quadratic () =
+  (* f(p) = sum (p - target)^2 *)
+  let params = [| 5.0; -3.0 |] and target = [| 1.0; 2.0 |] in
+  let adam = Rlcc.Adam.create ~lr:0.1 2 in
+  for _ = 1 to 500 do
+    let grads = Array.init 2 (fun i -> 2.0 *. (params.(i) -. target.(i))) in
+    Rlcc.Adam.step adam ~params ~grads
+  done;
+  check_bool "converged to target" true
+    (Float.abs (params.(0) -. 1.0) < 0.05 && Float.abs (params.(1) -. 2.0) < 0.05)
+
+(* ------------------------------------------------------------------ *)
+(* PPO *)
+
+let mk_ppo ?(state_dim = 4) () =
+  Rlcc.Ppo.create (Rlcc.Ppo.default_config ~state_dim)
+
+let test_ppo_logprob_peak_at_mean () =
+  let ppo = mk_ppo () in
+  let state = [| 0.1; 0.2; 0.3; 0.4 |] in
+  let mean = Rlcc.Ppo.mean_action ppo state in
+  let at_mean = Rlcc.Ppo.log_prob ppo ~mean ~action:mean in
+  let off = Rlcc.Ppo.log_prob ppo ~mean ~action:(mean +. 1.0) in
+  check_bool "density peaks at the mean" true (at_mean > off)
+
+let test_ppo_gae_discounts () =
+  let ppo = mk_ppo () in
+  let mk reward val_est = { Rlcc.Ppo.state = [||]; action = 0.0; logp = 0.0; val_est; reward } in
+  let transitions = [| mk 1.0 0.0; mk 1.0 0.0; mk 1.0 0.0 |] in
+  let adv, ret = Rlcc.Ppo.advantages ppo ~transitions ~last_value:0.0 in
+  (* With V = 0: returns are lambda-discounted reward sums, decreasing
+     towards the episode end. *)
+  check_bool "advantage decreases towards the end" true (adv.(0) > adv.(1) && adv.(1) > adv.(2));
+  check_bool "returns equal advantages when V=0" true (ret.(0) = adv.(0))
+
+let test_ppo_learns_a_bandit () =
+  (* One state, reward = -(a - 1.5)^2: the mean action must move
+     towards 1.5. *)
+  let ppo = mk_ppo ~state_dim:1 () in
+  let rng = Netsim.Rng.create 7 in
+  let state = [| 1.0 |] in
+  let before = Rlcc.Ppo.mean_action ppo state in
+  for _ = 1 to 60 do
+    let transitions =
+      Array.init 64 (fun _ ->
+          let action, logp, val_est = Rlcc.Ppo.sample ppo rng state in
+          let reward = -.((action -. 1.5) ** 2.0) in
+          { Rlcc.Ppo.state; action; logp; val_est; reward })
+    in
+    Rlcc.Ppo.update ppo rng ~transitions ~last_value:0.0
+  done;
+  let after = Rlcc.Ppo.mean_action ppo state in
+  check_bool
+    (Printf.sprintf "mean moved toward 1.5 (%.2f -> %.2f)" before after)
+    true
+    (Float.abs (after -. 1.5) < Float.abs (before -. 1.5)
+    && Float.abs (after -. 1.5) < 0.5)
+
+(* ------------------------------------------------------------------ *)
+(* Environment *)
+
+let test_env_conserves_fluid () =
+  let cfg = Rlcc.Env.default_cfg in
+  let env = Rlcc.Env.create cfg in
+  (* Below capacity: no loss, rtt at floor. *)
+  let obs = Rlcc.Env.step env ~rate:(cfg.Rlcc.Env.capacity /. 2.0) in
+  check_bool "no loss below capacity" true (obs.Rlcc.Features.loss_rate < 1e-9);
+  check_bool "rtt at floor" true (Float.abs (obs.Rlcc.Features.avg_rtt -. cfg.Rlcc.Env.min_rtt) < 1e-6)
+
+let test_env_overload_loses () =
+  let cfg = Rlcc.Env.default_cfg in
+  let env = Rlcc.Env.create cfg in
+  let obs = ref (Rlcc.Env.step env ~rate:cfg.Rlcc.Env.capacity) in
+  for _ = 1 to 20 do
+    obs := Rlcc.Env.step env ~rate:(3.0 *. cfg.Rlcc.Env.capacity)
+  done;
+  check_bool "persistent overload loses heavily" true (!obs.Rlcc.Features.loss_rate > 0.4);
+  check_bool "queue inflates rtt" true
+    (!obs.Rlcc.Features.avg_rtt > 1.5 *. cfg.Rlcc.Env.min_rtt)
+
+let prop_env_loss_rate_bounded =
+  QCheck.Test.make ~name:"env loss rate in [0,1]" ~count:50
+    QCheck.(pair small_int (float_range 0.1 8.0))
+    (fun (seed, factor) ->
+      let cfg = Rlcc.Env.default_cfg in
+      let env = Rlcc.Env.create ~seed cfg in
+      let ok = ref true in
+      for _ = 1 to 20 do
+        let obs = Rlcc.Env.step env ~rate:(factor *. cfg.Rlcc.Env.capacity) in
+        let l = obs.Rlcc.Features.loss_rate in
+        if l < 0.0 || l > 1.0 then ok := false
+      done;
+      !ok)
+
+(* ------------------------------------------------------------------ *)
+(* Features and actions *)
+
+let obs ?(throughput = 1e6) ?(avg_rtt = 0.1) ?(loss = 0.0) () =
+  {
+    Rlcc.Features.send_rate = 1e6;
+    throughput;
+    avg_rtt;
+    min_rtt = 0.05;
+    rtt_gradient = 0.0;
+    loss_rate = loss;
+    ack_gap_ewma = 0.01;
+    send_gap_ewma = 0.01;
+    rate_norm = 2e6;
+  }
+
+let test_feature_widths () =
+  check_int "libra set width" 4 (Rlcc.Features.set_width Rlcc.Features.libra);
+  check_int "baseline width (vi counts twice)" 6
+    (Rlcc.Features.set_width Rlcc.Features.baseline)
+
+let test_history_stacks_oldest_first () =
+  let h = Rlcc.Features.History.create ~set:Rlcc.Features.libra ~h:3 in
+  Rlcc.Features.History.push h (obs ~loss:0.1 ());
+  Rlcc.Features.History.push h (obs ~loss:0.2 ());
+  let s = Rlcc.Features.History.state h in
+  check_int "dim" 12 (Array.length s);
+  (* Loss is feature index 1 within the 4-wide libra set; newest frame
+     occupies the last slot (offset 8), the previous one offset 4, the
+     unfilled oldest slot is zero padding. *)
+  check_bool "newest last" true (Float.abs (s.(8 + 1) -. 0.2) < 1e-9);
+  check_bool "older before" true (Float.abs (s.(4 + 1) -. 0.1) < 1e-9);
+  check_bool "pad zero" true (s.(0 + 1) = 0.0)
+
+let test_actions_mimd_orca_range () =
+  let r = Rlcc.Actions.apply Rlcc.Actions.Mimd_orca ~rate:1e6 ~min_rtt:0.05 ~mss:1500 5.0 in
+  Alcotest.(check (float 1.0)) "clamped to 2^2" 4e6 r;
+  let r = Rlcc.Actions.apply Rlcc.Actions.Mimd_orca ~rate:1e6 ~min_rtt:0.05 ~mss:1500 (-9.0) in
+  Alcotest.(check (float 1.0)) "clamped to 2^-2" 0.25e6 r
+
+let prop_actions_bounded =
+  QCheck.Test.make ~name:"actions keep rate in [1500, max_rate]" ~count:200
+    QCheck.(triple (float_range (-20.0) 20.0) (float_range 1e3 1e9) (int_range 0 2))
+    (fun (a, rate, mode_idx) ->
+      let mode =
+        match mode_idx with
+        | 0 -> Rlcc.Actions.Aiad 10.0
+        | 1 -> Rlcc.Actions.Mimd_aurora 10.0
+        | _ -> Rlcc.Actions.Mimd_orca
+      in
+      let r = Rlcc.Actions.apply mode ~rate ~min_rtt:0.05 ~mss:1500 a in
+      r >= 1500.0 && r <= Rlcc.Actions.max_rate)
+
+(* ------------------------------------------------------------------ *)
+(* Reward *)
+
+let test_reward_monotone_in_throughput () =
+  let r1 = Rlcc.Reward.value Rlcc.Reward.default (obs ~throughput:1e6 ()) in
+  let r2 = Rlcc.Reward.value Rlcc.Reward.default (obs ~throughput:2e6 ()) in
+  check_bool "higher throughput, higher reward" true (r2 > r1)
+
+let test_reward_penalises_loss_and_delay () =
+  let base = Rlcc.Reward.value Rlcc.Reward.default (obs ()) in
+  let lossy = Rlcc.Reward.value Rlcc.Reward.default (obs ~loss:0.1 ()) in
+  let slow = Rlcc.Reward.value Rlcc.Reward.default (obs ~avg_rtt:0.3 ()) in
+  check_bool "loss penalised" true (lossy < base);
+  check_bool "delay penalised" true (slow < base)
+
+let test_reward_without_loss_ignores_loss () =
+  let cfg = { Rlcc.Reward.default with Rlcc.Reward.include_loss = false } in
+  let a = Rlcc.Reward.value cfg (obs ()) in
+  let b = Rlcc.Reward.value cfg (obs ~loss:0.5 ()) in
+  Alcotest.(check (float 1e-12)) "identical" a b
+
+let test_reward_delta_tracker () =
+  let tr = Rlcc.Reward.tracker { Rlcc.Reward.default with Rlcc.Reward.use_delta = true } in
+  let first = Rlcc.Reward.signal tr (obs ~throughput:1e6 ()) in
+  let second = Rlcc.Reward.signal tr (obs ~throughput:2e6 ()) in
+  Alcotest.(check (float 1e-12)) "first delta is zero" 0.0 first;
+  check_bool "improvement positive" true (second > 0.0)
+
+(* ------------------------------------------------------------------ *)
+(* Vivace *)
+
+let test_vivace_utility_shape () =
+  let snap_ok =
+    { Netsim.Monitor.duration = 0.05; throughput = 1e6; avg_rtt = 0.05; min_rtt = 0.05;
+      rtt_gradient = 0.0; rtt_grad_se = 0.001; loss_rate = 0.0; acked = 50; lost_pkts = 0 }
+  in
+  let snap_bad = { snap_ok with Netsim.Monitor.rtt_gradient = 0.05; loss_rate = 0.1 } in
+  let u = Rlcc.Vivace.default_utility in
+  let good = Rlcc.Vivace.utility u ~rate_bps:6e6 snap_ok in
+  let bad = Rlcc.Vivace.utility u ~rate_bps:6e6 snap_bad in
+  check_bool "congestion lowers utility" true (bad < good);
+  (* With clean conditions, higher rate has higher utility (x^0.9). *)
+  let faster = Rlcc.Vivace.utility u ~rate_bps:12e6 snap_ok in
+  check_bool "monotone when clean" true (faster > good)
+
+let test_vivace_converges_near_capacity () =
+  let link =
+    { Netsim.Network.rate_fn = (fun _ -> Netsim.Units.mbps_to_bps 24.0);
+      grain = 0.02; buffer_bytes = Netsim.Units.kb 150; loss_p = 0.0 ; aqm = `Fifo}
+  in
+  let flows =
+    [ { Netsim.Network.cca = Rlcc.Vivace.make (); start_at = 0.0; stop_at = 15.0; rtt = 0.03 } ]
+  in
+  let s = Netsim.Network.run ~link ~flows ~duration:15.0 () in
+  check_bool "utilization over 70%" true (Netsim.Network.utilization s > 0.7);
+  match s.Netsim.Network.flows with
+  | [ f ] ->
+    check_bool "low loss" true (Netsim.Flow_stats.loss_rate f.Netsim.Network.stats < 0.05)
+  | _ -> Alcotest.fail "one flow"
+
+(* ------------------------------------------------------------------ *)
+(* Tagger *)
+
+let test_tagger_routes_by_seq () =
+  let tagger = Netsim.Tagger.create ~initial:"a" in
+  Netsim.Tagger.mark tagger "b";
+  Netsim.Tagger.on_send tagger ~seq:10;
+  Alcotest.(check string) "before boundary" "a" (Netsim.Tagger.on_ack tagger ~seq:9);
+  Alcotest.(check string) "at boundary" "b" (Netsim.Tagger.on_ack tagger ~seq:10);
+  Alcotest.(check string) "after" "b" (Netsim.Tagger.on_ack tagger ~seq:11)
+
+(* ------------------------------------------------------------------ *)
+(* Training (slow) *)
+
+let test_training_improves_reward () =
+  let cfg = { Rlcc.Train.default_config with Rlcc.Train.episodes = 100 } in
+  let outcome = Rlcc.Train.run cfg in
+  let r = outcome.Rlcc.Train.episode_rewards in
+  let n = Array.length r in
+  let mean a = Array.fold_left ( +. ) 0.0 a /. float_of_int (Array.length a) in
+  let early = mean (Array.sub r 0 10) and late = mean (Array.sub r (n - 20) 20) in
+  check_bool
+    (Printf.sprintf "reward improved (%.0f -> %.0f)" early late)
+    true (late > early)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "rlcc"
+    [
+      ( "nn",
+        [
+          Alcotest.test_case "deterministic forward" `Quick test_nn_forward_deterministic;
+          Alcotest.test_case "output dims" `Quick test_nn_output_dims;
+          Alcotest.test_case "param gradients" `Quick
+            test_nn_gradients_match_finite_differences;
+          Alcotest.test_case "input gradient" `Quick test_nn_input_gradient;
+        ]
+        @ qsuite [ prop_forward_count_increments ] );
+      ("adam", [ Alcotest.test_case "minimises quadratic" `Quick test_adam_minimises_quadratic ]);
+      ( "ppo",
+        [
+          Alcotest.test_case "logprob peak" `Quick test_ppo_logprob_peak_at_mean;
+          Alcotest.test_case "gae" `Quick test_ppo_gae_discounts;
+          Alcotest.test_case "learns a bandit" `Slow test_ppo_learns_a_bandit;
+        ] );
+      ( "env",
+        [
+          Alcotest.test_case "below capacity" `Quick test_env_conserves_fluid;
+          Alcotest.test_case "overload" `Quick test_env_overload_loses;
+        ]
+        @ qsuite [ prop_env_loss_rate_bounded ] );
+      ( "features",
+        [
+          Alcotest.test_case "widths" `Quick test_feature_widths;
+          Alcotest.test_case "history order" `Quick test_history_stacks_oldest_first;
+          Alcotest.test_case "mimd clamp" `Quick test_actions_mimd_orca_range;
+        ]
+        @ qsuite [ prop_actions_bounded ] );
+      ( "reward",
+        [
+          Alcotest.test_case "monotone throughput" `Quick test_reward_monotone_in_throughput;
+          Alcotest.test_case "penalties" `Quick test_reward_penalises_loss_and_delay;
+          Alcotest.test_case "no-loss variant" `Quick test_reward_without_loss_ignores_loss;
+          Alcotest.test_case "delta tracker" `Quick test_reward_delta_tracker;
+        ] );
+      ( "vivace",
+        [
+          Alcotest.test_case "utility shape" `Quick test_vivace_utility_shape;
+          Alcotest.test_case "converges" `Slow test_vivace_converges_near_capacity;
+        ] );
+      ("tagger", [ Alcotest.test_case "routes by seq" `Quick test_tagger_routes_by_seq ]);
+      ("train", [ Alcotest.test_case "improves" `Slow test_training_improves_reward ]);
+    ]
