@@ -1,0 +1,15 @@
+.PHONY: all check bench clean
+
+all:
+	dune build
+
+# Tier-1 gate: build + full test suite (incl. the sequential-vs-parallel
+# determinism tests) + bench micro smoke.
+check:
+	dune build @tier1
+
+bench:
+	dune exec bench/main.exe -- all
+
+clean:
+	dune clean

@@ -103,15 +103,74 @@ let run_micro () =
 
 (* ------------------------------------------------------------------ *)
 
+(* Run every experiment group on the domain pool, timing each; print
+   the buffered reports in registry order. *)
+let run_all_timed () =
+  let pool = Exec.Pool.default () in
+  (* Train the four shared evaluation policies up front, in parallel,
+     so the per-group timings below measure the experiments themselves
+     rather than whichever group happens to fault a policy in first. *)
+  Rlcc.Pretrained.warm ~pool ();
+  let gs = Array.of_list (Harness.Registry.groups ()) in
+  let results =
+    Exec.Pool.map pool
+      (fun e ->
+        let t0 = Unix.gettimeofday () in
+        let r = e.Harness.Registry.run () in
+        (e.Harness.Registry.group, r, Unix.gettimeofday () -. t0))
+      gs
+  in
+  Array.iter (fun (_, r, _) -> Harness.Report.print r) results;
+  Array.to_list (Array.map (fun (g, _, s) -> (g, s)) results)
+
+(* BENCH_results.json: experiment group -> wall-clock seconds, plus the
+   pool size, so the perf trajectory is trackable across PRs. Written
+   atomically via a temp file. *)
+let write_bench_json ~scale ~timed =
+  let path = "BENCH_results.json" in
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  Printf.fprintf oc "{\n  \"domains\": %d,\n  \"scale\": %S,\n"
+    (Exec.Pool.size (Exec.Pool.default ()))
+    scale;
+  output_string oc "  \"experiments\": {\n";
+  let n = List.length timed in
+  List.iteri
+    (fun i (group, seconds) ->
+      Printf.fprintf oc "    %S: %.3f%s\n" group seconds
+        (if i < n - 1 then "," else ""))
+    timed;
+  output_string oc "  },\n";
+  Printf.fprintf oc "  \"total_wall_s\": %.3f\n"
+    (List.fold_left (fun a (_, s) -> a +. s) 0.0 timed);
+  output_string oc "}\n";
+  close_out oc;
+  Sys.rename tmp path;
+  Printf.printf "\n[bench] wrote %s\n" path
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let full = List.mem "--full" args in
   let args = List.filter (fun a -> a <> "--full") args in
+  (* --domains N overrides LIBRA_DOMAINS / the detected core count. *)
+  let rec strip_domains = function
+    | "--domains" :: n :: rest ->
+      (match int_of_string_opt n with
+      | Some d when d >= 1 -> Exec.Pool.set_default_size d
+      | _ ->
+        Printf.eprintf "invalid --domains %S (want a positive integer)\n" n;
+        exit 2);
+      strip_domains rest
+    | a :: rest -> a :: strip_domains rest
+    | [] -> []
+  in
+  let args = strip_domains args in
   Harness.Scale.set (if full then Harness.Scale.full else Harness.Scale.quick);
-  let t0 = Sys.time () in
+  let t0 = Unix.gettimeofday () in
   (match args with
   | [] | [ "all" ] ->
-    Harness.Registry.run_all ();
+    let timed = run_all_timed () in
+    write_bench_json ~scale:(if full then "full" else "quick") ~timed;
     run_micro ()
   | [ "micro" ] -> run_micro ()
   | ids ->
@@ -120,9 +179,11 @@ let () =
         if id = "micro" then run_micro ()
         else
           match Harness.Registry.find id with
-          | Some e -> e.Harness.Registry.run ()
+          | Some e -> Harness.Report.print (e.Harness.Registry.run ())
           | None ->
             Printf.eprintf "unknown experiment %S (known: %s, micro)\n" id
               (String.concat ", " (Harness.Registry.ids ())))
       ids);
-  Printf.printf "\n[bench] total CPU time: %.1fs\n" (Sys.time () -. t0)
+  Printf.printf "\n[bench] %d domain(s), total wall time: %.1fs\n"
+    (Exec.Pool.size (Exec.Pool.default ()))
+    (Unix.gettimeofday () -. t0)

@@ -6,7 +6,13 @@
 
 open Cmdliner
 
-let run_cmd full ids all =
+let run_cmd full domains ids all =
+  (match domains with
+  | Some d when d < 1 ->
+    Printf.eprintf "invalid --domains %d (want a positive integer)\n" d;
+    exit 2
+  | _ -> ());
+  Option.iter Exec.Pool.set_default_size domains;
   Harness.Scale.set (if full then Harness.Scale.full else Harness.Scale.quick);
   if all || ids = [] then begin
     Harness.Registry.run_all ();
@@ -26,7 +32,7 @@ let run_cmd full ids all =
       List.iter
         (fun id ->
           match Harness.Registry.find id with
-          | Some e -> e.Harness.Registry.run ()
+          | Some e -> Harness.Report.print (e.Harness.Registry.run ())
           | None -> ())
         ids;
       0
@@ -34,12 +40,20 @@ let run_cmd full ids all =
   end
 
 let full = Arg.(value & flag & info [ "full" ] ~doc:"paper-scale durations")
+
+let domains =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "domains" ] ~docv:"N"
+        ~doc:"size of the domain pool (default: \\$LIBRA_DOMAINS or core count)")
+
 let all = Arg.(value & flag & info [ "all" ] ~doc:"run every experiment")
 let ids = Arg.(value & pos_all string [] & info [] ~docv:"ID")
 
 let cmd =
   Cmd.v
     (Cmd.info "experiments" ~doc:"reproduce the paper's tables and figures")
-    Term.(const run_cmd $ full $ ids $ all)
+    Term.(const run_cmd $ full $ domains $ ids $ all)
 
 let () = exit (Cmd.eval' cmd)

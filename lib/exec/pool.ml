@@ -1,0 +1,180 @@
+(* Domain pool: a mutex-protected FIFO of thunks served by [size - 1]
+   worker domains, plus whoever is waiting on a batch.
+
+   The waiting caller helps execute queued tasks instead of blocking,
+   which makes nested [map] calls safe: every level of the experiment
+   harness (registry -> experiment -> scenario -> seed repetition) can
+   fan out on the same pool without reserving a domain per level. *)
+
+type task = unit -> unit
+
+type t = {
+  size : int;
+  queue : task Queue.t;
+  lock : Mutex.t;
+  work_ready : Condition.t;
+  mutable stopping : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let push_task t task =
+  Mutex.lock t.lock;
+  if t.stopping then begin
+    Mutex.unlock t.lock;
+    invalid_arg "Exec.Pool: pool is shut down"
+  end;
+  Queue.push task t.queue;
+  Condition.signal t.work_ready;
+  Mutex.unlock t.lock
+
+let try_pop t =
+  Mutex.lock t.lock;
+  let task = Queue.take_opt t.queue in
+  Mutex.unlock t.lock;
+  task
+
+(* Worker loop: run queued tasks until shutdown. *)
+let worker t () =
+  let rec loop () =
+    Mutex.lock t.lock;
+    while Queue.is_empty t.queue && not t.stopping do
+      Condition.wait t.work_ready t.lock
+    done;
+    let task = Queue.take_opt t.queue in
+    Mutex.unlock t.lock;
+    match task with
+    | Some task ->
+      task ();
+      loop ()
+    | None -> if not t.stopping then loop ()
+  in
+  loop ()
+
+let create ~size () =
+  let size = max 1 size in
+  let t =
+    {
+      size;
+      queue = Queue.create ();
+      lock = Mutex.create ();
+      work_ready = Condition.create ();
+      stopping = false;
+      workers = [];
+    }
+  in
+  if size > 1 then
+    t.workers <- List.init (size - 1) (fun _ -> Domain.spawn (worker t));
+  t
+
+let sequential = create ~size:1 ()
+
+let size t = t.size
+
+let shutdown t =
+  Mutex.lock t.lock;
+  t.stopping <- true;
+  Condition.broadcast t.work_ready;
+  Mutex.unlock t.lock;
+  List.iter Domain.join t.workers;
+  t.workers <- []
+
+(* A batch: one [map] call's tasks, with its own completion latch. *)
+type batch = {
+  b_lock : Mutex.t;
+  b_done : Condition.t;
+  mutable left : int;
+}
+
+let batch_task_finished batch =
+  Mutex.lock batch.b_lock;
+  batch.left <- batch.left - 1;
+  if batch.left = 0 then Condition.broadcast batch.b_done;
+  Mutex.unlock batch.b_lock
+
+(* Wait for [batch] while helping: drain any queued task (ours or a
+   sibling batch's); only sleep once the queue is empty, i.e. all of our
+   tasks are at worst in flight on other domains. *)
+let rec help_until_done t batch =
+  let finished =
+    Mutex.lock batch.b_lock;
+    let f = batch.left = 0 in
+    Mutex.unlock batch.b_lock;
+    f
+  in
+  if not finished then
+    match try_pop t with
+    | Some task ->
+      task ();
+      help_until_done t batch
+    | None ->
+      Mutex.lock batch.b_lock;
+      while batch.left > 0 do
+        Condition.wait batch.b_done batch.b_lock
+      done;
+      Mutex.unlock batch.b_lock
+
+let map t f arr =
+  let n = Array.length arr in
+  if t.size <= 1 || n <= 1 then Array.map f arr
+  else begin
+    let results : ('b, exn) result option array = Array.make n None in
+    let batch =
+      { b_lock = Mutex.create (); b_done = Condition.create (); left = n }
+    in
+    for i = 0 to n - 1 do
+      push_task t (fun () ->
+          let r = try Ok (f arr.(i)) with e -> Error e in
+          results.(i) <- Some r;
+          batch_task_finished batch)
+    done;
+    help_until_done t batch;
+    Array.map
+      (function
+        | Some (Ok v) -> v
+        | Some (Error e) -> raise e
+        | None -> assert false)
+      results
+  end
+
+let map_list t f l = Array.to_list (map t f (Array.of_list l))
+
+let map_reduce t ~f ~reduce ~init arr =
+  Array.fold_left reduce init (map t f arr)
+
+(* ------------------------------------------------------------------ *)
+(* The shared default pool. *)
+
+let env_size () =
+  match Sys.getenv_opt "LIBRA_DOMAINS" with
+  | Some s -> (match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> Some n
+    | _ -> None)
+  | None -> None
+
+let requested_size = ref None
+
+let default_size () =
+  match !requested_size with
+  | Some n -> n
+  | None ->
+    (match env_size () with
+    | Some n -> n
+    | None -> Domain.recommended_domain_count ())
+
+let default_pool = ref None
+
+let default () =
+  match !default_pool with
+  | Some t when t.size = default_size () && not t.stopping -> t
+  | existing ->
+    Option.iter shutdown existing;
+    let t = create ~size:(default_size ()) () in
+    default_pool := Some t;
+    t
+
+let set_default_size n =
+  if n < 1 then invalid_arg "Exec.Pool.set_default_size";
+  requested_size := Some n
+
+(* Workers still parked at exit would keep the process alive. *)
+let () = at_exit (fun () -> Option.iter shutdown !default_pool)

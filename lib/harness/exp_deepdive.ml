@@ -94,7 +94,7 @@ let run_fig18 () =
           c_libra));
   (* Summary: how close is Libra to its ideal on average? *)
   let mean s = Array.fold_left (fun a (_, v) -> a +. v) 0.0 s /. float_of_int (Array.length s) in
-  Printf.printf "mean normalised utility: c-libra %.2f vs c-ideal %.2f; b-libra %.2f vs b-ideal %.2f\n"
+  Report.printf "mean normalised utility: c-libra %.2f vs c-ideal %.2f; b-libra %.2f vs b-ideal %.2f\n"
     (mean c_libra) (mean c_ideal) (mean b_libra) (mean b_ideal)
 
 let run () =

@@ -115,7 +115,7 @@ let run_codel () =
       ]
   in
   Table.print ~header:[ "configuration"; "utilization"; "avg delay(ms)"; "loss" ] rows;
-  print_endline
+  Report.text
     "Libra keeps the deep droptail buffer empty end-to-end; CUBIC needs the\n\
      network's help (CoDel) for comparable delay -- the paper's Sec. 2\n\
      flexibility argument.";
@@ -126,7 +126,7 @@ let run_codel () =
     Scenario.run_mixed ~flows:[ (Ccas.cubic, 0.0); (Ccas.cubic, 0.0) ]
       ~duration:scale.Scale.duration spec
   in
-  Printf.printf "jain index: %.3f\n" (Scenario.jain ~duration:scale.Scale.duration summary)
+  Report.printf "jain index: %.3f\n" (Scenario.jain ~duration:scale.Scale.duration summary)
 
 let run () =
   run_other_classics ();

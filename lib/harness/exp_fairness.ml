@@ -35,7 +35,7 @@ let run_fig13 () =
          let jain = Scenario.jain ~duration summary in
          [ name; Table.f2 share; Table.f2 (1.0 -. share); Table.f3 jain ])
        candidates);
-  print_endline "optimal share: 0.50 each"
+  Report.text "optimal share: 0.50 each"
 
 let run_fig14 () =
   let scale = Scale.get () in

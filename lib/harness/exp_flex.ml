@@ -70,7 +70,7 @@ let vs_cubic ~traces ~label () =
       variants
   in
   Table.print ~header:[ "variant"; "thr share"; "delay(ms)" ] rows;
-  print_endline "share 0.50 = fair split with CUBIC"
+  Report.text "share 0.50 = fair split with CUBIC"
 
 let run () =
   let scale = Scale.get () in

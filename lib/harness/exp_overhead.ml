@@ -39,7 +39,7 @@ let run () =
               (fun (_, r) -> Table.f3 (Exp_fig2.projected_cpu r /. max_cpu))
               per)
        reports);
-  print_endline
+  Report.text
     "cells: CPU per simulated second with DRL inference priced at the
      paper's 2x512 network size, normalised (see DESIGN.md)";
   (* Mean reduction of Libra vs each learning-based CCA, as in Sec. 5.3. *)

@@ -42,8 +42,9 @@ let print_curves ~points curves =
 let run_fig5 () =
   let scale = Scale.get () in
   Table.heading "Fig. 5: reward curves of different CCAs' state spaces";
+  (* The state-space variants train independently; fan them out. *)
   let curves =
-    List.map
+    Exec.Pool.map_list (Exec.Pool.default ())
       (fun set ->
         let outcome = train_with ~episodes:scale.Scale.train_episodes set in
         ( set.Rlcc.Features.set_name,
@@ -56,13 +57,13 @@ let run_fig5 () =
   let best = List.fold_left (fun a c -> if final c > final a then c else a)
       (List.hd curves) (List.tl curves)
   in
-  Printf.printf "best final reward: %s\n" (fst best)
+  Report.printf "best final reward: %s\n" (fst best)
 
 let run_tab2 () =
   let scale = Scale.get () in
   Table.heading "Tab. 2: state-space search around the baseline";
   let outcomes =
-    List.map
+    Exec.Pool.map_list (Exec.Pool.default ())
       (fun (label, set) ->
         (label, train_with ~episodes:scale.Scale.train_episodes set))
       Rlcc.Features.tab2_variants
@@ -107,7 +108,7 @@ let run_fig6 () =
     ]
   in
   let curves =
-    List.map
+    Exec.Pool.map_list (Exec.Pool.default ())
       (fun (label, action) ->
         let outcome =
           train_with ~episodes:scale.Scale.train_episodes ~action Rlcc.Features.libra
@@ -197,7 +198,7 @@ let run_tab4 () =
       [ ("r", false); ("delta-r", true) ]
   in
   Table.print ~header:[ "setting"; "throughput"; "latency"; "loss rate"; "fairness" ] rows;
-  print_endline
+  Report.text
     "note: at this repository's reduced training scale delta-r fails to train\n\
      (see DESIGN.md); the paper's full-scale result favours delta-r."
 

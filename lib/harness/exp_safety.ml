@@ -20,6 +20,7 @@ let run () =
   let scale = Scale.get () in
   let duration = scale.Scale.duration in
   let trials = scale.Scale.safety_trials in
+  let pool = Exec.Pool.default () in
   Table.heading
     (Printf.sprintf "Tab. 6: link-utilization statistics over %d trials" trials);
   let stats =
@@ -28,8 +29,10 @@ let run () =
         ( scn_name,
           List.map
             (fun (cca_name, factory) ->
+              (* Each trial is seed-deterministic; fan them out. *)
               let utils =
-                Array.init trials (fun trial ->
+                Exec.Pool.map pool
+                  (fun trial ->
                     let spec =
                       Scenario.make_spec ~rtt:0.03 ~buffer_kb:150 (trace_of trial)
                     in
@@ -38,11 +41,21 @@ let run () =
                         spec
                     in
                     o.Scenario.utilization)
+                  (Array.init trials Fun.id)
               in
               (cca_name, Metrics.Safety.of_trials utils))
             candidates ))
       (scenarios ~duration)
   in
+  List.iter
+    (fun (scn, per) ->
+      List.iter
+        (fun (cca, s) ->
+          Report.resultf
+            (Printf.sprintf "%s/%s/stddev" scn cca)
+            "%.6f" s.Metrics.Safety.stddev)
+        per)
+    stats;
   let row label f =
     List.concat_map
       (fun (_, per) -> List.map (fun (_, s) -> Table.f3 (f s)) per)

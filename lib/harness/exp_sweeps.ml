@@ -36,7 +36,7 @@ let run_fig9 () =
       buffer_points_kb
   in
   Table.print ~header:("buffer" :: List.map fst candidates) rows;
-  print_endline "cells: link-utilization / avg-delay(ms)"
+  Report.text "cells: link-utilization / avg-delay(ms)"
 
 let loss_points = [ 0.0; 0.02; 0.04; 0.06; 0.08; 0.10 ]
 
@@ -62,7 +62,7 @@ let run_fig10 () =
       loss_points
   in
   Table.print ~header:("loss" :: List.map fst candidates) rows;
-  print_endline "cells: link utilization"
+  Report.text "cells: link utilization"
 
 let run () =
   run_fig9 ();

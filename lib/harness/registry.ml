@@ -1,51 +1,73 @@
 (* Experiment registry: every table and figure of the paper's
    evaluation, addressable by id from the bench executable and the CLI.
-   DESIGN.md's per-experiment index mirrors this list. *)
+   DESIGN.md's per-experiment index mirrors this list.
 
-type entry = { id : string; what : string; run : unit -> unit; group : string }
+   Each entry's [run] yields a buffered {!Report.t} (see report.ml), so
+   experiment groups can execute concurrently on the domain pool while
+   [run_all] still renders output in registry order — byte-identical to
+   a sequential run. *)
+
+type entry = { id : string; what : string; run : unit -> Report.t; group : string }
+
+let e id what runner group = { id; what; run = (fun () -> Report.capture runner); group }
 
 let all =
   [
-    { id = "fig1"; what = "adaptability under wired/cellular networks"; run = Exp_fig1.run; group = "fig1" };
-    { id = "fig2a"; what = "throughput over the step-scenario"; run = Exp_fig2.run_fig2a; group = "fig2a" };
-    { id = "fig2b"; what = "CDF of link utilization over cellular runs"; run = Exp_fig2.run_fig2b; group = "fig2b" };
-    { id = "fig2c"; what = "normalised overhead comparison"; run = Exp_fig2.run_fig2c; group = "fig2c" };
-    { id = "fig5"; what = "reward curves per state space"; run = Exp_rl_design.run_fig5; group = "fig5" };
-    { id = "tab2"; what = "state-space add/remove search"; run = Exp_rl_design.run_tab2; group = "tab2" };
-    { id = "fig6"; what = "AIAD vs MIMD action spaces"; run = Exp_rl_design.run_fig6; group = "fig6" };
-    { id = "tab3"; what = "reward with/without loss term"; run = Exp_rl_design.run_tab3; group = "tab3" };
-    { id = "tab4"; what = "reward r vs delta-r"; run = Exp_rl_design.run_tab4; group = "tab4" };
-    { id = "fig7"; what = "throughput/delay scatter over 8 traces"; run = Exp_fig7.run; group = "fig7" };
-    { id = "fig8"; what = "following LTE capacity"; run = Exp_fig8.run; group = "fig8" };
-    { id = "fig9"; what = "buffer-size sweep"; run = Exp_sweeps.run_fig9; group = "fig9" };
-    { id = "fig10"; what = "stochastic-loss sweep"; run = Exp_sweeps.run_fig10; group = "fig10" };
-    { id = "fig11"; what = "flexibility via utility preferences"; run = Exp_flex.run; group = "fig11" };
-    { id = "fig12"; what = "CPU overhead vs link capacity"; run = Exp_overhead.run; group = "fig12" };
-    { id = "fig13"; what = "inter-protocol fairness vs CUBIC"; run = Exp_fairness.run_fig13; group = "fig13" };
-    { id = "fig14"; what = "intra-protocol fairness"; run = Exp_fairness.run_fig14; group = "fig14" };
-    { id = "fig15"; what = "convergence of three staggered flows"; run = Exp_convergence.run; group = "fig15" };
-    { id = "tab5"; what = "quantitative convergence (part of fig15)"; run = Exp_convergence.run; group = "fig15" };
-    { id = "tab6"; what = "safety assurance over repeated trials"; run = Exp_safety.run; group = "tab6" };
-    { id = "fig16"; what = "synthetic live-Internet scenarios"; run = Exp_wan.run; group = "fig16" };
-    { id = "fig17"; what = "fraction of applied decisions"; run = Exp_deepdive.run_fig17; group = "fig17" };
-    { id = "fig18"; what = "Libra vs ideal combination"; run = Exp_deepdive.run_fig18; group = "fig18" };
-    { id = "fig19"; what = "stage-duration sensitivity"; run = Exp_sensitivity.run_fig19; group = "fig19" };
-    { id = "tab7"; what = "switching-threshold sensitivity"; run = Exp_sensitivity.run_tab7; group = "tab7" };
-    { id = "ablate"; what = "eval-order / exploitation ablations"; run = Exp_ablation.run; group = "ablate" };
-    { id = "extend"; what = "Sec. 7 extensions: other CCAs, satellite/5G, CoDel"; run = Exp_extension.run; group = "extend" };
+    e "fig1" "adaptability under wired/cellular networks" Exp_fig1.run "fig1";
+    e "fig2a" "throughput over the step-scenario" Exp_fig2.run_fig2a "fig2a";
+    e "fig2b" "CDF of link utilization over cellular runs" Exp_fig2.run_fig2b "fig2b";
+    e "fig2c" "normalised overhead comparison" Exp_fig2.run_fig2c "fig2c";
+    e "fig5" "reward curves per state space" Exp_rl_design.run_fig5 "fig5";
+    e "tab2" "state-space add/remove search" Exp_rl_design.run_tab2 "tab2";
+    e "fig6" "AIAD vs MIMD action spaces" Exp_rl_design.run_fig6 "fig6";
+    e "tab3" "reward with/without loss term" Exp_rl_design.run_tab3 "tab3";
+    e "tab4" "reward r vs delta-r" Exp_rl_design.run_tab4 "tab4";
+    e "fig7" "throughput/delay scatter over 8 traces" Exp_fig7.run "fig7";
+    e "fig8" "following LTE capacity" Exp_fig8.run "fig8";
+    e "fig9" "buffer-size sweep" Exp_sweeps.run_fig9 "fig9";
+    e "fig10" "stochastic-loss sweep" Exp_sweeps.run_fig10 "fig10";
+    e "fig11" "flexibility via utility preferences" Exp_flex.run "fig11";
+    e "fig12" "CPU overhead vs link capacity" Exp_overhead.run "fig12";
+    e "fig13" "inter-protocol fairness vs CUBIC" Exp_fairness.run_fig13 "fig13";
+    e "fig14" "intra-protocol fairness" Exp_fairness.run_fig14 "fig14";
+    e "fig15" "convergence of three staggered flows" Exp_convergence.run "fig15";
+    e "tab5" "quantitative convergence (part of fig15)" Exp_convergence.run "fig15";
+    e "tab6" "safety assurance over repeated trials" Exp_safety.run "tab6";
+    e "fig16" "synthetic live-Internet scenarios" Exp_wan.run "fig16";
+    e "fig17" "fraction of applied decisions" Exp_deepdive.run_fig17 "fig17";
+    e "fig18" "Libra vs ideal combination" Exp_deepdive.run_fig18 "fig18";
+    e "fig19" "stage-duration sensitivity" Exp_sensitivity.run_fig19 "fig19";
+    e "tab7" "switching-threshold sensitivity" Exp_sensitivity.run_tab7 "tab7";
+    e "ablate" "eval-order / exploitation ablations" Exp_ablation.run "ablate";
+    e "extend" "Sec. 7 extensions: other CCAs, satellite/5G, CoDel" Exp_extension.run "extend";
   ]
 
 let find id = List.find_opt (fun e -> e.id = id) all
 
 let ids () = List.map (fun e -> e.id) all
 
-(* fig15 and tab5 share a runner; don't run it twice in run_all. *)
-let run_all () =
+(* One representative entry per group, in registry order (fig15 and
+   tab5 share a runner; don't run it twice). *)
+let groups () =
   let seen = Hashtbl.create 8 in
-  List.iter
+  List.filter
     (fun e ->
-      if not (Hashtbl.mem seen e.group) then begin
+      if Hashtbl.mem seen e.group then false
+      else begin
         Hashtbl.replace seen e.group ();
-        e.run ()
+        true
       end)
     all
+
+(* Run every experiment group, fanned out across [pool]; collect the
+   buffered reports and return them in registry order. Rendering is
+   decoupled from execution, so the concatenated output is identical at
+   any pool size. *)
+let run_all_reports ?pool () =
+  let pool = match pool with Some p -> p | None -> Exec.Pool.default () in
+  let gs = Array.of_list (groups ()) in
+  let reports = Exec.Pool.map pool (fun e -> e.run ()) gs in
+  Array.to_list (Array.map2 (fun e r -> (e.group, r)) gs reports)
+
+let run_all ?pool () =
+  List.iter (fun (_, r) -> Report.print r) (run_all_reports ?pool ())

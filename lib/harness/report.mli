@@ -1,0 +1,47 @@
+(** Buffered experiment reports: lines plus key/value results.
+
+    Experiments run under {!capture}, which installs a domain-local sink;
+    everything emitted via {!printf}/{!text} (including all of [Table])
+    is buffered into the report. The registry renders finished reports in
+    registry order, making output byte-identical regardless of how many
+    domains ran the experiments. The sink is saved and restored around
+    nested captures, so pool domains helping with other experiments'
+    tasks attribute output correctly. *)
+
+type t
+
+val create : unit -> t
+
+(** Append one line to the report. *)
+val line : t -> string -> unit
+
+val linef : t -> ('a, unit, string, unit) format4 -> 'a
+
+(** Record a key/value result (machine-readable side channel; not part
+    of the rendered text). *)
+val kv : t -> string -> string -> unit
+
+val kvf : t -> string -> ('a, unit, string, unit) format4 -> 'a
+
+(** Key/value results in insertion order. *)
+val results : t -> (string * string) list
+
+(** The buffered text. *)
+val render : t -> string
+
+val print : t -> unit
+
+(** Run [f] with a fresh report installed as this domain's sink; returns
+    the report. Nested captures save and restore the outer sink. *)
+val capture : (unit -> unit) -> t
+
+(** Emit into the current sink, or stdout when no capture is active. *)
+val printf : ('a, unit, string, unit) format4 -> 'a
+
+val text : string -> unit
+
+(** Record a key/value result on the current sink (no-op outside
+    [capture]). *)
+val result : string -> string -> unit
+
+val resultf : string -> ('a, unit, string, unit) format4 -> 'a

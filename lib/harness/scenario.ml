@@ -18,6 +18,7 @@ let make_spec ?(rtt = 0.03) ?(buffer_kb = 150) ?(loss_p = 0.0) ?(aqm = `Fifo) tr
 let link_of spec =
   {
     Netsim.Network.rate_fn = Traces.Rate.fn spec.trace;
+    const_rate = Traces.Rate.const_bps spec.trace;
     grain = Traces.Rate.grain spec.trace;
     buffer_bytes = spec.buffer_bytes;
     loss_p = spec.loss_p;
@@ -71,14 +72,19 @@ let run_uniform ?(seed = 1) ?(n_flows = 1) ~factory ~duration spec =
     summary;
   }
 
-(* Average an outcome over [runs] seeds. *)
-let averaged ?(base_seed = 1) ~runs ~factory ~duration spec =
+(* Average an outcome over [runs] seeds. Each repetition is an isolated,
+   seed-deterministic simulation, so they fan out across the pool; the
+   averages fold in seed order, keeping the result bit-identical to a
+   sequential run at any pool size. *)
+let averaged ?pool ?(base_seed = 1) ~runs ~factory ~duration spec =
+  let pool = match pool with Some p -> p | None -> Exec.Pool.default () in
   let outcomes =
-    List.init runs (fun i ->
-        run_uniform ~seed:(base_seed + (7919 * i)) ~factory ~duration spec)
+    Exec.Pool.map pool
+      (fun i -> run_uniform ~seed:(base_seed + (7919 * i)) ~factory ~duration spec)
+      (Array.init runs Fun.id)
   in
   let n = float_of_int runs in
-  let avg f = List.fold_left (fun a o -> a +. f o) 0.0 outcomes /. n in
+  let avg f = Array.fold_left (fun a o -> a +. f o) 0.0 outcomes /. n in
   ( avg (fun o -> o.utilization),
     avg (fun o -> o.mean_delay),
     avg (fun o -> o.loss_rate),

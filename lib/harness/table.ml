@@ -3,9 +3,9 @@
 
 let heading title =
   let bar = String.make (String.length title) '=' in
-  Printf.printf "\n%s\n%s\n" title bar
+  Report.printf "\n%s\n%s\n" title bar
 
-let subheading title = Printf.printf "\n-- %s --\n" title
+let subheading title = Report.printf "\n-- %s --\n" title
 
 (* Print rows with left-aligned first column and right-aligned cells. *)
 let print ~header rows =
@@ -19,10 +19,10 @@ let print ~header rows =
     List.iteri
       (fun c cell ->
         let w = List.nth widths c in
-        if c = 0 then Printf.printf "%-*s" (w + 2) cell
-        else Printf.printf "%*s  " w cell)
+        if c = 0 then Report.printf "%-*s" (w + 2) cell
+        else Report.printf "%*s  " w cell)
       row;
-    print_newline ()
+    Report.printf "\n"
   in
   print_row header;
   print_row (List.map (fun w -> String.make w '-') widths);

@@ -1,12 +1,12 @@
-(** Decision-cost accounting (Fig. 2(c), Fig. 12): CPU time,
-    minor-heap allocation and neural-network forward passes inside a
-    CCA's callbacks, per simulated second. *)
+(** Decision-cost accounting (Fig. 2(c), Fig. 12): callbacks and
+    neural-network forward passes inside a CCA's callbacks, priced at
+    fixed calibrated per-operation costs. Deterministic by construction
+    (counting, not timing), so overhead reports are bit-identical across
+    runs and pool sizes. *)
 
 type ledger = {
-  mutable cpu_time : float;
   mutable callbacks : int;
   mutable nn_forwards : int;
-  mutable allocated_words : float;
 }
 
 val create : unit -> ledger
@@ -18,9 +18,9 @@ val timed : ledger -> (unit -> 'a) -> 'a
 val wrap : ledger -> Netsim.Cca.t -> Netsim.Cca.t
 
 type report = {
-  cpu_per_sim_s : float;
+  cpu_per_sim_s : float;  (** priced CPU seconds per simulated second *)
   forwards_per_sim_s : float;
-  kwords_per_sim_s : float;
+  kwords_per_sim_s : float;  (** priced minor-heap kwords per simulated second *)
 }
 
 val report : ledger -> sim_seconds:float -> report

@@ -1,7 +1,13 @@
 (* Binary min-heap of timed events.
 
    Events firing at equal times are delivered in insertion order, which a
-   sequence number enforces; this keeps simulations deterministic. *)
+   sequence number enforces; this keeps simulations deterministic.
+
+   This is the simulator's hottest structure (every packet send, ACK and
+   timer is one push/pop), so the sift loops are top-level recursive
+   functions — no per-operation closure or ref-cell allocation — and the
+   event-loop path pops the pushed entry record itself rather than
+   building a fresh option-of-tuple. *)
 
 type entry = { time : float; seq : int; action : unit -> unit }
 
@@ -26,50 +32,55 @@ let grow t =
   Array.blit t.entries 0 entries 0 t.size;
   t.entries <- entries
 
+(* Move [entry] up from hole [i] until its parent is not later. *)
+let rec sift_up t entry i =
+  if i = 0 then t.entries.(0) <- entry
+  else
+    let parent = (i - 1) / 2 in
+    if before entry t.entries.(parent) then begin
+      t.entries.(i) <- t.entries.(parent);
+      sift_up t entry parent
+    end
+    else t.entries.(i) <- entry
+
 let push t ~time action =
   if t.size = Array.length t.entries then grow t;
   let entry = { time; seq = t.next_seq; action } in
   t.next_seq <- t.next_seq + 1;
-  (* Sift up. *)
-  let rec up i =
-    if i = 0 then t.entries.(0) <- entry
-    else
-      let parent = (i - 1) / 2 in
-      if before entry t.entries.(parent) then begin
-        t.entries.(i) <- t.entries.(parent);
-        up parent
-      end
-      else t.entries.(i) <- entry
-  in
-  up t.size;
+  sift_up t entry t.size;
   t.size <- t.size + 1
 
 let peek_time t = if t.size = 0 then None else Some t.entries.(0).time
 
+(* Move [item] down from hole [i], pulling the earlier child up. *)
+let rec sift_down t item i =
+  let l = (2 * i) + 1 in
+  if l >= t.size then t.entries.(i) <- item
+  else begin
+    let r = l + 1 in
+    let c = if r < t.size && before t.entries.(r) t.entries.(l) then r else l in
+    if before t.entries.(c) item then begin
+      t.entries.(i) <- t.entries.(c);
+      sift_down t item c
+    end
+    else t.entries.(i) <- item
+  end
+
+exception Empty
+
+(* The entry record allocated at push time is returned as-is; guarded
+   callers (see [Sim.run]) pay no allocation per pop. *)
+let pop_entry_exn t =
+  if t.size = 0 then raise Empty;
+  let top = t.entries.(0) in
+  t.size <- t.size - 1;
+  let last = t.entries.(t.size) in
+  t.entries.(t.size) <- dummy;
+  if t.size > 0 then sift_down t last 0;
+  top
+
 let pop t =
   if t.size = 0 then None
-  else begin
-    let top = t.entries.(0) in
-    t.size <- t.size - 1;
-    let last = t.entries.(t.size) in
-    t.entries.(t.size) <- dummy;
-    if t.size > 0 then begin
-      (* Sift down. *)
-      let rec down i =
-        let l = (2 * i) + 1 and r = (2 * i) + 2 in
-        let smallest = ref i and holder = ref last in
-        if l < t.size && before t.entries.(l) !holder then begin
-          smallest := l;
-          holder := t.entries.(l)
-        end;
-        if r < t.size && before t.entries.(r) !holder then smallest := r;
-        if !smallest = i then t.entries.(i) <- last
-        else begin
-          t.entries.(i) <- t.entries.(!smallest);
-          down !smallest
-        end
-      in
-      down 0
-    end;
-    Some (top.time, top.action)
-  end
+  else
+    let e = pop_entry_exn t in
+    Some (e.time, e.action)

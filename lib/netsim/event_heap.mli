@@ -3,6 +3,8 @@
     Events scheduled for the same instant fire in insertion order, which
     keeps simulations deterministic. *)
 
+type entry = private { time : float; seq : int; action : unit -> unit }
+
 type t
 
 val create : unit -> t
@@ -17,6 +19,13 @@ val push : t -> time:float -> (unit -> unit) -> unit
 
 (** Earliest scheduled time, if any. *)
 val peek_time : t -> float option
+
+exception Empty
+
+(** Remove and return the earliest event's entry without allocating;
+    raises [Empty] on an empty heap. The hot path ([Sim.run]) uses this
+    behind an [is_empty] guard. *)
+val pop_entry_exn : t -> entry
 
 (** Remove and return the earliest event. *)
 val pop : t -> (float * (unit -> unit)) option

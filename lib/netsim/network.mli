@@ -5,6 +5,7 @@
 
 type link_cfg = {
   rate_fn : float -> float;  (** time -> bytes/s *)
+  const_rate : float option;  (** [Some r] iff [rate_fn] is constantly [r] *)
   grain : float;  (** trace granularity / outage retry, seconds *)
   buffer_bytes : int;
   loss_p : float;  (** Bernoulli stochastic loss probability *)
@@ -29,8 +30,15 @@ type summary = {
   duration : float;
 }
 
-(** Integral of the rate function over [0, duration] (bytes). *)
-val capacity_integral : rate_fn:(float -> float) -> grain:float -> duration:float -> float
+(** Integral of the rate function over [0, duration] (bytes).
+    [const_rate] short-circuits the step walk to [rate *. duration]. *)
+val capacity_integral :
+  ?const_rate:float ->
+  rate_fn:(float -> float) ->
+  grain:float ->
+  duration:float ->
+  unit ->
+  float
 
 (** Run the scenario to completion and return per-flow and link
     aggregates. [seed] drives the stochastic loss process. *)

@@ -20,20 +20,18 @@ let stop t = t.stopped <- true
 
 let run t ~until =
   let rec loop () =
-    if t.stopped then ()
+    if t.stopped || Event_heap.is_empty t.heap then ()
     else
-      match Event_heap.pop t.heap with
-      | None -> ()
-      | Some (time, action) ->
-        if time > until then begin
-          (* Put the horizon where we stopped looking. *)
-          t.now <- until
-        end
-        else begin
-          t.now <- time;
-          action ();
-          loop ()
-        end
+      let e = Event_heap.pop_entry_exn t.heap in
+      if e.Event_heap.time > until then begin
+        (* Put the horizon where we stopped looking. *)
+        t.now <- until
+      end
+      else begin
+        t.now <- e.Event_heap.time;
+        e.Event_heap.action ();
+        loop ()
+      end
   in
   loop ();
   if t.now < until then t.now <- until

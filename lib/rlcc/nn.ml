@@ -33,7 +33,11 @@ type cache = {
   out : float array;
 }
 
-let forward_count = ref 0
+(* Domain-local so overhead ledgers on one domain are not polluted by
+   simulations running concurrently on others (and increments race-free). *)
+let forward_count_key = Domain.DLS.new_key (fun () -> ref 0)
+
+let forward_count () = !(Domain.DLS.get forward_count_key)
 
 let dims spec =
   let rec pair acc = function
@@ -78,7 +82,7 @@ let act_grad t pre =
 
 let forward t x =
   assert (Array.length x = t.spec.input);
-  incr forward_count;
+  incr (Domain.DLS.get forward_count_key);
   let n_layers = Array.length t.layers in
   let inputs = Array.make n_layers [||] in
   let preacts = Array.make n_layers [||] in

@@ -1,9 +1,10 @@
 (** Minimal multilayer perceptron with manual backpropagation.
 
     Parameters live in one flat array so Adam can treat the network
-    uniformly; gradients accumulate into a parallel array. The global
-    {!forward_count} feeds the overhead accounting: the paper's CPU
-    comparisons reduce to how often each CCA runs its DRL agent. *)
+    uniformly; gradients accumulate into a parallel array. The
+    domain-local {!forward_count} feeds the overhead accounting: the
+    paper's CPU comparisons reduce to how often each CCA runs its DRL
+    agent. *)
 
 type activation = Tanh | Relu
 
@@ -27,8 +28,9 @@ type cache = {
   out : float array;
 }
 
-(** Global count of forward passes, for overhead ledgers. *)
-val forward_count : int ref
+(** Count of forward passes run {b on the calling domain}, for overhead
+    ledgers; domain-local so parallel experiments don't cross-pollute. *)
+val forward_count : unit -> int
 
 (** Total parameter count of a network with this shape. *)
 val param_count : spec -> int

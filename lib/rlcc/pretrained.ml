@@ -4,9 +4,20 @@
    is trained on demand (seconds at the scaled-down sizes) and cached by
    configuration, so all Libra variants in a bench share one "Libra"
    policy, all Orca flows share one "Orca" policy, and so on.
-   Deterministic seeds make the cache reproducible across runs. *)
+   Deterministic seeds make the cache reproducible across runs.
 
-let cache : (string, Train.outcome) Hashtbl.t = Hashtbl.create 8
+   Experiments now run on a domain pool, so the cache must be safe to
+   hit from several domains at once: a global lock guards the table of
+   per-configuration cells, and each cell's own lock serialises training
+   for that configuration. A domain asking for a policy another domain
+   is already training blocks on the cell (never the table), so distinct
+   policies still train concurrently and every caller observes the one
+   deterministic outcome. *)
+
+type cell = { lock : Mutex.t; mutable outcome : Train.outcome option }
+
+let table_lock = Mutex.create ()
+let cache : (string, cell) Hashtbl.t = Hashtbl.create 8
 
 let key (cfg : Train.config) =
   let form =
@@ -29,12 +40,33 @@ let key (cfg : Train.config) =
 
 let get cfg =
   let k = key cfg in
-  match Hashtbl.find_opt cache k with
-  | Some outcome -> outcome
-  | None ->
-    let outcome = Train.run cfg in
-    Hashtbl.replace cache k outcome;
+  let cell =
+    Mutex.lock table_lock;
+    let cell =
+      match Hashtbl.find_opt cache k with
+      | Some cell -> cell
+      | None ->
+        let cell = { lock = Mutex.create (); outcome = None } in
+        Hashtbl.replace cache k cell;
+        cell
+    in
+    Mutex.unlock table_lock;
+    cell
+  in
+  Mutex.lock cell.lock;
+  match cell.outcome with
+  | Some outcome ->
+    Mutex.unlock cell.lock;
     outcome
+  | None ->
+    (match Train.run cfg with
+    | outcome ->
+      cell.outcome <- Some outcome;
+      Mutex.unlock cell.lock;
+      outcome
+    | exception e ->
+      Mutex.unlock cell.lock;
+      raise e)
 
 (* The agents used by the evaluation experiments: trained on the
    randomized environment (the paper's training setup). *)
@@ -82,3 +114,12 @@ let modified_rl_policy () =
       episodes = !eval_episodes;
       seed = 53;
     }
+
+(* Train the four evaluation policies concurrently (they are
+   independent); later [get] calls from any domain hit the cache. *)
+let warm ?pool () =
+  let pool = match pool with Some p -> p | None -> Exec.Pool.default () in
+  ignore
+    (Exec.Pool.map pool
+       (fun train -> ignore (train ()))
+       [| libra_policy; aurora_policy; orca_policy; modified_rl_policy |])

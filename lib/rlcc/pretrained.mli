@@ -16,3 +16,8 @@ val libra_policy : unit -> Train.outcome
 val aurora_policy : unit -> Train.outcome
 val orca_policy : unit -> Train.outcome
 val modified_rl_policy : unit -> Train.outcome
+
+(** Train all four evaluation policies concurrently on [pool] (default:
+    the shared pool), so a following parallel experiment fan-out starts
+    from a warm cache instead of duplicating training. *)
+val warm : ?pool:Exec.Pool.t -> unit -> unit

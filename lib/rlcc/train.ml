@@ -112,6 +112,70 @@ let run cfg =
     config = cfg;
   }
 
+(* Greedy evaluation rollouts of a trained policy.
+
+   Unlike training episodes (which are serial because PPO updates the
+   policy between them), evaluation episodes are fully independent:
+   each draws its own environment and history from an explicit
+   per-episode seed, so they fan out across the domain pool and the
+   in-order reduction makes the result identical at any pool size. *)
+
+type eval = {
+  episodes_run : int;
+  mean_reward : float;  (* mean per-MI reward value *)
+  mean_throughput : float;  (* bytes/s *)
+  mean_rtt : float;  (* seconds *)
+  mean_loss : float;
+}
+
+let eval_episode (outcome : outcome) ~seed =
+  let cfg = outcome.config in
+  let env_cfg =
+    match cfg.env_mode with
+    | `Fixed c -> c
+    | `Randomized -> Env.random_cfg (Netsim.Rng.create (seed * 53 + 29))
+  in
+  let env = Env.create ~seed:(seed + 1) env_cfg in
+  Env.reset env env_cfg;
+  let history = Features.History.create ~set:cfg.state_set ~h:cfg.history in
+  let rate = ref (Env.capacity env /. 8.0) in
+  let obs0 = Env.step env ~rate:!rate in
+  Features.History.push history obs0;
+  let reward_sum = ref 0.0 in
+  let thr = ref 0.0 and rtt = ref 0.0 and loss = ref 0.0 in
+  for _ = 1 to cfg.steps_per_episode do
+    let state = Features.History.state history in
+    let action = Actions.clamp cfg.action (Ppo.mean_action outcome.policy state) in
+    rate :=
+      Actions.apply cfg.action ~rate:!rate ~min_rtt:env_cfg.Env.min_rtt
+        ~mss:Netsim.Units.mtu action;
+    let obs = Env.step env ~rate:!rate in
+    Features.History.push history obs;
+    reward_sum := !reward_sum +. Reward.value cfg.reward obs;
+    thr := !thr +. obs.Features.throughput;
+    rtt := !rtt +. obs.Features.avg_rtt;
+    loss := !loss +. obs.Features.loss_rate
+  done;
+  let n = float_of_int (max 1 cfg.steps_per_episode) in
+  (!reward_sum /. n, !thr /. n, !rtt /. n, !loss /. n)
+
+let evaluate ?pool ?(episodes = 16) ?(base_seed = 1009) outcome =
+  let pool = match pool with Some p -> p | None -> Exec.Pool.default () in
+  let per_episode =
+    Exec.Pool.map pool
+      (fun i -> eval_episode outcome ~seed:(base_seed + (257 * i)))
+      (Array.init episodes (fun i -> i))
+  in
+  let n = float_of_int (max 1 episodes) in
+  let sum f = Array.fold_left (fun a e -> a +. f e) 0.0 per_episode in
+  {
+    episodes_run = episodes;
+    mean_reward = sum (fun (r, _, _, _) -> r) /. n;
+    mean_throughput = sum (fun (_, t, _, _) -> t) /. n;
+    mean_rtt = sum (fun (_, _, r, _) -> r) /. n;
+    mean_loss = sum (fun (_, _, _, l) -> l) /. n;
+  }
+
 (* Smoothed learning curve for plotting (moving average). *)
 let smooth ?(window = 10) curve =
   Array.mapi

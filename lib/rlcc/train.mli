@@ -29,5 +29,19 @@ type outcome = {
 
 val run : config -> outcome
 
+type eval = {
+  episodes_run : int;
+  mean_reward : float;  (** mean per-MI reward value *)
+  mean_throughput : float;  (** bytes/s *)
+  mean_rtt : float;  (** seconds *)
+  mean_loss : float;
+}
+
+(** Greedy (mean-action) rollouts of a trained policy over independent,
+    per-episode-seeded environments, fanned out across [pool] (default:
+    the shared pool). Episode results reduce in episode order, so the
+    outcome is identical at any pool size. *)
+val evaluate : ?pool:Exec.Pool.t -> ?episodes:int -> ?base_seed:int -> outcome -> eval
+
 (** Moving-average smoothing for plotted curves. *)
 val smooth : ?window:int -> float array -> float array

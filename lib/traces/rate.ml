@@ -9,19 +9,21 @@ type t = {
   fn : float -> float;  (* bytes/s *)
   grain : float;
   mean_bps : float;  (* nominal mean, for normalisation *)
+  const_bps : float option;  (* Some r iff [fn] is constantly [r] *)
 }
 
 let name t = t.name
 let fn t = t.fn
 let grain t = t.grain
 let mean_bps t = t.mean_bps
+let const_bps t = t.const_bps
 
 let constant ?name mbps =
   let bps = Netsim.Units.mbps_to_bps mbps in
   let name =
     match name with Some n -> n | None -> Printf.sprintf "wired-%gMbps" mbps
   in
-  { name; fn = (fun _ -> bps); grain = 0.02; mean_bps = bps }
+  { name; fn = (fun _ -> bps); grain = 0.02; mean_bps = bps; const_bps = Some bps }
 
 (* Capacity that switches between the listed Mbit/s levels every
    [period] seconds, cycling. This is the paper's "step-scenario". *)
@@ -36,7 +38,8 @@ let step ?(name = "step") ~period levels_mbps =
     levels.(idx)
   in
   let mean = Array.fold_left ( +. ) 0.0 levels /. float_of_int n in
-  { name; fn; grain = 0.02; mean_bps = mean }
+  let const_bps = if n = 1 then Some levels.(0) else None in
+  { name; fn; grain = 0.02; mean_bps = mean; const_bps }
 
 (* A trace given directly as samples spaced [grain] apart; cycles when
    the simulation outlives the samples. *)
@@ -48,13 +51,18 @@ let of_samples ~name ~grain samples_bps =
     samples_bps.(idx)
   in
   let mean = Array.fold_left ( +. ) 0.0 samples_bps /. float_of_int n in
-  { name; fn; grain; mean_bps = mean }
+  let const_bps = if n = 1 then Some samples_bps.(0) else None in
+  { name; fn; grain; mean_bps = mean; const_bps }
 
 (* Clamp a trace's rate into [lo_mbps, hi_mbps]. *)
 let clamp ~lo_mbps ~hi_mbps t =
   let lo = Netsim.Units.mbps_to_bps lo_mbps
   and hi = Netsim.Units.mbps_to_bps hi_mbps in
-  { t with fn = (fun time -> Float.min hi (Float.max lo (t.fn time))) }
+  {
+    t with
+    fn = (fun time -> Float.min hi (Float.max lo (t.fn time)));
+    const_bps = Option.map (fun r -> Float.min hi (Float.max lo r)) t.const_bps;
+  }
 
 (* Scale a trace's rate by a constant factor. *)
 let scale factor t =
@@ -63,4 +71,5 @@ let scale factor t =
     name = Printf.sprintf "%s-x%g" t.name factor;
     fn = (fun time -> factor *. t.fn time);
     mean_bps = factor *. t.mean_bps;
+    const_bps = Option.map (fun r -> factor *. r) t.const_bps;
   }

@@ -14,6 +14,10 @@ val grain : t -> float
 (** Nominal mean rate, bytes/s. *)
 val mean_bps : t -> float
 
+(** [Some r] iff the trace's rate is constantly [r] bytes/s; lets the
+    simulator short-circuit capacity integration. *)
+val const_bps : t -> float option
+
 (** Fixed-capacity wired link. *)
 val constant : ?name:string -> float -> t
 

@@ -178,7 +178,7 @@ let test_embedded_bbr_exploration_length () =
 let run_one ~cca ~capacity_mbps ~buffer_kb ~rtt ~duration =
   let link =
     {
-      Netsim.Network.rate_fn = (fun _ -> Netsim.Units.mbps_to_bps capacity_mbps);
+      Netsim.Network.rate_fn = (fun _ -> Netsim.Units.mbps_to_bps capacity_mbps); const_rate = None;
       grain = 0.02;
       buffer_bytes = Netsim.Units.kb buffer_kb;
       loss_p = 0.0; aqm = `Fifo;
@@ -203,7 +203,7 @@ let test_westwood_resilient_to_random_loss () =
      Westwood: the BDP estimate equals the operating point. *)
   let lossy_run cca =
     let link =
-      { Netsim.Network.rate_fn = (fun _ -> Netsim.Units.mbps_to_bps 24.0);
+      { Netsim.Network.rate_fn = (fun _ -> Netsim.Units.mbps_to_bps 24.0); const_rate = None;
         grain = 0.02; buffer_bytes = Netsim.Units.kb 150; loss_p = 0.02; aqm = `Fifo }
     in
     let flows =
@@ -255,7 +255,7 @@ let test_cubic_bufferbloat_vs_vegas () =
 let test_two_cubic_flows_fair () =
   let link =
     {
-      Netsim.Network.rate_fn = (fun _ -> Netsim.Units.mbps_to_bps 24.0);
+      Netsim.Network.rate_fn = (fun _ -> Netsim.Units.mbps_to_bps 24.0); const_rate = None;
       grain = 0.02;
       buffer_bytes = Netsim.Units.kb 150;
       loss_p = 0.0; aqm = `Fifo;
@@ -297,7 +297,7 @@ let test_sprout_tracks_cellular () =
   let trace = Traces.Lte.generate ~seed:2 ~duration:15.0 Traces.Lte.Walking in
   let link =
     {
-      Netsim.Network.rate_fn = Traces.Rate.fn trace;
+      Netsim.Network.rate_fn = Traces.Rate.fn trace; const_rate = Traces.Rate.const_bps trace;
       grain = Traces.Rate.grain trace;
       buffer_bytes = Netsim.Units.kb 150;
       loss_p = 0.0; aqm = `Fifo;

@@ -1,0 +1,209 @@
+(* Tests for the parallel execution layer and the determinism contract:
+   fanning work across domains must change nothing but wall-clock time.
+   Every comparison here is exact ([=] on floats, byte-equal strings) --
+   parallel results are required to be identical to sequential ones, not
+   statistically similar. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Pool basics *)
+
+let with_pool size f =
+  let pool = Exec.Pool.create ~size () in
+  Fun.protect ~finally:(fun () -> Exec.Pool.shutdown pool) (fun () -> f pool)
+
+let test_map_preserves_order () =
+  with_pool 4 (fun pool ->
+      let input = Array.init 100 (fun i -> i) in
+      let out = Exec.Pool.map pool (fun x -> x * x) input in
+      Alcotest.(check (array int)) "squares in order"
+        (Array.map (fun x -> x * x) input)
+        out;
+      check_int "empty input" 0 (Array.length (Exec.Pool.map pool (fun x -> x) [||])))
+
+let test_map_list_preserves_order () =
+  with_pool 3 (fun pool ->
+      let out = Exec.Pool.map_list pool String.uppercase_ascii [ "a"; "b"; "c" ] in
+      Alcotest.(check (list string)) "in order" [ "A"; "B"; "C" ] out)
+
+let test_map_reduce_folds_in_input_order () =
+  with_pool 4 (fun pool ->
+      (* String concatenation is non-commutative: any reordering of the
+         reduction would be visible. *)
+      let input = Array.init 50 (fun i -> i) in
+      let got =
+        Exec.Pool.map_reduce pool ~f:string_of_int
+          ~reduce:(fun acc s -> acc ^ "," ^ s)
+          ~init:"" input
+      in
+      let want =
+        Array.fold_left (fun acc i -> acc ^ "," ^ string_of_int i) "" input
+      in
+      Alcotest.(check string) "left fold in input order" want got)
+
+exception Boom of int
+
+let test_map_propagates_exceptions () =
+  with_pool 4 (fun pool ->
+      check_bool "raises" true
+        (try
+           ignore (Exec.Pool.map pool (fun i -> if i = 13 then raise (Boom i) else i)
+                     (Array.init 40 (fun i -> i)));
+           false
+         with Boom 13 -> true);
+      (* The pool survives a failed batch. *)
+      check_int "still works" 10
+        (Array.fold_left ( + ) 0 (Exec.Pool.map pool (fun x -> x) (Array.init 5 (fun i -> i)))))
+
+let test_nested_maps_do_not_deadlock () =
+  (* More in-flight batches than domains: the caller of an inner map
+     helps drain the queue instead of deadlocking. *)
+  with_pool 2 (fun pool ->
+      let out =
+        Exec.Pool.map pool
+          (fun i ->
+            Array.fold_left ( + ) 0
+              (Exec.Pool.map pool (fun j -> (10 * i) + j) (Array.init 8 (fun j -> j))))
+          (Array.init 6 (fun i -> i))
+      in
+      Alcotest.(check (array int)) "nested sums"
+        (Array.init 6 (fun i -> (80 * i) + 28))
+        out)
+
+let test_sequential_pool_inline () =
+  let out = Exec.Pool.map Exec.Pool.sequential (fun x -> x + 1) (Array.init 9 (fun i -> i)) in
+  Alcotest.(check (array int)) "inline map" (Array.init 9 (fun i -> i + 1)) out;
+  check_int "size 1" 1 (Exec.Pool.size Exec.Pool.sequential)
+
+(* ------------------------------------------------------------------ *)
+(* Reports *)
+
+let test_report_capture_buffers_output () =
+  let r =
+    Harness.Report.capture (fun () ->
+        Harness.Report.printf "hello %d\n" 42;
+        Harness.Report.text "world";
+        Harness.Report.result "answer" "42")
+  in
+  Alcotest.(check string) "buffered" "hello 42\nworld\n" (Harness.Report.render r);
+  Alcotest.(check (list (pair string string)))
+    "results" [ ("answer", "42") ] (Harness.Report.results r)
+
+let test_report_capture_nests () =
+  let inner = ref None in
+  let outer =
+    Harness.Report.capture (fun () ->
+        Harness.Report.text "before";
+        inner := Some (Harness.Report.capture (fun () -> Harness.Report.text "nested"));
+        Harness.Report.text "after")
+  in
+  Alcotest.(check string) "outer unpolluted" "before\nafter\n"
+    (Harness.Report.render outer);
+  Alcotest.(check string) "inner captured" "nested\n"
+    (Harness.Report.render (Option.get !inner))
+
+(* ------------------------------------------------------------------ *)
+(* Determinism: parallel simulation results are exactly sequential ones *)
+
+let outcome_quad ~pool ~base_seed spec ~duration =
+  Harness.Scenario.averaged ~pool ~base_seed ~runs:4 ~factory:Harness.Ccas.cubic
+    ~duration spec
+
+let check_exact_quad label (u1, d1, l1, t1) (u2, d2, l2, t2) =
+  check_bool (label ^ ": utilization bit-identical") true (u1 = u2);
+  check_bool (label ^ ": delay bit-identical") true (d1 = d2);
+  check_bool (label ^ ": loss bit-identical") true (l1 = l2);
+  check_bool (label ^ ": throughput bit-identical") true (t1 = t2)
+
+let test_averaged_deterministic_wired () =
+  let spec = Harness.Scenario.make_spec (Traces.Rate.constant 24.0) in
+  with_pool 4 (fun pool ->
+      let seq = outcome_quad ~pool:Exec.Pool.sequential ~base_seed:5 spec ~duration:4.0 in
+      let par = outcome_quad ~pool ~base_seed:5 spec ~duration:4.0 in
+      check_exact_quad "wired" seq par)
+
+let test_averaged_deterministic_lte () =
+  let trace = Traces.Lte.generate ~seed:11 ~duration:4.0 Traces.Lte.Walking in
+  let spec = Harness.Scenario.make_spec ~loss_p:0.01 trace in
+  with_pool 4 (fun pool ->
+      let seq = outcome_quad ~pool:Exec.Pool.sequential ~base_seed:17 spec ~duration:4.0 in
+      let par = outcome_quad ~pool ~base_seed:17 spec ~duration:4.0 in
+      check_exact_quad "lte" seq par)
+
+let test_evaluate_deterministic () =
+  (* RL evaluation rollouts fan episodes across the pool; the summary
+     must not depend on pool size. *)
+  let outcome =
+    Rlcc.Train.run
+      { Rlcc.Train.default_config with Rlcc.Train.episodes = 3; seed = 71 }
+  in
+  let seq = Rlcc.Train.evaluate ~pool:Exec.Pool.sequential ~episodes:6 outcome in
+  let par = with_pool 4 (fun pool -> Rlcc.Train.evaluate ~pool ~episodes:6 outcome) in
+  check_bool "eval bit-identical" true (seq = par);
+  check_int "episodes run" 6 seq.Rlcc.Train.episodes_run
+
+(* Registry groups render byte-identical reports whether the experiments
+   execute sequentially or fanned across domains. Run at a tiny scale so
+   the test stays quick; tab6 exercises the nested trial fan-out and
+   fig2b the repeated-LTE fan-out. *)
+let tiny_scale =
+  {
+    Harness.Scale.duration = 2.0;
+    runs = 2;
+    safety_trials = 2;
+    train_episodes = 4;
+    eval_episodes = 4;
+  }
+
+let test_registry_reports_byte_identical () =
+  Harness.Scale.set tiny_scale;
+  Fun.protect
+    ~finally:(fun () -> Harness.Scale.set Harness.Scale.quick)
+    (fun () ->
+      let groups = [ "tab6"; "fig2b" ] in
+      (* The experiments take their pool from [Exec.Pool.default]; size
+         it explicitly for each pass. *)
+      let render_with domains =
+        Exec.Pool.set_default_size domains;
+        List.map
+          (fun id ->
+            match Harness.Registry.find id with
+            | Some e -> Harness.Report.render (e.Harness.Registry.run ())
+            | None -> Alcotest.fail ("missing group " ^ id))
+          groups
+      in
+      let seq = render_with 1 in
+      let par = render_with 4 in
+      Exec.Pool.set_default_size (Exec.Pool.default_size ());
+      List.iter2
+        (fun a b -> Alcotest.(check string) "report bytes" a b)
+        seq par;
+      check_bool "reports non-empty" true (List.for_all (fun s -> s <> "") seq))
+
+let () =
+  Alcotest.run "exec"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "map order" `Quick test_map_preserves_order;
+          Alcotest.test_case "map_list order" `Quick test_map_list_preserves_order;
+          Alcotest.test_case "map_reduce order" `Quick test_map_reduce_folds_in_input_order;
+          Alcotest.test_case "exceptions" `Quick test_map_propagates_exceptions;
+          Alcotest.test_case "nested no deadlock" `Quick test_nested_maps_do_not_deadlock;
+          Alcotest.test_case "sequential inline" `Quick test_sequential_pool_inline;
+        ] );
+      ( "report",
+        [
+          Alcotest.test_case "capture buffers" `Quick test_report_capture_buffers_output;
+          Alcotest.test_case "capture nests" `Quick test_report_capture_nests;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "averaged wired" `Slow test_averaged_deterministic_wired;
+          Alcotest.test_case "averaged lte" `Slow test_averaged_deterministic_lte;
+          Alcotest.test_case "rl evaluate" `Slow test_evaluate_deterministic;
+          Alcotest.test_case "registry reports" `Slow test_registry_reports_byte_identical;
+        ] );
+    ]

@@ -186,7 +186,7 @@ let test_controller_timeout_halves_base () =
    keeping most of the utilization (the Fig. 7 story). *)
 let run_cca cca =
   let link =
-    { Netsim.Network.rate_fn = (fun _ -> Netsim.Units.mbps_to_bps 24.0);
+    { Netsim.Network.rate_fn = (fun _ -> Netsim.Units.mbps_to_bps 24.0); const_rate = None;
       grain = 0.02; buffer_bytes = Netsim.Units.kb 150; loss_p = 0.0 ; aqm = `Fifo}
   in
   let flows = [ { Netsim.Network.cca; start_at = 0.0; stop_at = 15.0; rtt = 0.03 } ] in

@@ -58,7 +58,7 @@ let test_flow_rto_fires_on_dead_link () =
   in
   (* Dead link: zero capacity, so nothing is ever delivered. *)
   let link =
-    { Netsim.Network.rate_fn = (fun _ -> 0.0); grain = 0.02;
+    { Netsim.Network.rate_fn = (fun _ -> 0.0); grain = 0.02; const_rate = None;
       buffer_bytes = Netsim.Units.kb 150; loss_p = 0.0; aqm = `Fifo }
   in
   let flows = [ { Netsim.Network.cca; start_at = 0.0; stop_at = 5.0; rtt = 0.03 } ] in
@@ -79,7 +79,7 @@ let test_flow_cwnd_limits_inflight () =
     }
   in
   let link =
-    { Netsim.Network.rate_fn = (fun _ -> Netsim.Units.mbps_to_bps 100.0);
+    { Netsim.Network.rate_fn = (fun _ -> Netsim.Units.mbps_to_bps 100.0); const_rate = None;
       grain = 0.02; buffer_bytes = Netsim.Units.mb 1; loss_p = 0.0; aqm = `Fifo }
   in
   let flows = [ { Netsim.Network.cca; start_at = 0.0; stop_at = 5.0; rtt = 0.1 } ] in
@@ -94,7 +94,7 @@ let test_flow_cwnd_limits_inflight () =
 let test_flow_stats_loss_accounting () =
   (* CBR over capacity: sent = acked + lost modulo in-flight tail. *)
   let link =
-    { Netsim.Network.rate_fn = (fun _ -> Netsim.Units.mbps_to_bps 10.0);
+    { Netsim.Network.rate_fn = (fun _ -> Netsim.Units.mbps_to_bps 10.0); const_rate = None;
       grain = 0.02; buffer_bytes = Netsim.Units.kb 30; loss_p = 0.0; aqm = `Fifo }
   in
   let flows =
@@ -260,7 +260,7 @@ let test_w_libra_runs () =
       ~classic:(Some (Classic_cc.Westwood.embedded ())) ()
   in
   let link =
-    { Netsim.Network.rate_fn = (fun _ -> Netsim.Units.mbps_to_bps 24.0);
+    { Netsim.Network.rate_fn = (fun _ -> Netsim.Units.mbps_to_bps 24.0); const_rate = None;
       grain = 0.02; buffer_bytes = Netsim.Units.kb 150; loss_p = 0.0; aqm = `Fifo }
   in
   let flows = [ { Netsim.Network.cca = inst.Libra.cca; start_at = 0.0; stop_at = 10.0; rtt = 0.03 } ] in

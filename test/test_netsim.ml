@@ -98,6 +98,38 @@ let test_heap_grows () =
   done;
   check_int "all retained" 10000 (Netsim.Event_heap.size h)
 
+(* Randomly-timed pushes (few distinct times, so ties abound, and well
+   past the initial 256-entry capacity): pop order must be time
+   ascending with ties in insertion order. *)
+let test_heap_random_pop_order () =
+  let rng = Netsim.Rng.create 7 in
+  let n = 2000 in
+  let h = Netsim.Event_heap.create () in
+  let pushed =
+    Array.init n (fun i ->
+        let time = float_of_int (Netsim.Rng.int rng 17) /. 4.0 in
+        Netsim.Event_heap.push h ~time (fun () -> ());
+        (time, i))
+  in
+  check_int "all retained" n (Netsim.Event_heap.size h);
+  let expected = Array.copy pushed in
+  (* Stable sort by time = time asc, ties in insertion order. *)
+  Array.stable_sort (fun (t1, _) (t2, _) -> compare t1 t2) expected;
+  let popped =
+    Array.init n (fun _ ->
+        let e = Netsim.Event_heap.pop_entry_exn h in
+        (e.Netsim.Event_heap.time, e.Netsim.Event_heap.seq))
+  in
+  check_bool "empty after draining" true (Netsim.Event_heap.is_empty h);
+  Array.iteri
+    (fun i (time, seq) ->
+      let ptime, pseq = popped.(i) in
+      if ptime <> time || pseq <> seq then
+        Alcotest.fail
+          (Printf.sprintf "pop %d: got (%g, #%d), want (%g, #%d)" i ptime pseq time
+             seq))
+    expected
+
 (* ------------------------------------------------------------------ *)
 (* Sim *)
 
@@ -205,7 +237,7 @@ let test_codel_drops_persistent_queue () =
 let test_codel_in_network_beats_droptail_delay () =
   let run aqm =
     let link =
-      { Netsim.Network.rate_fn = (fun _ -> Netsim.Units.mbps_to_bps 24.0);
+      { Netsim.Network.rate_fn = (fun _ -> Netsim.Units.mbps_to_bps 24.0); const_rate = None;
         grain = 0.02; buffer_bytes = Netsim.Units.kb 600; loss_p = 0.0; aqm }
     in
     let flows =
@@ -306,7 +338,7 @@ let test_windowed_max_expires () =
 let run_cbr ~rate_mbps ~capacity_mbps ~duration =
   let link =
     {
-      Netsim.Network.rate_fn = (fun _ -> Netsim.Units.mbps_to_bps capacity_mbps);
+      Netsim.Network.rate_fn = (fun _ -> Netsim.Units.mbps_to_bps capacity_mbps); const_rate = None;
       grain = 0.02;
       buffer_bytes = Netsim.Units.kb 150;
       loss_p = 0.0; aqm = `Fifo;
@@ -357,7 +389,7 @@ let test_cbr_above_capacity_loses_and_queues () =
 let test_stochastic_loss_rate_applied () =
   let link =
     {
-      Netsim.Network.rate_fn = (fun _ -> Netsim.Units.mbps_to_bps 50.0);
+      Netsim.Network.rate_fn = (fun _ -> Netsim.Units.mbps_to_bps 50.0); const_rate = None;
       grain = 0.02;
       buffer_bytes = Netsim.Units.mb 2;
       loss_p = 0.05; aqm = `Fifo;
@@ -386,7 +418,7 @@ let prop_packet_conservation =
     (fun (rate_mbps, seed) ->
       let link =
         {
-          Netsim.Network.rate_fn = (fun _ -> Netsim.Units.mbps_to_bps 12.0);
+          Netsim.Network.rate_fn = (fun _ -> Netsim.Units.mbps_to_bps 12.0); const_rate = None;
           grain = 0.02;
           buffer_bytes = Netsim.Units.kb 75;
           loss_p = 0.01; aqm = `Fifo;
@@ -419,7 +451,7 @@ let prop_packet_conservation =
 let test_two_flows_share_link () =
   let link =
     {
-      Netsim.Network.rate_fn = (fun _ -> Netsim.Units.mbps_to_bps 20.0);
+      Netsim.Network.rate_fn = (fun _ -> Netsim.Units.mbps_to_bps 20.0); const_rate = None;
       grain = 0.02;
       buffer_bytes = Netsim.Units.kb 150;
       loss_p = 0.0; aqm = `Fifo;
@@ -463,6 +495,7 @@ let () =
           Alcotest.test_case "orders events" `Quick test_heap_orders_events;
           Alcotest.test_case "fifo on ties" `Quick test_heap_fifo_ties;
           Alcotest.test_case "grows" `Quick test_heap_grows;
+          Alcotest.test_case "random pop order" `Quick test_heap_random_pop_order;
         ]
         @ qsuite [ prop_heap_sorted ] );
       ( "sim",

@@ -71,11 +71,11 @@ let prop_forward_count_increments =
     (fun n ->
       let n = (n mod 10) + 1 in
       let nn = Rlcc.Nn.create spec in
-      let before = !Rlcc.Nn.forward_count in
+      let before = Rlcc.Nn.forward_count () in
       for _ = 1 to n do
         ignore (Rlcc.Nn.forward nn [| 0.0; 0.0; 0.0 |])
       done;
-      !Rlcc.Nn.forward_count = before + n)
+      Rlcc.Nn.forward_count () = before + n)
 
 (* ------------------------------------------------------------------ *)
 (* Adam *)
@@ -274,7 +274,7 @@ let test_vivace_utility_shape () =
 
 let test_vivace_converges_near_capacity () =
   let link =
-    { Netsim.Network.rate_fn = (fun _ -> Netsim.Units.mbps_to_bps 24.0);
+    { Netsim.Network.rate_fn = (fun _ -> Netsim.Units.mbps_to_bps 24.0); const_rate = None;
       grain = 0.02; buffer_bytes = Netsim.Units.kb 150; loss_p = 0.0 ; aqm = `Fifo}
   in
   let flows =

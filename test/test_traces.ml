@@ -72,11 +72,43 @@ let test_capacity_integral_matches_constant () =
   let t = Traces.Rate.constant 12.0 in
   let bytes =
     Netsim.Network.capacity_integral ~rate_fn:(Traces.Rate.fn t)
-      ~grain:(Traces.Rate.grain t) ~duration:10.0
+      ~grain:(Traces.Rate.grain t) ~duration:10.0 ()
   in
   Alcotest.(check (float 1.0)) "10s at 12 Mbps"
     (10.0 *. Netsim.Units.mbps_to_bps 12.0)
     bytes
+
+(* The constant-rate short circuit must agree with the step-walk
+   integral, including at durations that are not grain multiples. *)
+let test_capacity_integral_short_circuit_agrees () =
+  let t = Traces.Rate.constant 37.5 in
+  let rate =
+    match Traces.Rate.const_bps t with
+    | Some r -> r
+    | None -> Alcotest.fail "constant trace must expose const_bps"
+  in
+  List.iter
+    (fun duration ->
+      let stepped =
+        Netsim.Network.capacity_integral ~rate_fn:(Traces.Rate.fn t)
+          ~grain:(Traces.Rate.grain t) ~duration ()
+      in
+      let direct =
+        Netsim.Network.capacity_integral ~const_rate:rate
+          ~rate_fn:(Traces.Rate.fn t) ~grain:(Traces.Rate.grain t) ~duration ()
+      in
+      Alcotest.(check (float 1e-3))
+        (Printf.sprintf "duration %gs" duration)
+        stepped direct)
+    [ 0.0; 0.02; 1.0; 10.0; 19.97; 60.0 ];
+  (* Varying traces must not short-circuit. *)
+  let step = Traces.Rate.step ~period:5.0 [ 10.0; 20.0 ] in
+  Alcotest.(check bool) "step trace is not constant" true
+    (Traces.Rate.const_bps step = None);
+  (* A degenerate one-level step is constant again. *)
+  let flat = Traces.Rate.step ~period:5.0 [ 10.0 ] in
+  Alcotest.(check bool) "one-level step is constant" true
+    (Traces.Rate.const_bps flat = Some (Netsim.Units.mbps_to_bps 10.0))
 
 let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
 
@@ -90,6 +122,8 @@ let () =
           Alcotest.test_case "clamp+scale" `Quick test_clamp_and_scale;
           Alcotest.test_case "capacity integral" `Quick
             test_capacity_integral_matches_constant;
+          Alcotest.test_case "capacity short-circuit" `Quick
+            test_capacity_integral_short_circuit_agrees;
         ] );
       ( "lte",
         [
