@@ -1,15 +1,20 @@
-.PHONY: all check bench clean
+.PHONY: all check bench trace clean
 
 all:
 	dune build
 
 # Tier-1 gate: build + full test suite (incl. the sequential-vs-parallel
-# determinism tests) + bench micro smoke.
+# determinism tests) + bench micro smoke + trace export smoke.
 check:
 	dune build @tier1
 
 bench:
 	dune exec bench/main.exe -- all
+
+# Trace smoke alone: 5s wired run with --trace-out, validated by
+# trace_check (JSONL parses, per-lane timestamps non-decreasing).
+trace:
+	dune build @trace
 
 clean:
 	dune clean

@@ -71,6 +71,14 @@ let micro_tests () =
            incr i;
            Netsim.Event_heap.push heap ~time:(float_of_int (!i mod 1000)) (fun () -> ());
            if !i mod 2 = 0 then ignore (Netsim.Event_heap.pop heap)));
+    (* The observability no-op paths: with no tracer/registry installed
+       a probe site must cost one branch, so the simulator's hot loops
+       pay nothing when tracing is off. *)
+    Test.make ~name:"obs/probe-off"
+      (Staged.stage (fun () -> ignore (Obs.Trace.on Obs.Category.Pkt)));
+    Test.make ~name:"obs/metrics-off"
+      (let p = Obs.Metrics.counter "bench.noop" in
+       Staged.stage (fun () -> Obs.Metrics.incr p));
   ]
 
 let run_micro () =
@@ -100,6 +108,89 @@ let run_micro () =
     "\nThe DRL forward pass costs orders of magnitude more than a classic\n\
      CCA's per-ACK update -- running it only in Libra's exploration stage\n\
      is what Fig. 2(c) and Fig. 12 measure at the system level."
+
+(* ------------------------------------------------------------------ *)
+(* Tracing overhead: one fixed wired scenario run with the trace
+   subsystem off, with an in-memory ring-buffer sink, and with the
+   full event stream serialized to JSONL. The results land under the
+   "trace_overhead" key of BENCH_results.json (patched in place, the
+   rest of the file untouched). *)
+
+let trace_overhead_scenario () =
+  let spec = Harness.Scenario.make_spec (Traces.Rate.constant 24.0) in
+  ignore
+    (Harness.Scenario.run_uniform ~factory:Harness.Ccas.cubic ~duration:10.0 spec)
+
+let time_run f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let patch_bench_json key value =
+  let path = "BENCH_results.json" in
+  let base =
+    if Sys.file_exists path then begin
+      let ic = open_in_bin path in
+      let s = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      match Obs.Json.parse s with Ok v -> v | Error _ -> Obs.Json.Obj []
+    end
+    else Obs.Json.Obj []
+  in
+  let patched = Obs.Json.set_member key value base in
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  output_string oc (Obs.Json.to_string patched);
+  output_string oc "\n";
+  close_out oc;
+  Sys.rename tmp path;
+  Printf.printf "\n[bench] patched %S into %s\n" key path
+
+let run_trace_overhead () =
+  Harness.Table.heading "Tracing overhead: 10s wired run, cubic, all categories";
+  (* Warm-up run so allocator/cache effects do not bias the first leg. *)
+  trace_overhead_scenario ();
+  let (), off_s = time_run trace_overhead_scenario in
+  let ring = Obs.Trace.create ~ring_capacity:65536 () in
+  let (), ring_s =
+    time_run (fun () -> Obs.Trace.run ring trace_overhead_scenario)
+  in
+  let jsonl = Obs.Trace.create () in
+  let (), run_s =
+    time_run (fun () -> Obs.Trace.run jsonl trace_overhead_scenario)
+  in
+  let out, ser_s = time_run (fun () -> Obs.Trace.to_jsonl jsonl) in
+  let jsonl_s = run_s +. ser_s in
+  let pct base v = Printf.sprintf "%+.1f%%" ((v -. base) /. base *. 100.0) in
+  Harness.Table.print
+    ~header:[ "sink"; "wall"; "vs off"; "events" ]
+    [
+      [ "off"; Printf.sprintf "%.3fs" off_s; "-"; "0" ];
+      [
+        "ring-65536";
+        Printf.sprintf "%.3fs" ring_s;
+        pct off_s ring_s;
+        string_of_int (Obs.Trace.length ring);
+      ];
+      [
+        "jsonl";
+        Printf.sprintf "%.3fs" jsonl_s;
+        pct off_s jsonl_s;
+        string_of_int (Obs.Trace.length jsonl);
+      ];
+    ];
+  Printf.printf
+    "\njsonl = capture %.3fs + serialize %.3fs (%d bytes of JSONL)\n" run_s
+    ser_s (String.length out);
+  patch_bench_json "trace_overhead"
+    (Obs.Json.Obj
+       [
+         ("scenario", Obs.Json.Str "wired24-cubic-10s");
+         ("off_s", Obs.Json.Num off_s);
+         ("ring_s", Obs.Json.Num ring_s);
+         ("jsonl_s", Obs.Json.Num jsonl_s);
+         ("events", Obs.Json.Num (float_of_int (Obs.Trace.length jsonl)));
+       ])
 
 (* ------------------------------------------------------------------ *)
 
@@ -173,15 +264,18 @@ let () =
     write_bench_json ~scale:(if full then "full" else "quick") ~timed;
     run_micro ()
   | [ "micro" ] -> run_micro ()
+  | [ "trace-overhead" ] -> run_trace_overhead ()
   | ids ->
     List.iter
       (fun id ->
         if id = "micro" then run_micro ()
+        else if id = "trace-overhead" then run_trace_overhead ()
         else
           match Harness.Registry.find id with
           | Some e -> Harness.Report.print (e.Harness.Registry.run ())
           | None ->
-            Printf.eprintf "unknown experiment %S (known: %s, micro)\n" id
+            Printf.eprintf
+              "unknown experiment %S (known: %s, micro, trace-overhead)\n" id
               (String.concat ", " (Harness.Registry.ids ())))
       ids);
   Printf.printf "\n[bench] %d domain(s), total wall time: %.1fs\n"

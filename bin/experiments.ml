@@ -6,7 +6,57 @@
 
 open Cmdliner
 
-let run_cmd full domains ids all =
+(* Observability session: a tracer whose lanes are experiment indices
+   (deterministic at any pool size) plus per-lane metrics registries
+   merged in lane order at export time. *)
+type obs_session = {
+  tracer : Obs.Trace.t;
+  regs : (int, Obs.Metrics.registry) Hashtbl.t;
+  regs_lock : Mutex.t;
+}
+
+let obs_session_of ~trace_filter =
+  let categories =
+    match trace_filter with
+    | None -> Obs.Category.all
+    | Some spec -> Obs.Category.parse_filter spec
+  in
+  {
+    tracer = Obs.Trace.create ~categories ();
+    regs = Hashtbl.create 8;
+    regs_lock = Mutex.create ();
+  }
+
+let obs_wrap session lane run =
+  let reg = Obs.Metrics.create_registry () in
+  Mutex.lock session.regs_lock;
+  Hashtbl.replace session.regs lane reg;
+  Mutex.unlock session.regs_lock;
+  Obs.Trace.run session.tracer ~lane (fun () -> Obs.Metrics.run reg run)
+
+let obs_export session ~trace_out ~metrics_out =
+  Option.iter (Obs.Trace.write session.tracer) trace_out;
+  Option.iter
+    (fun file ->
+      let merged = Obs.Metrics.create_registry () in
+      let lanes =
+        List.sort compare
+          (Hashtbl.fold (fun lane _ acc -> lane :: acc) session.regs [])
+      in
+      List.iter
+        (fun lane ->
+          Obs.Metrics.merge ~into:merged (Hashtbl.find session.regs lane))
+        lanes;
+      Obs.Metrics.write_csv merged file)
+    metrics_out;
+  Option.iter
+    (fun file ->
+      Printf.printf "trace: %d events -> %s\n"
+        (Obs.Trace.length session.tracer)
+        file)
+    trace_out
+
+let run_cmd full domains trace_out trace_filter metrics_out ids all =
   (match domains with
   | Some d when d < 1 ->
     Printf.eprintf "invalid --domains %d (want a positive integer)\n" d;
@@ -14,32 +64,70 @@ let run_cmd full domains ids all =
   | _ -> ());
   Option.iter Exec.Pool.set_default_size domains;
   Harness.Scale.set (if full then Harness.Scale.full else Harness.Scale.quick);
-  if all || ids = [] then begin
-    Harness.Registry.run_all ();
-    0
-  end
-  else begin
-    let missing =
-      List.filter (fun id -> Harness.Registry.find id = None) ids
-    in
-    if missing <> [] then begin
-      Printf.eprintf "unknown experiment(s): %s\nknown: %s\n"
-        (String.concat ", " missing)
-        (String.concat ", " (Harness.Registry.ids ()));
-      1
-    end
-    else begin
-      List.iter
-        (fun id ->
-          match Harness.Registry.find id with
-          | Some e -> Harness.Report.print (e.Harness.Registry.run ())
-          | None -> ())
-        ids;
+  let session =
+    match (trace_out, metrics_out) with
+    | None, None -> None
+    | _ -> Some (obs_session_of ~trace_filter)
+  in
+  let wrap lane run =
+    match session with Some s -> obs_wrap s lane run | None -> run ()
+  in
+  let status =
+    if all || ids = [] then begin
+      Harness.Registry.run_all ~wrap ();
       0
     end
-  end
+    else begin
+      let missing =
+        List.filter (fun id -> Harness.Registry.find id = None) ids
+      in
+      if missing <> [] then begin
+        Printf.eprintf "unknown experiment(s): %s\nknown: %s\n"
+          (String.concat ", " missing)
+          (String.concat ", " (Harness.Registry.ids ()));
+        1
+      end
+      else begin
+        List.iteri
+          (fun lane id ->
+            match Harness.Registry.find id with
+            | Some e ->
+              Harness.Report.print (wrap lane e.Harness.Registry.run)
+            | None -> ())
+          ids;
+        0
+      end
+    end
+  in
+  Option.iter (obs_export ~trace_out ~metrics_out) session;
+  status
 
 let full = Arg.(value & flag & info [ "full" ] ~doc:"paper-scale durations")
+
+let trace_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "export the simulation-time event trace to $(docv) (.csv gets CSV, \
+           anything else JSONL); experiments are merged as trace lanes in \
+           registry order")
+
+let trace_filter =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-filter" ] ~docv:"CAT,.."
+        ~doc:
+          "comma-separated event categories \
+           (pkt,link,ack,rate,monitor,stage,cycle,rl); default all")
+
+let metrics_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE" ~doc:"export the metrics registry as CSV")
 
 let domains =
   Arg.(
@@ -54,6 +142,8 @@ let ids = Arg.(value & pos_all string [] & info [] ~docv:"ID")
 let cmd =
   Cmd.v
     (Cmd.info "experiments" ~doc:"reproduce the paper's tables and figures")
-    Term.(const run_cmd $ full $ domains $ ids $ all)
+    Term.(
+      const run_cmd $ full $ domains $ trace_out $ trace_filter $ metrics_out
+      $ ids $ all)
 
 let () = exit (Cmd.eval' cmd)

@@ -30,7 +30,33 @@ let parse_trace ~duration ~seed spec =
   | [ "wan"; "intra" ] -> `Wan (Traces.Wan.intra_continental ~duration ())
   | _ -> invalid_arg (Printf.sprintf "bad trace spec %S" spec)
 
-let run_cmd cca trace_spec rtt_ms buffer_kb loss duration flows seed series list_all =
+(* Observability plumbing: when --trace-out / --metrics is given, run
+   the simulation with a tracer (and a metrics registry) installed as
+   this domain's ambient sink, then export. Lane 0: single run. *)
+let with_observability ~trace_out ~trace_filter ~metrics_out f =
+  let categories =
+    match trace_filter with
+    | None -> Obs.Category.all
+    | Some spec -> Obs.Category.parse_filter spec
+  in
+  match (trace_out, metrics_out) with
+  | None, None -> f ()
+  | _ ->
+    let tracer = Obs.Trace.create ~categories () in
+    let reg = Obs.Metrics.create_registry () in
+    let result =
+      Obs.Trace.run tracer ~lane:0 (fun () -> Obs.Metrics.run reg f)
+    in
+    Option.iter (Obs.Trace.write tracer) trace_out;
+    Option.iter (Obs.Metrics.write_csv reg) metrics_out;
+    Option.iter
+      (fun file ->
+        Printf.printf "trace: %d events -> %s\n" (Obs.Trace.length tracer) file)
+      trace_out;
+    result
+
+let run_cmd cca trace_spec rtt_ms buffer_kb loss duration flows seed series
+    trace_out trace_filter metrics_out list_all =
   if list_all then begin
     print_endline "CCAs:";
     List.iter (fun (name, _) -> Printf.printf "  %s\n" name) Harness.Ccas.all;
@@ -54,7 +80,9 @@ let run_cmd cca trace_spec rtt_ms buffer_kb loss duration flows seed series list
         }
     in
     let outcome =
-      Harness.Scenario.run_uniform ~seed ~n_flows:flows ~factory ~duration spec
+      with_observability ~trace_out ~trace_filter ~metrics_out (fun () ->
+          Harness.Scenario.run_uniform ~seed ~n_flows:flows ~factory ~duration
+            spec)
     in
     Printf.printf "cca=%s trace=%s flows=%d duration=%.0fs\n" cca trace_spec flows
       duration;
@@ -100,6 +128,32 @@ let duration = Arg.(value & opt float 20.0 & info [ "duration" ] ~doc:"seconds")
 let flows = Arg.(value & opt int 1 & info [ "flows" ] ~doc:"number of flows")
 let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"random seed")
 let series = Arg.(value & flag & info [ "series" ] ~doc:"print per-second series")
+
+let trace_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "export the simulation-time event trace to $(docv) (.csv gets \
+           CSV, anything else JSONL). Note: --trace is the network trace \
+           spec; this flag is the observability export.")
+
+let trace_filter =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-filter" ] ~docv:"CAT,.."
+        ~doc:
+          "comma-separated event categories to record \
+           (pkt,link,ack,rate,monitor,stage,cycle,rl); default all")
+
+let metrics_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE" ~doc:"export the metrics registry as CSV")
+
 let list_all = Arg.(value & flag & info [ "list" ] ~doc:"list CCAs and traces")
 
 let cmd =
@@ -107,6 +161,6 @@ let cmd =
     (Cmd.info "libra_sim" ~doc:"packet-level congestion-control simulator")
     Term.(
       const run_cmd $ cca $ trace $ rtt $ buffer $ loss $ duration $ flows $ seed
-      $ series $ list_all)
+      $ series $ trace_out $ trace_filter $ metrics_out $ list_all)
 
 let () = exit (Cmd.eval' cmd)

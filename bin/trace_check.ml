@@ -1,0 +1,59 @@
+(* trace_check: validate a JSONL trace export.
+
+     trace_check FILE
+
+   Checks that every line parses as a JSON object with numeric "t" and
+   "lane" fields and a string "ev", and that timestamps are
+   non-decreasing within each lane (the exporter's determinism
+   contract). A "run_start" event marks a fresh simulation / RL episode
+   whose clock restarts at 0, so it resets the lane's clock.
+   Exits 0 on success, 1 with a diagnostic otherwise. *)
+
+let fail fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 1) fmt
+
+let () =
+  let file =
+    match Sys.argv with
+    | [| _; file |] -> file
+    | _ -> fail "usage: trace_check FILE.jsonl"
+  in
+  let ic = try open_in file with Sys_error e -> fail "cannot open: %s" e in
+  let last_t = Hashtbl.create 8 in
+  let events = ref 0 in
+  let lineno = ref 0 in
+  (try
+     while true do
+       let line = input_line ic in
+       incr lineno;
+       if String.trim line <> "" then begin
+         let v =
+           match Obs.Json.parse line with
+           | Ok v -> v
+           | Error msg -> fail "%s:%d: bad JSON: %s" file !lineno msg
+         in
+         let num key =
+           match Option.bind (Obs.Json.member key v) Obs.Json.num with
+           | Some n -> n
+           | None -> fail "%s:%d: missing numeric %S" file !lineno key
+         in
+         let t = num "t" in
+         let lane = int_of_float (num "lane") in
+         let ev =
+           match Option.bind (Obs.Json.member "ev" v) Obs.Json.str with
+           | Some ev -> ev
+           | None -> fail "%s:%d: missing \"ev\"" file !lineno
+         in
+         if ev <> "run_start" then
+           (match Hashtbl.find_opt last_t lane with
+           | Some prev when t < prev ->
+             fail "%s:%d: time went backwards in lane %d (%.9g < %.9g)" file
+               !lineno lane t prev
+           | _ -> ());
+         Hashtbl.replace last_t lane t;
+         incr events
+       end
+     done
+   with End_of_file -> ());
+  close_in ic;
+  Printf.printf "%s: %d events, %d lane(s), timestamps non-decreasing\n" file
+    !events (Hashtbl.length last_t)

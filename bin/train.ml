@@ -8,7 +8,32 @@ let sets =
   List.map (fun s -> (String.lowercase_ascii s.Rlcc.Features.set_name, s))
     Rlcc.Features.fig5_sets
 
-let run_cmd set_name episodes steps seed randomized delta no_loss =
+(* Run [f] with a tracer/metrics registry installed when exports are
+   requested (lane 0: training is a single serial loop). *)
+let with_observability ~trace_out ~trace_filter ~metrics_out f =
+  let categories =
+    match trace_filter with
+    | None -> Obs.Category.all
+    | Some spec -> Obs.Category.parse_filter spec
+  in
+  match (trace_out, metrics_out) with
+  | None, None -> f ()
+  | _ ->
+    let tracer = Obs.Trace.create ~categories () in
+    let reg = Obs.Metrics.create_registry () in
+    let result =
+      Obs.Trace.run tracer ~lane:0 (fun () -> Obs.Metrics.run reg f)
+    in
+    Option.iter (Obs.Trace.write tracer) trace_out;
+    Option.iter (Obs.Metrics.write_csv reg) metrics_out;
+    Option.iter
+      (fun file ->
+        Printf.printf "trace: %d events -> %s\n" (Obs.Trace.length tracer) file)
+      trace_out;
+    result
+
+let run_cmd set_name episodes steps seed randomized delta no_loss trace_out
+    trace_filter metrics_out =
   match List.assoc_opt set_name sets with
   | None ->
     Printf.eprintf "unknown state set %S (known: %s)\n" set_name
@@ -30,7 +55,10 @@ let run_cmd set_name episodes steps seed randomized delta no_loss =
       }
     in
     let t0 = Sys.time () in
-    let outcome = Rlcc.Train.run cfg in
+    let outcome =
+      with_observability ~trace_out ~trace_filter ~metrics_out (fun () ->
+          Rlcc.Train.run cfg)
+    in
     let elapsed = Sys.time () -. t0 in
     let curve = Rlcc.Train.smooth outcome.Rlcc.Train.episode_rewards in
     Printf.printf "state set %s, %d episodes x %d steps (%.1fs CPU)\n"
@@ -54,9 +82,33 @@ let randomized = Arg.(value & flag & info [ "randomized" ] ~doc:"randomized envs
 let delta = Arg.(value & flag & info [ "delta" ] ~doc:"train on delta-r")
 let no_loss = Arg.(value & flag & info [ "no-loss" ] ~doc:"drop the loss term")
 
+let trace_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "export the RL step trace to $(docv) (.csv gets CSV, anything else \
+           JSONL)")
+
+let trace_filter =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-filter" ] ~docv:"CAT,.."
+        ~doc:"comma-separated event categories; default all (training emits rl)")
+
+let metrics_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE" ~doc:"export the metrics registry as CSV")
+
 let cmd =
   Cmd.v
     (Cmd.info "train" ~doc:"PPO training for the DRL-based CCA")
-    Term.(const run_cmd $ set_name $ episodes $ steps $ seed $ randomized $ delta $ no_loss)
+    Term.(
+      const run_cmd $ set_name $ episodes $ steps $ seed $ randomized $ delta
+      $ no_loss $ trace_out $ trace_filter $ metrics_out)
 
 let () = exit (Cmd.eval' cmd)

@@ -128,8 +128,20 @@ let mark_boundary t label = t.pending_label <- Some label
 let min_window ~rate min_pkts =
   float_of_int (min_pkts * Netsim.Units.mtu) /. Float.max 1500.0 rate
 
+let stage_name = function
+  | Exploration -> "exploration"
+  | Eval_low -> "eval_low"
+  | Eval_high -> "eval_high"
+  | Exploitation -> "exploitation"
+
+let m_cycles = Obs.Metrics.counter "libra.cycles"
+let m_skips = Obs.Metrics.counter "libra.skips"
+
 let enter_stage t ~now stage =
   t.stage <- stage;
+  if Obs.Trace.on Obs.Category.Stage then
+    Obs.Trace.emit
+      (Obs.Event.Stage { t = now; stage = stage_name stage; base_rate = t.x_prev });
   let rtt = srtt t in
   (match stage with
   | Exploration ->
@@ -350,12 +362,31 @@ let finish_cycle t ~now =
     in
     Telemetry.record t.telemetry
       { Telemetry.at = now; chosen; u_prev; u_rl; u_cl; x_next };
+    Obs.Metrics.incr m_cycles;
+    if Obs.Trace.on Obs.Category.Cycle then begin
+      let chosen_name =
+        match chosen with
+        | Telemetry.Prev -> "prev"
+        | Telemetry.Rl -> "rl"
+        | Telemetry.Cl -> "cl"
+      in
+      Obs.Trace.emit
+        (Obs.Event.Cycle
+           { t = now; chosen = chosen_name; u_prev; u_rl; u_cl; x_next })
+    end;
     t.x_prev <- Float.max 1500.0 x_next
   end
-  else
+  else begin
     (* Not enough feedback to evaluate: keep x_prev (Sec. 3's no-ACK
        rule). *)
     Telemetry.record_skip t.telemetry;
+    Obs.Metrics.incr m_skips;
+    if Obs.Trace.on Obs.Category.Cycle then
+      Obs.Trace.emit
+        (Obs.Event.Cycle
+           { t = now; chosen = "skip"; u_prev = nan; u_rl = nan; u_cl = nan;
+             x_next = t.x_prev })
+  end;
   enter_stage t ~now Exploration
 
 let advance t ~now =

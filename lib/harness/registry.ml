@@ -40,6 +40,7 @@ let all =
     e "tab7" "switching-threshold sensitivity" Exp_sensitivity.run_tab7 "tab7";
     e "ablate" "eval-order / exploitation ablations" Exp_ablation.run "ablate";
     e "extend" "Sec. 7 extensions: other CCAs, satellite/5G, CoDel" Exp_extension.run "extend";
+    e "trace" "deterministic sim-time trace export (JSONL/CSV)" Exp_trace.run "trace";
   ]
 
 let find id = List.find_opt (fun e -> e.id = id) all
@@ -62,12 +63,18 @@ let groups () =
 (* Run every experiment group, fanned out across [pool]; collect the
    buffered reports and return them in registry order. Rendering is
    decoupled from execution, so the concatenated output is identical at
-   any pool size. *)
-let run_all_reports ?pool () =
+   any pool size.
+
+   [wrap i run] lets the caller install ambient sinks around group [i]
+   (the CLI uses it to give each group a deterministic trace lane). *)
+let run_all_reports ?pool ?(wrap = fun _i run -> run ()) () =
   let pool = match pool with Some p -> p | None -> Exec.Pool.default () in
   let gs = Array.of_list (groups ()) in
-  let reports = Exec.Pool.map pool (fun e -> e.run ()) gs in
+  let reports =
+    Exec.Pool.map pool (fun (i, e) -> wrap i (fun () -> e.run ()))
+      (Array.mapi (fun i e -> (i, e)) gs)
+  in
   Array.to_list (Array.map2 (fun e r -> (e.group, r)) gs reports)
 
-let run_all ?pool () =
-  List.iter (fun (_, r) -> Report.print r) (run_all_reports ?pool ())
+let run_all ?pool ?wrap () =
+  List.iter (fun (_, r) -> Report.print r) (run_all_reports ?pool ?wrap ())

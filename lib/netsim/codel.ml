@@ -61,6 +61,13 @@ let enqueue t pkt ~now =
 let control_interval t count =
   t.interval /. sqrt (float_of_int (max 1 count))
 
+let trace_head_drop ~now (pkt : Packet.t) =
+  if Obs.Trace.on Obs.Category.Pkt then
+    Obs.Trace.emit
+      (Obs.Event.Drop
+         { t = now; flow = pkt.flow; seq = pkt.seq; size = pkt.size;
+           reason = Obs.Event.Codel })
+
 (* Pop the head, updating byte accounting. *)
 let pop t =
   match Queue.take_opt t.items with
@@ -95,6 +102,7 @@ let rec dequeue t ~now =
         if now >= t.drop_next then begin
           t.drop_count <- t.drop_count + 1;
           t.drops <- t.drops + 1;
+          trace_head_drop ~now entry.pkt;
           t.drop_next <- now +. control_interval t t.drop_count;
           dequeue t ~now
         end
@@ -106,6 +114,7 @@ let rec dequeue t ~now =
         t.dropping <- true;
         t.drop_count <- (if t.drop_count > 2 then t.drop_count - 2 else 1);
         t.drops <- t.drops + 1;
+        trace_head_drop ~now entry.pkt;
         t.drop_next <- now +. control_interval t t.drop_count;
         dequeue t ~now
       end

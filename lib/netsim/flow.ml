@@ -38,6 +38,13 @@ type t = {
 
 let min_pacing = 750.0 (* bytes/s: half a packet per second floor *)
 
+(* Observability probes (no-ops unless a registry is attached). *)
+let m_acks = Obs.Metrics.counter "netsim.flow.acks"
+let m_lost = Obs.Metrics.counter "netsim.flow.lost_pkts"
+let m_rtt =
+  Obs.Metrics.histogram "netsim.flow.rtt_s"
+    ~bounds:[| 0.01; 0.025; 0.05; 0.1; 0.2; 0.4; 0.8; 1.6 |]
+
 let create ~sim ~id ~cca ~return_delay ~start_at ~stop_at ?(pkt_size = Units.mtu)
     ?(stats_bin = 0.01) () =
   {
@@ -183,6 +190,22 @@ let handle_ack t (pkt : Packet.t) =
           rate_sample;
           newly_lost = !lost;
         };
+      Obs.Metrics.incr m_acks;
+      Obs.Metrics.add m_lost !lost;
+      Obs.Metrics.observe m_rtt rtt;
+      if Obs.Trace.on Obs.Category.Ack then
+        Obs.Trace.emit
+          (Obs.Event.Ack
+             { t = now; flow = t.id; seq = o.seq; rtt; newly_lost = !lost });
+      if Obs.Trace.on Obs.Category.Rate then
+        Obs.Trace.emit
+          (Obs.Event.Rate
+             {
+               t = now;
+               flow = t.id;
+               pacing = t.cca.Cca.pacing_rate ~now;
+               cwnd = t.cca.Cca.cwnd ~now;
+             });
       arm_rto t;
       (* The window may have opened or the rate risen: re-evaluate. *)
       schedule_send t now

@@ -25,9 +25,17 @@ type t = {
   mutable random_drops : int;
   mutable queue_delay_sum : float;
   mutable queue_delay_samples : int;
+  mutable traced_rate : float;  (* last service rate put on the trace *)
 }
 
 let min_rate = 1.0 (* bytes/s; below this the link is treated as stalled *)
+
+(* Observability probes (no-ops unless a registry is attached). *)
+let m_enqueued = Obs.Metrics.counter "netsim.link.enqueued_pkts"
+let m_delivered = Obs.Metrics.counter "netsim.link.delivered_pkts"
+let m_tail_drops = Obs.Metrics.counter "netsim.link.tail_drops"
+let m_random_drops = Obs.Metrics.counter "netsim.link.random_drops"
+let m_queue_bytes = Obs.Metrics.gauge "netsim.link.queue_bytes"
 
 let create ?(aqm = `Fifo) ~sim ~rate_fn ~grain ~buffer_bytes ~loss_p ~rng ~deliver () =
   {
@@ -47,6 +55,7 @@ let create ?(aqm = `Fifo) ~sim ~rate_fn ~grain ~buffer_bytes ~loss_p ~rng ~deliv
     random_drops = 0;
     queue_delay_sum = 0.0;
     queue_delay_samples = 0;
+    traced_rate = nan;
   }
 
 let queue_bytes t =
@@ -82,6 +91,10 @@ let rec start_service t =
     t.busy <- true;
     let now = Sim.now t.sim in
     let rate = t.rate_fn now in
+    if Obs.Trace.on Obs.Category.Link && rate <> t.traced_rate then begin
+      t.traced_rate <- rate;
+      Obs.Trace.emit (Obs.Event.Link_rate { t = now; rate })
+    end;
     if rate < min_rate then
       (* Outage: look again one grain later. *)
       Sim.after t.sim t.grain (fun () -> start_service t)
@@ -91,18 +104,33 @@ let rec start_service t =
     end
 
 and finish_service t =
-  match dequeue t ~now:(Sim.now t.sim) with
+  let now = Sim.now t.sim in
+  match dequeue t ~now with
   | None -> t.busy <- false
   | Some pkt ->
     t.delivered_bytes <- t.delivered_bytes + pkt.Packet.size;
     t.delivered_pkts <- t.delivered_pkts + 1;
+    Obs.Metrics.incr m_delivered;
+    Obs.Metrics.set m_queue_bytes (float_of_int (queue_bytes t));
+    if Obs.Trace.on Obs.Category.Pkt then
+      Obs.Trace.emit
+        (Obs.Event.Dequeue
+           { t = now; flow = pkt.Packet.flow; seq = pkt.Packet.seq;
+             size = pkt.Packet.size; backlog = queue_bytes t });
     t.deliver pkt;
     start_service t
 
 (* Admit a packet: Bernoulli stochastic loss first, then droptail. *)
 let send t pkt =
-  if t.loss_p > 0.0 && Rng.bool t.rng ~p:t.loss_p then
-    t.random_drops <- t.random_drops + 1
+  if t.loss_p > 0.0 && Rng.bool t.rng ~p:t.loss_p then begin
+    t.random_drops <- t.random_drops + 1;
+    Obs.Metrics.incr m_random_drops;
+    if Obs.Trace.on Obs.Category.Pkt then
+      Obs.Trace.emit
+        (Obs.Event.Drop
+           { t = Sim.now t.sim; flow = pkt.Packet.flow; seq = pkt.Packet.seq;
+             size = pkt.Packet.size; reason = Obs.Event.Random })
+  end
   else begin
     let now = Sim.now t.sim in
     let admitted =
@@ -110,6 +138,23 @@ let send t pkt =
       | Fifo q -> Droptail.enqueue q pkt
       | Codel_q q -> Codel.enqueue q pkt ~now
     in
+    if admitted then begin
+      Obs.Metrics.incr m_enqueued;
+      Obs.Metrics.set m_queue_bytes (float_of_int (queue_bytes t));
+      if Obs.Trace.on Obs.Category.Pkt then
+        Obs.Trace.emit
+          (Obs.Event.Enqueue
+             { t = now; flow = pkt.Packet.flow; seq = pkt.Packet.seq;
+               size = pkt.Packet.size; backlog = queue_bytes t })
+    end
+    else begin
+      Obs.Metrics.incr m_tail_drops;
+      if Obs.Trace.on Obs.Category.Pkt then
+        Obs.Trace.emit
+          (Obs.Event.Drop
+             { t = now; flow = pkt.Packet.flow; seq = pkt.Packet.seq;
+               size = pkt.Packet.size; reason = Obs.Event.Tail })
+    end;
     if admitted then begin
       (* Track queueing delay via the backlog at admission. *)
       let rate = Float.max min_rate (t.rate_fn now) in

@@ -88,8 +88,43 @@ let on_send t ~bytes = t.sent_bytes <- t.sent_bytes + bytes
 
 let acks t = t.acks
 
+(* Emit the snapshot on the trace stream, when subscribed. *)
+let publish ~now snap =
+  if Obs.Trace.on Obs.Category.Monitor then
+    Obs.Trace.emit
+      (Obs.Event.Mi_snapshot
+         {
+           t = now;
+           duration = snap.duration;
+           throughput = snap.throughput;
+           avg_rtt = snap.avg_rtt;
+           loss_rate = snap.loss_rate;
+           rtt_gradient = snap.rtt_gradient;
+           acked = snap.acked;
+           lost = snap.lost_pkts;
+         });
+  snap
+
 let snapshot t ~now =
-  let duration = Float.max 1e-9 (now -. t.started_at) in
+  let duration = now -. t.started_at in
+  if duration <= 0.0 then
+    (* Zero-length interval (a snapshot taken at the reset instant, or
+       a clock that has not advanced): no byte or time denominator is
+       meaningful, so return explicit zeros/nan instead of dividing. *)
+    publish ~now
+      {
+        duration = 0.0;
+        throughput = 0.0;
+        avg_rtt = (if t.acks = 0 then nan else t.rtt_sum /. float_of_int t.acks);
+        min_rtt = t.rtt_min;
+        rtt_gradient = 0.0;
+        rtt_grad_se = infinity;
+        loss_rate = 0.0;
+        acked = t.acks;
+        lost_pkts = t.lost;
+      }
+  else begin
+  let duration = Float.max 1e-9 duration in
   let throughput = float_of_int t.acked_bytes /. duration in
   let avg_rtt = if t.acks = 0 then nan else t.rtt_sum /. float_of_int t.acks in
   let denom = (t.n *. t.sum_tt) -. (t.sum_t *. t.sum_t) in
@@ -122,14 +157,16 @@ let snapshot t ~now =
   let loss_rate =
     if total = 0 then 0.0 else float_of_int t.lost /. float_of_int total
   in
-  {
-    duration;
-    throughput;
-    avg_rtt;
-    min_rtt = t.rtt_min;
-    rtt_gradient;
-    rtt_grad_se;
-    loss_rate;
-    acked = t.acks;
-    lost_pkts = t.lost;
-  }
+  publish ~now
+    {
+      duration;
+      throughput;
+      avg_rtt;
+      min_rtt = t.rtt_min;
+      rtt_gradient;
+      rtt_grad_se;
+      loss_rate;
+      acked = t.acks;
+      lost_pkts = t.lost;
+    }
+  end

@@ -49,6 +49,11 @@ let capacity_integral ?const_rate ~rate_fn ~grain ~duration () =
 
 let run ?(seed = 42) ?(stats_bin = 0.01) ~link ~flows ~duration () =
   let sim = Sim.create () in
+  (* Run boundary: the sim clock starts at 0, so a lane that runs
+     several simulations back-to-back needs the marker to stay
+     segmentable (timestamps are non-decreasing between markers). *)
+  if Obs.Trace.on Obs.Category.Run then
+    Obs.Trace.emit (Obs.Event.Run_start { t = Sim.now sim; label = "sim" });
   let rng = Rng.create seed in
   let flow_arr =
     List.mapi

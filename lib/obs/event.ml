@@ -1,0 +1,240 @@
+(* The typed trace-event stream.
+
+   Every event is stamped with *simulation time* (the [t] field), never
+   wall clock, so traces are bit-identical across machines and domain
+   pools. The variants cover the whole stack: queue operations and link
+   rate changes (netsim), ACK delivery and rate updates (flow),
+   monitor-interval snapshots, Libra stage transitions and per-cycle
+   utility triples (core), and RL step records (rlcc).
+
+   Serialization is deterministic: floats are rendered with %.9g and
+   non-finite values become JSON null (empty cell in CSV). *)
+
+type drop_reason = Tail | Codel | Random
+
+type t =
+  | Enqueue of { t : float; flow : int; seq : int; size : int; backlog : int }
+  | Dequeue of { t : float; flow : int; seq : int; size : int; backlog : int }
+  | Drop of { t : float; flow : int; seq : int; size : int; reason : drop_reason }
+  | Link_rate of { t : float; rate : float }  (* bytes/s *)
+  | Ack of { t : float; flow : int; seq : int; rtt : float; newly_lost : int }
+  | Rate of { t : float; flow : int; pacing : float; cwnd : float }
+  | Mi_snapshot of {
+      t : float;
+      duration : float;
+      throughput : float;
+      avg_rtt : float;
+      loss_rate : float;
+      rtt_gradient : float;
+      acked : int;
+      lost : int;
+    }
+  | Stage of { t : float; stage : string; base_rate : float }
+  | Cycle of {
+      t : float;
+      chosen : string;  (* "prev" | "rl" | "cl" | "skip" *)
+      u_prev : float;
+      u_rl : float;
+      u_cl : float;
+      x_next : float;
+    }
+  | Rl_step of {
+      t : float;
+      episode : int;  (* -1 for live (non-training) agent decisions *)
+      step : int;
+      rate : float;
+      reward : float;  (* nan when no reward attaches (live decisions) *)
+      action : float;
+    }
+  | Run_start of { t : float; label : string }
+    (* a fresh simulation / RL episode whose clock restarts at [t]
+       (normally 0); within a lane, timestamps are non-decreasing
+       *between* consecutive Run_start markers *)
+
+(* Placeholder used to initialise event buffers. *)
+let dummy = Link_rate { t = 0.0; rate = 0.0 }
+
+let time = function
+  | Enqueue e -> e.t
+  | Dequeue e -> e.t
+  | Drop e -> e.t
+  | Link_rate e -> e.t
+  | Ack e -> e.t
+  | Rate e -> e.t
+  | Mi_snapshot e -> e.t
+  | Stage e -> e.t
+  | Cycle e -> e.t
+  | Rl_step e -> e.t
+  | Run_start e -> e.t
+
+let category = function
+  | Enqueue _ | Dequeue _ | Drop _ -> Category.Pkt
+  | Link_rate _ -> Category.Link
+  | Ack _ -> Category.Ack
+  | Rate _ -> Category.Rate
+  | Mi_snapshot _ -> Category.Monitor
+  | Stage _ -> Category.Stage
+  | Cycle _ -> Category.Cycle
+  | Rl_step _ -> Category.Rl
+  | Run_start _ -> Category.Run
+
+let name = function
+  | Enqueue _ -> "enqueue"
+  | Dequeue _ -> "dequeue"
+  | Drop _ -> "drop"
+  | Link_rate _ -> "link_rate"
+  | Ack _ -> "ack"
+  | Rate _ -> "rate"
+  | Mi_snapshot _ -> "mi_snapshot"
+  | Stage _ -> "stage"
+  | Cycle _ -> "cycle"
+  | Rl_step _ -> "rl_step"
+  | Run_start _ -> "run_start"
+
+let reason_name = function Tail -> "tail" | Codel -> "codel" | Random -> "random"
+
+(* ---- JSONL ---- *)
+
+let add_float b v =
+  if Float.is_finite v then Buffer.add_string b (Printf.sprintf "%.9g" v)
+  else Buffer.add_string b "null"
+
+let field_f b key v =
+  Buffer.add_string b ",\"";
+  Buffer.add_string b key;
+  Buffer.add_string b "\":";
+  add_float b v
+
+let field_i b key v =
+  Buffer.add_string b (Printf.sprintf ",%S:%d" key v)
+
+let field_s b key v = Buffer.add_string b (Printf.sprintf ",%S:%S" key v)
+
+(* One JSON object per event; [lane] records which deterministic buffer
+   the event came from (timestamps are non-decreasing within a lane). *)
+let to_json_line ~lane buf ev =
+  let b = buf in
+  Buffer.add_string b "{\"t\":";
+  add_float b (time ev);
+  field_i b "lane" lane;
+  field_s b "ev" (name ev);
+  (match ev with
+  | Enqueue e ->
+    field_i b "flow" e.flow;
+    field_i b "seq" e.seq;
+    field_i b "size" e.size;
+    field_i b "backlog" e.backlog
+  | Dequeue e ->
+    field_i b "flow" e.flow;
+    field_i b "seq" e.seq;
+    field_i b "size" e.size;
+    field_i b "backlog" e.backlog
+  | Drop e ->
+    field_i b "flow" e.flow;
+    field_i b "seq" e.seq;
+    field_i b "size" e.size;
+    field_s b "reason" (reason_name e.reason)
+  | Link_rate e -> field_f b "rate" e.rate
+  | Ack e ->
+    field_i b "flow" e.flow;
+    field_i b "seq" e.seq;
+    field_f b "rtt" e.rtt;
+    field_i b "newly_lost" e.newly_lost
+  | Rate e ->
+    field_i b "flow" e.flow;
+    field_f b "pacing" e.pacing;
+    field_f b "cwnd" e.cwnd
+  | Mi_snapshot e ->
+    field_f b "duration" e.duration;
+    field_f b "throughput" e.throughput;
+    field_f b "avg_rtt" e.avg_rtt;
+    field_f b "loss_rate" e.loss_rate;
+    field_f b "rtt_gradient" e.rtt_gradient;
+    field_i b "acked" e.acked;
+    field_i b "lost" e.lost
+  | Stage e ->
+    field_s b "stage" e.stage;
+    field_f b "base_rate" e.base_rate
+  | Cycle e ->
+    field_s b "chosen" e.chosen;
+    field_f b "u_prev" e.u_prev;
+    field_f b "u_rl" e.u_rl;
+    field_f b "u_cl" e.u_cl;
+    field_f b "x_next" e.x_next
+  | Rl_step e ->
+    field_i b "episode" e.episode;
+    field_i b "step" e.step;
+    field_f b "rate" e.rate;
+    field_f b "reward" e.reward;
+    field_f b "action" e.action
+  | Run_start e -> field_s b "label" e.label);
+  Buffer.add_string b "}\n"
+
+(* ---- CSV ---- *)
+
+(* One wide row per event: inapplicable columns are left empty, which
+   keeps the file trivially loadable for offline plotting. *)
+let csv_header =
+  "t,lane,ev,flow,seq,size,backlog,reason,rate,pacing,cwnd,rtt,newly_lost,duration,throughput,avg_rtt,loss_rate,rtt_gradient,acked,lost,stage,chosen,u_prev,u_rl,u_cl,x_next,episode,step,reward,action,label"
+
+let csv_columns = 31
+
+let fcell v = if Float.is_finite v then Printf.sprintf "%.9g" v else ""
+
+let to_csv_row ~lane buf ev =
+  let cells = Array.make csv_columns "" in
+  cells.(0) <- fcell (time ev);
+  cells.(1) <- string_of_int lane;
+  cells.(2) <- name ev;
+  (match ev with
+  | Enqueue e ->
+    cells.(3) <- string_of_int e.flow;
+    cells.(4) <- string_of_int e.seq;
+    cells.(5) <- string_of_int e.size;
+    cells.(6) <- string_of_int e.backlog
+  | Dequeue e ->
+    cells.(3) <- string_of_int e.flow;
+    cells.(4) <- string_of_int e.seq;
+    cells.(5) <- string_of_int e.size;
+    cells.(6) <- string_of_int e.backlog
+  | Drop e ->
+    cells.(3) <- string_of_int e.flow;
+    cells.(4) <- string_of_int e.seq;
+    cells.(5) <- string_of_int e.size;
+    cells.(7) <- reason_name e.reason
+  | Link_rate e -> cells.(8) <- fcell e.rate
+  | Ack e ->
+    cells.(3) <- string_of_int e.flow;
+    cells.(4) <- string_of_int e.seq;
+    cells.(11) <- fcell e.rtt;
+    cells.(12) <- string_of_int e.newly_lost
+  | Rate e ->
+    cells.(3) <- string_of_int e.flow;
+    cells.(9) <- fcell e.pacing;
+    cells.(10) <- fcell e.cwnd
+  | Mi_snapshot e ->
+    cells.(13) <- fcell e.duration;
+    cells.(14) <- fcell e.throughput;
+    cells.(15) <- fcell e.avg_rtt;
+    cells.(16) <- fcell e.loss_rate;
+    cells.(17) <- fcell e.rtt_gradient;
+    cells.(18) <- string_of_int e.acked;
+    cells.(19) <- string_of_int e.lost
+  | Stage e ->
+    cells.(20) <- e.stage;
+    cells.(8) <- fcell e.base_rate
+  | Cycle e ->
+    cells.(21) <- e.chosen;
+    cells.(22) <- fcell e.u_prev;
+    cells.(23) <- fcell e.u_rl;
+    cells.(24) <- fcell e.u_cl;
+    cells.(25) <- fcell e.x_next
+  | Rl_step e ->
+    cells.(26) <- string_of_int e.episode;
+    cells.(27) <- string_of_int e.step;
+    cells.(8) <- fcell e.rate;
+    cells.(28) <- fcell e.reward;
+    cells.(29) <- fcell e.action
+  | Run_start e -> cells.(30) <- e.label);
+  Buffer.add_string buf (String.concat "," (Array.to_list cells));
+  Buffer.add_char buf '\n'

@@ -1,0 +1,241 @@
+(* Minimal JSON: enough to validate JSONL trace exports and to patch
+   BENCH_results.json without external dependencies. Numbers are parsed
+   as floats; [null] round-trips (the trace exporter writes non-finite
+   floats as null). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+(* ---- parsing ---- *)
+
+type state = { s : string; mutable pos : int }
+
+let error st msg =
+  raise (Parse_error (Printf.sprintf "%s at offset %d" msg st.pos))
+
+let peek st = if st.pos < String.length st.s then Some st.s.[st.pos] else None
+
+let skip_ws st =
+  while
+    st.pos < String.length st.s
+    && (match st.s.[st.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+  do
+    st.pos <- st.pos + 1
+  done
+
+let expect st c =
+  match peek st with
+  | Some got when got = c -> st.pos <- st.pos + 1
+  | _ -> error st (Printf.sprintf "expected %C" c)
+
+let lit st word value =
+  let n = String.length word in
+  if st.pos + n <= String.length st.s && String.sub st.s st.pos n = word then begin
+    st.pos <- st.pos + n;
+    value
+  end
+  else error st (Printf.sprintf "expected %s" word)
+
+let parse_string st =
+  expect st '"';
+  let b = Buffer.create 16 in
+  let rec loop () =
+    match peek st with
+    | None -> error st "unterminated string"
+    | Some '"' -> st.pos <- st.pos + 1
+    | Some '\\' ->
+      st.pos <- st.pos + 1;
+      (match peek st with
+      | Some 'n' -> Buffer.add_char b '\n'
+      | Some 't' -> Buffer.add_char b '\t'
+      | Some 'r' -> Buffer.add_char b '\r'
+      | Some 'b' -> Buffer.add_char b '\b'
+      | Some 'f' -> Buffer.add_char b '\012'
+      | Some '"' -> Buffer.add_char b '"'
+      | Some '\\' -> Buffer.add_char b '\\'
+      | Some '/' -> Buffer.add_char b '/'
+      | Some 'u' ->
+        (* Keep the escape verbatim; trace output never emits \u. *)
+        Buffer.add_string b "\\u"
+      | _ -> error st "bad escape");
+      st.pos <- st.pos + 1;
+      loop ()
+    | Some c ->
+      Buffer.add_char b c;
+      st.pos <- st.pos + 1;
+      loop ()
+  in
+  loop ();
+  Buffer.contents b
+
+let parse_number st =
+  let start = st.pos in
+  let is_num_char c =
+    match c with
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  while
+    st.pos < String.length st.s && is_num_char st.s.[st.pos]
+  do
+    st.pos <- st.pos + 1
+  done;
+  let tok = String.sub st.s start (st.pos - start) in
+  match float_of_string_opt tok with
+  | Some v -> Num v
+  | None -> error st (Printf.sprintf "bad number %S" tok)
+
+let rec parse_value st =
+  skip_ws st;
+  match peek st with
+  | None -> error st "unexpected end of input"
+  | Some '{' ->
+    st.pos <- st.pos + 1;
+    skip_ws st;
+    if peek st = Some '}' then begin
+      st.pos <- st.pos + 1;
+      Obj []
+    end
+    else begin
+      let rec members acc =
+        skip_ws st;
+        let key = parse_string st in
+        skip_ws st;
+        expect st ':';
+        let v = parse_value st in
+        skip_ws st;
+        match peek st with
+        | Some ',' ->
+          st.pos <- st.pos + 1;
+          members ((key, v) :: acc)
+        | Some '}' ->
+          st.pos <- st.pos + 1;
+          Obj (List.rev ((key, v) :: acc))
+        | _ -> error st "expected ',' or '}'"
+      in
+      members []
+    end
+  | Some '[' ->
+    st.pos <- st.pos + 1;
+    skip_ws st;
+    if peek st = Some ']' then begin
+      st.pos <- st.pos + 1;
+      List []
+    end
+    else begin
+      let rec items acc =
+        let v = parse_value st in
+        skip_ws st;
+        match peek st with
+        | Some ',' ->
+          st.pos <- st.pos + 1;
+          items (v :: acc)
+        | Some ']' ->
+          st.pos <- st.pos + 1;
+          List (List.rev (v :: acc))
+        | _ -> error st "expected ',' or ']'"
+      in
+      items []
+    end
+  | Some '"' -> Str (parse_string st)
+  | Some 't' -> lit st "true" (Bool true)
+  | Some 'f' -> lit st "false" (Bool false)
+  | Some 'n' -> lit st "null" Null
+  | Some _ -> parse_number st
+
+let parse_exn s =
+  let st = { s; pos = 0 } in
+  let v = parse_value st in
+  skip_ws st;
+  if st.pos <> String.length s then error st "trailing garbage";
+  v
+
+let parse s =
+  match parse_exn s with
+  | v -> Ok v
+  | exception Parse_error msg -> Error msg
+
+(* ---- printing ---- *)
+
+let escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let num_to_string v =
+  if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.9g" v
+
+let rec print ~indent b v =
+  let pad n = String.make n ' ' in
+  match v with
+  | Null -> Buffer.add_string b "null"
+  | Bool x -> Buffer.add_string b (string_of_bool x)
+  | Num x ->
+    if Float.is_finite x then Buffer.add_string b (num_to_string x)
+    else Buffer.add_string b "null"
+  | Str s -> Buffer.add_string b (Printf.sprintf "\"%s\"" (escape s))
+  | List [] -> Buffer.add_string b "[]"
+  | List items ->
+    Buffer.add_string b "[";
+    List.iteri
+      (fun i item ->
+        if i > 0 then Buffer.add_string b ", ";
+        print ~indent b item)
+      items;
+    Buffer.add_string b "]"
+  | Obj [] -> Buffer.add_string b "{}"
+  | Obj members ->
+    Buffer.add_string b "{\n";
+    let n = List.length members in
+    List.iteri
+      (fun i (k, item) ->
+        Buffer.add_string b (pad (indent + 2));
+        Buffer.add_string b (Printf.sprintf "\"%s\": " (escape k));
+        print ~indent:(indent + 2) b item;
+        Buffer.add_string b (if i < n - 1 then ",\n" else "\n"))
+      members;
+    Buffer.add_string b (pad indent);
+    Buffer.add_string b "}"
+
+let to_string v =
+  let b = Buffer.create 256 in
+  print ~indent:0 b v;
+  Buffer.contents b
+
+(* ---- accessors ---- *)
+
+let member key = function
+  | Obj members -> List.assoc_opt key members
+  | _ -> None
+
+let num = function Num v -> Some v | _ -> None
+let str = function Str s -> Some s | _ -> None
+
+(* Functional object update: replaces [key] if present, appends it
+   otherwise (used to patch BENCH_results.json in place). *)
+let set_member key v = function
+  | Obj members ->
+    if List.mem_assoc key members then
+      Obj (List.map (fun (k, old) -> if k = key then (k, v) else (k, old)) members)
+    else Obj (members @ [ (key, v) ])
+  | _ -> invalid_arg "Obs.Json.set_member: not an object"

@@ -1,0 +1,248 @@
+(* Metrics registry: named counters, gauges and fixed-bucket histograms.
+
+   Probes are registered once, at module-initialisation time, and are
+   plain integer handles into a global probe table. Updates go to the
+   *ambient registry* — a per-domain sink installed by [run], mirroring
+   [Trace.run]'s discipline — so the same probe can feed different
+   registries in different pool tasks and the caller merges them in a
+   deterministic order.
+
+   When no registry is attached anywhere, every update is a single
+   atomic load + compare + branch (the same no-op budget as trace
+   probes; the `obs/metrics-off` micro-bench enforces it). *)
+
+type kind = Counter | Gauge | Histogram of float array  (* ascending bounds *)
+
+type probe = int
+
+(* ---- global probe table ---- *)
+
+let table_lock = Mutex.create ()
+let names : string array ref = ref (Array.make 16 "")
+let kinds : kind array ref = ref (Array.make 16 Counter)
+let n_probes = ref 0
+
+let probe_count () = !n_probes
+
+let register name kind =
+  Mutex.lock table_lock;
+  let found = ref None in
+  for i = 0 to !n_probes - 1 do
+    if !names.(i) = name then found := Some i
+  done;
+  let id =
+    match !found with
+    | Some i ->
+      if !kinds.(i) <> kind then begin
+        Mutex.unlock table_lock;
+        invalid_arg
+          (Printf.sprintf "Obs.Metrics: probe %S re-registered with a different kind" name)
+      end;
+      i
+    | None ->
+      if !n_probes = Array.length !names then begin
+        let bigger_n = Array.make (2 * !n_probes) "" in
+        let bigger_k = Array.make (2 * !n_probes) Counter in
+        Array.blit !names 0 bigger_n 0 !n_probes;
+        Array.blit !kinds 0 bigger_k 0 !n_probes;
+        names := bigger_n;
+        kinds := bigger_k
+      end;
+      let i = !n_probes in
+      !names.(i) <- name;
+      !kinds.(i) <- kind;
+      n_probes := i + 1;
+      i
+  in
+  Mutex.unlock table_lock;
+  id
+
+let counter name = register name Counter
+let gauge name = register name Gauge
+
+let histogram name ~bounds =
+  let sorted = Array.copy bounds in
+  Array.sort compare sorted;
+  register name (Histogram sorted)
+
+(* ---- registries ---- *)
+
+type cell =
+  | Ccell of { mutable n : int }
+  | Gcell of { mutable v : float; mutable set : bool }
+  | Hcell of {
+      bounds : float array;
+      counts : int array;  (* counts.(i) = observations <= bounds.(i);
+                              one extra overflow bucket at the end *)
+      mutable sum : float;
+      mutable n : int;
+    }
+
+type registry = { mutable cells : cell option array }
+
+let create_registry () = { cells = [||] }
+
+let fresh_cell id =
+  match !kinds.(id) with
+  | Counter -> Ccell { n = 0 }
+  | Gauge -> Gcell { v = 0.0; set = false }
+  | Histogram bounds ->
+    Hcell { bounds; counts = Array.make (Array.length bounds + 1) 0; sum = 0.0; n = 0 }
+
+let cell_of reg id =
+  if id >= Array.length reg.cells then begin
+    let bigger = Array.make (max 16 (2 * (id + 1))) None in
+    Array.blit reg.cells 0 bigger 0 (Array.length reg.cells);
+    reg.cells <- bigger
+  end;
+  match reg.cells.(id) with
+  | Some c -> c
+  | None ->
+    let c = fresh_cell id in
+    reg.cells.(id) <- Some c;
+    c
+
+(* ---- the ambient per-domain registry ---- *)
+
+let reg_key : registry option ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref None)
+let n_active = Atomic.make 0
+
+let run reg f =
+  let cell = Domain.DLS.get reg_key in
+  let saved = !cell in
+  cell := Some reg;
+  Atomic.incr n_active;
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.decr n_active;
+      cell := saved)
+    f
+
+let current () = !(Domain.DLS.get reg_key)
+
+(* Mirror of [Trace.unobserved]: mask the ambient registry around
+   cache-dependent work so exports stay pool-size deterministic. *)
+let unobserved f =
+  let cell = Domain.DLS.get reg_key in
+  match !cell with
+  | None -> f ()
+  | Some _ as saved ->
+    cell := None;
+    Atomic.decr n_active;
+    Fun.protect
+      ~finally:(fun () ->
+        Atomic.incr n_active;
+        cell := saved)
+      f
+
+let add_slow p by =
+  match current () with
+  | None -> ()
+  | Some reg -> (
+    match cell_of reg p with
+    | Ccell c -> c.n <- c.n + by
+    | Gcell _ | Hcell _ -> ())
+
+let[@inline] add p by = if Atomic.get n_active > 0 then add_slow p by
+let[@inline] incr p = add p 1
+
+let set_slow p v =
+  match current () with
+  | None -> ()
+  | Some reg -> (
+    match cell_of reg p with
+    | Gcell g ->
+      g.v <- v;
+      g.set <- true
+    | Ccell _ | Hcell _ -> ())
+
+let[@inline] set p v = if Atomic.get n_active > 0 then set_slow p v
+
+let observe_slow p v =
+  match current () with
+  | None -> ()
+  | Some reg -> (
+    match cell_of reg p with
+    | Hcell h ->
+      let n = Array.length h.bounds in
+      let i = ref 0 in
+      while !i < n && v > h.bounds.(!i) do
+        Stdlib.incr i
+      done;
+      h.counts.(!i) <- h.counts.(!i) + 1;
+      h.sum <- h.sum +. v;
+      h.n <- h.n + 1
+    | Ccell _ | Gcell _ -> ())
+
+let[@inline] observe p v = if Atomic.get n_active > 0 then observe_slow p v
+
+(* ---- merging and export ---- *)
+
+(* Merge [src] into [dst]: counters and histogram buckets add, a gauge
+   that was written in [src] overwrites. Merge in deterministic (lane)
+   order when combining pool-task registries, since the gauge rule is
+   order-sensitive. *)
+let merge ~into src =
+  Array.iteri
+    (fun id cell ->
+      match cell with
+      | None -> ()
+      | Some c -> (
+        match (c, cell_of into id) with
+        | Ccell s, Ccell d -> d.n <- d.n + s.n
+        | Gcell s, Gcell d ->
+          if s.set then begin
+            d.v <- s.v;
+            d.set <- true
+          end
+        | Hcell s, Hcell d ->
+          Array.iteri (fun i n -> d.counts.(i) <- d.counts.(i) + n) s.counts;
+          d.sum <- d.sum +. s.sum;
+          d.n <- d.n + s.n
+        | _ -> assert false))
+    src.cells
+
+let fcell v = Printf.sprintf "%.9g" v
+
+(* Rows (metric, kind, field, value) in probe-registration order —
+   deterministic within a build. Unused probes are omitted. *)
+let dump reg =
+  let rows = ref [] in
+  for id = probe_count () - 1 downto 0 do
+    let name = !names.(id) in
+    if id < Array.length reg.cells then
+      match reg.cells.(id) with
+      | None -> ()
+      | Some (Ccell c) -> rows := (name, "counter", "count", string_of_int c.n) :: !rows
+      | Some (Gcell g) ->
+        if g.set then rows := (name, "gauge", "value", fcell g.v) :: !rows
+      | Some (Hcell h) ->
+        let bucket_rows =
+          List.concat
+            [
+              [ (name, "histogram", "count", string_of_int h.n);
+                (name, "histogram", "sum", fcell h.sum) ];
+              List.init (Array.length h.counts) (fun i ->
+                  let label =
+                    if i < Array.length h.bounds then
+                      Printf.sprintf "le_%s" (fcell h.bounds.(i))
+                    else "le_inf"
+                  in
+                  (name, "histogram", label, string_of_int h.counts.(i)));
+            ]
+        in
+        rows := bucket_rows @ !rows
+  done;
+  !rows
+
+let to_csv reg =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "metric,kind,field,value\n";
+  List.iter
+    (fun (m, k, f, v) -> Buffer.add_string b (Printf.sprintf "%s,%s,%s,%s\n" m k f v))
+    (dump reg);
+  Buffer.contents b
+
+let write_csv reg path =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_csv reg))

@@ -1,0 +1,198 @@
+(* Deterministic sim-time tracing.
+
+   A tracer is a *session*: a category mask plus a set of lane buffers.
+   [run tracer ~lane f] installs the tracer as this domain's ambient
+   sink for the duration of [f] (saved and restored like
+   [Harness.Report.capture]'s sink, so pool domains that help with
+   other tasks attribute events correctly). Every [run] gets its own
+   lane buffer; [events]/[to_jsonl]/[to_csv] merge lanes in ascending
+   (lane, seq) order.
+
+   Determinism under `Exec.Pool`: OS-level domain ids are
+   scheduling-dependent (which domain runs a task changes with pool
+   size), so lanes are keyed by a *logical* id that the caller chooses
+   deterministically — typically the task index of a `Pool.map` fan-out.
+   Within a lane, events append in simulation order on a single domain.
+   Merging by (lane id, within-lane sequence) therefore yields the same
+   byte stream at any pool size.
+
+   Overhead discipline: when no tracer is installed anywhere,
+   [on cat] is a single atomic load + compare + branch, and probe
+   sites guard event construction behind it, so the disabled path
+   allocates nothing. The `obs/probe-off` micro-bench and the
+   `bench trace-overhead` macro run enforce this. *)
+
+type lane_buf = {
+  lane : int;
+  bounded : bool;  (* ring semantics: overwrite oldest when full *)
+  mutable arr : Event.t array;
+  mutable len : int;
+  mutable start : int;  (* ring head; always 0 when unbounded *)
+  mutable dropped : int;
+}
+
+type t = {
+  mask : int;
+  ring_capacity : int option;
+  lock : Mutex.t;
+  mutable lanes : lane_buf list;  (* newest first *)
+}
+
+let create ?ring_capacity ?(categories = Category.all) () =
+  (match ring_capacity with
+  | Some c when c < 1 -> invalid_arg "Obs.Trace.create: ring_capacity < 1"
+  | _ -> ());
+  {
+    (* Run boundaries are structural (they segment a lane whose sim
+       clock restarts), so every tracer subscribes to them no matter
+       what filter it was given. *)
+    mask = Category.mask_of categories lor Category.bit Category.Run;
+    ring_capacity;
+    lock = Mutex.create ();
+    lanes = [];
+  }
+
+let mask t = t.mask
+
+(* ---- the ambient per-domain sink ---- *)
+
+type ctx = { tracer : t; buf : lane_buf }
+
+let ctx_key : ctx option ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref None)
+
+(* Number of [run] scopes live across all domains. The disabled fast
+   path tests only this: one load, one compare, one branch. *)
+let n_active = Atomic.make 0
+
+let[@inline] on cat =
+  Atomic.get n_active > 0
+  &&
+  match !(Domain.DLS.get ctx_key) with
+  | Some c -> c.tracer.mask land Category.bit cat <> 0
+  | None -> false
+
+let push buf ev =
+  if buf.bounded then begin
+    let cap = Array.length buf.arr in
+    if buf.len < cap then begin
+      buf.arr.((buf.start + buf.len) mod cap) <- ev;
+      buf.len <- buf.len + 1
+    end
+    else begin
+      (* Ring full: overwrite the oldest event. *)
+      buf.arr.(buf.start) <- ev;
+      buf.start <- (buf.start + 1) mod cap;
+      buf.dropped <- buf.dropped + 1
+    end
+  end
+  else begin
+    if buf.len = Array.length buf.arr then begin
+      let bigger = Array.make (2 * Array.length buf.arr) Event.dummy in
+      Array.blit buf.arr 0 bigger 0 buf.len;
+      buf.arr <- bigger
+    end;
+    buf.arr.(buf.len) <- ev;
+    buf.len <- buf.len + 1
+  end
+
+let emit ev =
+  match !(Domain.DLS.get ctx_key) with
+  | None -> ()
+  | Some c ->
+    if c.tracer.mask land Category.bit (Event.category ev) <> 0 then push c.buf ev
+
+let run t ?(lane = 0) f =
+  let buf =
+    match t.ring_capacity with
+    | Some cap ->
+      { lane; bounded = true; arr = Array.make cap Event.dummy; len = 0; start = 0; dropped = 0 }
+    | None ->
+      { lane; bounded = false; arr = Array.make 256 Event.dummy; len = 0; start = 0; dropped = 0 }
+  in
+  Mutex.lock t.lock;
+  t.lanes <- buf :: t.lanes;
+  Mutex.unlock t.lock;
+  let cell = Domain.DLS.get ctx_key in
+  let saved = !cell in
+  cell := Some { tracer = t; buf };
+  Atomic.incr n_active;
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.decr n_active;
+      cell := saved)
+    f
+
+(* Mask the ambient tracer for the duration of [f]: used around work
+   whose execution is cache-dependent (e.g. lazy policy pretraining),
+   which would otherwise show up in whichever lane happened to miss the
+   cache first — breaking pool-size determinism. *)
+let unobserved f =
+  let cell = Domain.DLS.get ctx_key in
+  match !cell with
+  | None -> f ()
+  | Some _ as saved ->
+    cell := None;
+    Atomic.decr n_active;
+    Fun.protect
+      ~finally:(fun () ->
+        Atomic.incr n_active;
+        cell := saved)
+      f
+
+(* Lanes in merge order: ascending lane id; lanes sharing an id keep
+   their registration order (stable sort over the reversed
+   newest-first list). *)
+let sorted_lanes t =
+  Mutex.lock t.lock;
+  let lanes = List.rev t.lanes in
+  Mutex.unlock t.lock;
+  List.stable_sort (fun a b -> compare a.lane b.lane) lanes
+
+let iter_lane f buf =
+  let cap = Array.length buf.arr in
+  for i = 0 to buf.len - 1 do
+    f buf.arr.((buf.start + i) mod cap)
+  done
+
+let events t =
+  List.concat_map
+    (fun buf ->
+      let acc = ref [] in
+      iter_lane (fun ev -> acc := ev :: !acc) buf;
+      List.rev !acc)
+    (sorted_lanes t)
+
+let length t = List.fold_left (fun a b -> a + b.len) 0 (sorted_lanes t)
+
+(* Events discarded by full ring buffers (0 for unbounded tracers). *)
+let dropped t = List.fold_left (fun a b -> a + b.dropped) 0 (sorted_lanes t)
+
+(* ---- exporters ---- *)
+
+let to_jsonl t =
+  let b = Buffer.create 4096 in
+  List.iter
+    (fun buf -> iter_lane (fun ev -> Event.to_json_line ~lane:buf.lane b ev) buf)
+    (sorted_lanes t);
+  Buffer.contents b
+
+let to_csv t =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b Event.csv_header;
+  Buffer.add_char b '\n';
+  List.iter
+    (fun buf -> iter_lane (fun ev -> Event.to_csv_row ~lane:buf.lane b ev) buf)
+    (sorted_lanes t);
+  Buffer.contents b
+
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc contents)
+
+let write_jsonl t path = write_file path (to_jsonl t)
+let write_csv t path = write_file path (to_csv t)
+
+(* Pick the exporter from the file extension: .csv gets CSV, anything
+   else JSONL. *)
+let write t path =
+  if Filename.check_suffix path ".csv" then write_csv t path else write_jsonl t path

@@ -1,0 +1,59 @@
+(** Deterministic sim-time tracing.
+
+    A tracer is a session: a category mask plus lane buffers. {!run}
+    installs the tracer as this domain's ambient sink for the duration
+    of a callback; probe sites all over the stack test {!on} (one
+    atomic load + branch when tracing is off) and {!emit} into the
+    current lane. Lanes are keyed by caller-chosen logical ids (task
+    indices under [Exec.Pool]), and exports merge lanes in ascending
+    (lane, within-lane order) — byte-identical at any pool size. *)
+
+type t
+
+(** [create ?ring_capacity ?categories ()] makes a tracer subscribing
+    to [categories] (default: all). With [ring_capacity] each lane
+    keeps only the most recent events (in-memory ring sink for tests);
+    without it lanes grow unboundedly. *)
+val create : ?ring_capacity:int -> ?categories:Category.t list -> unit -> t
+
+(** The subscription bitmask (see {!Category.bit}). *)
+val mask : t -> int
+
+(** [run t ~lane f] runs [f] with [t] installed as this domain's sink,
+    recording into a fresh buffer for [lane]. Nested runs save and
+    restore the outer sink. Lane ids must be chosen deterministically
+    by the caller (e.g. the task index of a pool fan-out). *)
+val run : t -> ?lane:int -> (unit -> 'a) -> 'a
+
+(** Probe guard: true iff a tracer subscribing to [cat] is installed on
+    this domain. When no tracer is active anywhere this is a single
+    atomic load + compare. Guard event construction behind it. *)
+val on : Category.t -> bool
+
+(** Record an event into the current domain's tracer, if any (and if
+    the tracer subscribes to the event's category). *)
+val emit : Event.t -> unit
+
+(** [unobserved f] runs [f] with the ambient tracer masked. Wrap work
+    whose execution depends on a cross-run cache (lazy pretraining):
+    tracing it would attribute events to whichever lane missed the
+    cache first, breaking pool-size determinism. *)
+val unobserved : (unit -> 'a) -> 'a
+
+(** All recorded events, merged in (lane, order-within-lane) order. *)
+val events : t -> Event.t list
+
+(** Total events currently buffered. *)
+val length : t -> int
+
+(** Events discarded by full ring buffers (0 for unbounded tracers). *)
+val dropped : t -> int
+
+val to_jsonl : t -> string
+val to_csv : t -> string
+val write_jsonl : t -> string -> unit
+val write_csv : t -> string -> unit
+
+(** Write choosing the format by extension ([.csv] gets CSV, anything
+    else JSONL). *)
+val write : t -> string -> unit

@@ -110,6 +110,11 @@ let decide t ~now =
   t.decisions <- t.decisions + 1;
   t.rate <-
     Actions.apply t.action ~rate:t.rate ~min_rtt:t.min_rtt ~mss:Netsim.Units.mtu a;
+  if Obs.Trace.on Obs.Category.Rl then
+    Obs.Trace.emit
+      (Obs.Event.Rl_step
+         { t = now; episode = -1; step = t.decisions; rate = t.rate;
+           reward = nan; action = a });
   Netsim.Monitor.reset t.monitor ~now;
   t.mi_end <- now +. (t.mi_of_rtt *. t.min_rtt)
 

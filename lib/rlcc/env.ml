@@ -91,6 +91,7 @@ let reset t cfg =
 let mi_duration t = t.cfg.mi_of_rtt *. t.cfg.min_rtt
 
 let capacity t = t.cfg.capacity
+let time t = t.time
 
 (* Simulate one monitor interval at sending rate [rate]; returns the
    observation summarising it. *)

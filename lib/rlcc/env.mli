@@ -34,5 +34,9 @@ val reset : t -> cfg -> unit
 val mi_duration : t -> float
 val capacity : t -> float
 
+(** Accumulated simulated time (seconds of monitor intervals stepped);
+    used to stamp trace events with sim time rather than wall clock. *)
+val time : t -> float
+
 (** Simulate one monitor interval at the given sending rate. *)
 val step : t -> rate:float -> Features.obs

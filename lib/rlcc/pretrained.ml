@@ -59,7 +59,11 @@ let get cfg =
     Mutex.unlock cell.lock;
     outcome
   | None ->
-    (match Train.run cfg with
+    (* Train unobserved: tracing a cache fill would attribute the
+       events to whichever caller missed the cache first, which is
+       scheduling-dependent under the pool. `train --trace` sees RL
+       steps because it calls Train.run directly. *)
+    (match Obs.Trace.unobserved (fun () -> Obs.Metrics.unobserved (fun () -> Train.run cfg)) with
     | outcome ->
       cell.outcome <- Some outcome;
       Mutex.unlock cell.lock;

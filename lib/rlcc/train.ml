@@ -64,6 +64,11 @@ let run cfg =
       | `Randomized -> Env.random_cfg env_rng
     in
     Env.reset env env_cfg;
+    (* Each episode restarts the fluid env's clock at 0. *)
+    if Obs.Trace.on Obs.Category.Run then
+      Obs.Trace.emit
+        (Obs.Event.Run_start
+           { t = Env.time env; label = Printf.sprintf "episode %d" ep });
     let history = Features.History.create ~set:cfg.state_set ~h:cfg.history in
     let tracker = Reward.tracker cfg.reward in
     (* Start from a modest rate and let the policy steer. *)
@@ -73,7 +78,7 @@ let run cfg =
     ignore (Reward.signal tracker obs0);
     let transitions = ref [] in
     let total = ref 0.0 in
-    for _ = 1 to cfg.steps_per_episode do
+    for step = 1 to cfg.steps_per_episode do
       let state = Features.History.state history in
       let action, logp, val_est = Ppo.sample policy rng state in
       let action = Actions.clamp cfg.action action in
@@ -83,6 +88,11 @@ let run cfg =
       let obs = Env.step env ~rate:!rate in
       Features.History.push history obs;
       let reward = Reward.signal tracker obs in
+      if Obs.Trace.on Obs.Category.Rl then
+        Obs.Trace.emit
+          (Obs.Event.Rl_step
+             { t = Env.time env; episode = ep; step; rate = !rate; reward;
+               action });
       (* Learning curves plot the raw per-MI reward value (a delta-r
          training signal telescopes to ~0 per episode and hides
          progress). *)

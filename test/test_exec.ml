@@ -182,6 +182,29 @@ let test_registry_reports_byte_identical () =
         seq par;
       check_bool "reports non-empty" true (List.for_all (fun s -> s <> "") seq))
 
+(* exp_trace's artifacts (JSONL trace, CSV exports, merged metrics) are
+   byte-identical at any pool size: scenarios are tracer lanes and the
+   export merges lanes in lane order, not scheduling order. *)
+let test_exp_trace_artifacts_byte_identical () =
+  Harness.Scale.set tiny_scale;
+  Fun.protect
+    ~finally:(fun () -> Harness.Scale.set Harness.Scale.quick)
+    (fun () ->
+      let artifacts_with size =
+        with_pool size (fun pool -> Harness.Exp_trace.artifacts ~pool ())
+      in
+      let seq = artifacts_with 1 in
+      let par = artifacts_with 4 in
+      List.iter2
+        (fun (name_a, a) (name_b, b) ->
+          Alcotest.(check string) "artifact name" name_a name_b;
+          Alcotest.(check string) (name_a ^ " bytes") a b)
+        seq par;
+      check_bool "trace non-empty" true
+        (List.exists
+           (fun (name, contents) -> name = "exp_trace.jsonl" && contents <> "")
+           seq))
+
 let () =
   Alcotest.run "exec"
     [
@@ -205,5 +228,7 @@ let () =
           Alcotest.test_case "averaged lte" `Slow test_averaged_deterministic_lte;
           Alcotest.test_case "rl evaluate" `Slow test_evaluate_deterministic;
           Alcotest.test_case "registry reports" `Slow test_registry_reports_byte_identical;
+          Alcotest.test_case "exp_trace artifacts" `Slow
+            test_exp_trace_artifacts_byte_identical;
         ] );
     ]

@@ -234,6 +234,65 @@ let test_telemetry_fractions_sum_to_one () =
   Alcotest.(check (float 1e-9)) "sums to 1" 1.0 (p +. r +. c);
   Alcotest.(check (float 1e-9)) "rl fraction" 0.5 r
 
+(* Edge cases: a telemetry with no recorded cycles (and one with only
+   skips) reports all-zero fractions and an empty utility series, not
+   nan or a crash. *)
+let test_telemetry_empty () =
+  let t = Libra.Telemetry.create () in
+  let p, r, c = Libra.Telemetry.fractions t in
+  Alcotest.(check (float 1e-9)) "prev 0" 0.0 p;
+  Alcotest.(check (float 1e-9)) "rl 0" 0.0 r;
+  Alcotest.(check (float 1e-9)) "cl 0" 0.0 c;
+  Alcotest.(check int) "no series" 0
+    (List.length (Libra.Telemetry.utility_series t));
+  Alcotest.(check int) "no cycles" 0 (Libra.Telemetry.total t)
+
+let test_telemetry_skip_only () =
+  let t = Libra.Telemetry.create () in
+  for _ = 1 to 5 do
+    Libra.Telemetry.record_skip t
+  done;
+  let p, r, c = Libra.Telemetry.fractions t in
+  Alcotest.(check (float 1e-9)) "all zero" 0.0 (p +. r +. c);
+  Alcotest.(check int) "skips don't count as cycles" 0 (Libra.Telemetry.total t);
+  Alcotest.(check int) "no series" 0
+    (List.length (Libra.Telemetry.utility_series t))
+
+(* Property: whenever at least one cycle is recorded, the three
+   fractions sum to exactly 1.0 (counts partition the cycle list), and
+   the utility series picks the chosen candidate's utility pointwise. *)
+let prop_telemetry_fractions_partition =
+  QCheck.Test.make ~name:"fractions sum to 1 when total > 0" ~count:200
+    QCheck.(list_of_size Gen.(1 -- 40) (int_bound 2))
+    (fun choices ->
+      let t = Libra.Telemetry.create () in
+      List.iteri
+        (fun i k ->
+          let chosen =
+            match k with
+            | 0 -> Libra.Telemetry.Prev
+            | 1 -> Libra.Telemetry.Rl
+            | _ -> Libra.Telemetry.Cl
+          in
+          Libra.Telemetry.record t
+            {
+              Libra.Telemetry.at = float_of_int i;
+              chosen;
+              u_prev = 1.0;
+              u_rl = 2.0;
+              u_cl = 3.0;
+              x_next = 1e6;
+            })
+        choices;
+      let p, r, c = Libra.Telemetry.fractions t in
+      let sums_to_one = Float.abs (p +. r +. c -. 1.0) < 1e-9 in
+      let series = Libra.Telemetry.utility_series t in
+      let series_tracks_choice =
+        List.length series = List.length choices
+        && List.for_all2 (fun k (_, u) -> u = float_of_int (k + 1)) choices series
+      in
+      sums_to_one && series_tracks_choice)
+
 (* ------------------------------------------------------------------ *)
 (* Ideal combiner *)
 
@@ -276,7 +335,12 @@ let () =
           Alcotest.test_case "unknown preset" `Slow test_unknown_preset_rejected;
         ] );
       ( "telemetry",
-        [ Alcotest.test_case "fractions" `Quick test_telemetry_fractions_sum_to_one ] );
+        [
+          Alcotest.test_case "fractions" `Quick test_telemetry_fractions_sum_to_one;
+          Alcotest.test_case "empty" `Quick test_telemetry_empty;
+          Alcotest.test_case "skip-only" `Quick test_telemetry_skip_only;
+        ]
+        @ qsuite [ prop_telemetry_fractions_partition ] );
       ( "ideal",
         [
           Alcotest.test_case "pointwise max" `Quick test_ideal_combine_is_pointwise_max;

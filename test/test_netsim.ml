@@ -301,6 +301,30 @@ let test_monitor_loss_rate () =
   let snap = Netsim.Monitor.snapshot m ~now:0.1 in
   check_float "loss rate" 0.2 snap.Netsim.Monitor.loss_rate
 
+(* A snapshot taken at the reset instant (zero-length interval) must
+   return explicit zeros/nan, never divide by the interval. *)
+let test_monitor_zero_duration () =
+  let m = Netsim.Monitor.create ~now:5.0 in
+  let empty = Netsim.Monitor.snapshot m ~now:5.0 in
+  check_float "duration" 0.0 empty.Netsim.Monitor.duration;
+  check_float "throughput" 0.0 empty.Netsim.Monitor.throughput;
+  check_float "gradient" 0.0 empty.Netsim.Monitor.rtt_gradient;
+  check_float "loss" 0.0 empty.Netsim.Monitor.loss_rate;
+  check_bool "no-ack avg rtt is nan" true
+    (Float.is_nan empty.Netsim.Monitor.avg_rtt);
+  check_bool "grad se infinite" true
+    (empty.Netsim.Monitor.rtt_grad_se = infinity);
+  (* Same with data recorded but no time elapsed (clock went backwards
+     or stood still): counts survive, rate denominators stay safe. *)
+  Netsim.Monitor.on_ack m (ack ~now:5.0 ~rtt:0.08);
+  Netsim.Monitor.on_timeout_loss m ~pkts:3;
+  let snap = Netsim.Monitor.snapshot m ~now:4.9 in
+  check_float "duration clamped" 0.0 snap.Netsim.Monitor.duration;
+  check_float "throughput zero" 0.0 snap.Netsim.Monitor.throughput;
+  check_float "avg rtt kept" 0.08 snap.Netsim.Monitor.avg_rtt;
+  check_int "acks kept" 1 snap.Netsim.Monitor.acked;
+  check_int "losses kept" 3 snap.Netsim.Monitor.lost_pkts
+
 (* ------------------------------------------------------------------ *)
 (* Windowed max (BBR's filter) *)
 
@@ -525,6 +549,8 @@ let () =
           Alcotest.test_case "throughput+gradient" `Quick
             test_monitor_throughput_and_gradient;
           Alcotest.test_case "loss rate" `Quick test_monitor_loss_rate;
+          Alcotest.test_case "zero-length interval" `Quick
+            test_monitor_zero_duration;
         ] );
       ( "integration",
         [

@@ -1,0 +1,306 @@
+(* Tests for lib/obs: trace sessions (lanes, rings, filters, exports),
+   the metrics registry (merge rules, no-op discipline) and the mini
+   JSON parser the exporters are validated with. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+let ev ~t ~seq =
+  Obs.Event.Enqueue { t; flow = 0; seq; size = 1500; backlog = 1500 }
+
+(* ------------------------------------------------------------------ *)
+(* Trace sessions *)
+
+let test_trace_records_in_order () =
+  let tr = Obs.Trace.create () in
+  Obs.Trace.run tr (fun () ->
+      for i = 0 to 9 do
+        Obs.Trace.emit (ev ~t:(float_of_int i) ~seq:i)
+      done);
+  check_int "all recorded" 10 (Obs.Trace.length tr);
+  check_int "none dropped" 0 (Obs.Trace.dropped tr);
+  let times = List.map Obs.Event.time (Obs.Trace.events tr) in
+  check_bool "in emission order" true
+    (times = List.init 10 float_of_int)
+
+let test_trace_off_outside_run () =
+  check_bool "no tracer installed" false (Obs.Trace.on Obs.Category.Pkt);
+  (* Emitting without a tracer is a silent no-op. *)
+  Obs.Trace.emit (ev ~t:0.0 ~seq:0);
+  let tr = Obs.Trace.create () in
+  Obs.Trace.run tr (fun () ->
+      check_bool "on inside run" true (Obs.Trace.on Obs.Category.Pkt));
+  check_bool "off again after run" false (Obs.Trace.on Obs.Category.Pkt)
+
+let test_trace_category_filter () =
+  let tr = Obs.Trace.create ~categories:[ Obs.Category.Stage ] () in
+  Obs.Trace.run tr (fun () ->
+      check_bool "subscribed category on" true (Obs.Trace.on Obs.Category.Stage);
+      check_bool "unsubscribed category off" false (Obs.Trace.on Obs.Category.Pkt);
+      Obs.Trace.emit (ev ~t:0.0 ~seq:0);
+      Obs.Trace.emit (Obs.Event.Stage { t = 1.0; stage = "exploration"; base_rate = 1e6 }));
+  check_int "only stage recorded" 1 (Obs.Trace.length tr)
+
+(* Run boundaries are structural: they survive any category filter,
+   because consumers need them to segment lanes whose sim clock
+   restarts (a lane that runs several simulations back-to-back). *)
+let test_run_boundary_survives_filter () =
+  let tr = Obs.Trace.create ~categories:[ Obs.Category.Stage ] () in
+  Obs.Trace.run tr (fun () ->
+      check_bool "run category on despite filter" true
+        (Obs.Trace.on Obs.Category.Run);
+      Obs.Trace.emit (Obs.Event.Run_start { t = 0.0; label = "sim" });
+      Obs.Trace.emit (Obs.Event.Stage { t = 1.0; stage = "exploration"; base_rate = 1e6 }));
+  check_int "boundary + stage recorded" 2 (Obs.Trace.length tr);
+  check_bool "boundary serializes" true
+    (match Obs.Trace.events tr with
+    | Obs.Event.Run_start { label = "sim"; _ } :: _ -> true
+    | _ -> false)
+
+let test_category_parse_filter () =
+  check_bool "parses a list" true
+    (Obs.Category.parse_filter "pkt, STAGE,rl"
+    = [ Obs.Category.Pkt; Obs.Category.Stage; Obs.Category.Rl ]);
+  check_bool "rejects unknown" true
+    (try
+       ignore (Obs.Category.parse_filter "pkt,nope");
+       false
+     with Invalid_argument _ -> true);
+  (* every category round-trips through its name *)
+  check_bool "names roundtrip" true
+    (List.for_all
+       (fun c -> Obs.Category.of_string (Obs.Category.to_string c) = Some c)
+       Obs.Category.all)
+
+let test_trace_ring_overwrites_oldest () =
+  let tr = Obs.Trace.create ~ring_capacity:4 () in
+  Obs.Trace.run tr (fun () ->
+      for i = 0 to 9 do
+        Obs.Trace.emit (ev ~t:(float_of_int i) ~seq:i)
+      done);
+  check_int "capped at capacity" 4 (Obs.Trace.length tr);
+  check_int "dropped count" 6 (Obs.Trace.dropped tr);
+  let times = List.map Obs.Event.time (Obs.Trace.events tr) in
+  check_bool "keeps the newest" true (times = [ 6.0; 7.0; 8.0; 9.0 ])
+
+let test_trace_lane_merge_order () =
+  let tr = Obs.Trace.create () in
+  (* Register lanes out of order: merge must sort by lane id, not by
+     registration (or scheduling) order. *)
+  Obs.Trace.run tr ~lane:2 (fun () -> Obs.Trace.emit (ev ~t:9.0 ~seq:2));
+  Obs.Trace.run tr ~lane:0 (fun () -> Obs.Trace.emit (ev ~t:5.0 ~seq:0));
+  Obs.Trace.run tr ~lane:1 (fun () -> Obs.Trace.emit (ev ~t:7.0 ~seq:1));
+  let seqs =
+    List.map
+      (function Obs.Event.Enqueue e -> e.seq | _ -> -1)
+      (Obs.Trace.events tr)
+  in
+  check_bool "ascending lane order" true (seqs = [ 0; 1; 2 ])
+
+let test_trace_nested_run_restores_outer () =
+  let outer = Obs.Trace.create () in
+  let inner = Obs.Trace.create () in
+  Obs.Trace.run outer (fun () ->
+      Obs.Trace.emit (ev ~t:0.0 ~seq:0);
+      Obs.Trace.run inner (fun () -> Obs.Trace.emit (ev ~t:1.0 ~seq:1));
+      Obs.Trace.emit (ev ~t:2.0 ~seq:2));
+  check_int "outer got its two" 2 (Obs.Trace.length outer);
+  check_int "inner got the nested one" 1 (Obs.Trace.length inner)
+
+let test_trace_unobserved_masks () =
+  let tr = Obs.Trace.create () in
+  Obs.Trace.run tr (fun () ->
+      Obs.Trace.emit (ev ~t:0.0 ~seq:0);
+      Obs.Trace.unobserved (fun () ->
+          check_bool "off inside unobserved" false (Obs.Trace.on Obs.Category.Pkt);
+          Obs.Trace.emit (ev ~t:1.0 ~seq:1));
+      Obs.Trace.emit (ev ~t:2.0 ~seq:2));
+  check_int "masked event not recorded" 2 (Obs.Trace.length tr)
+
+(* Concurrent lanes: events land in the lane of the emitting task, and
+   the export is identical however the tasks were scheduled. *)
+let test_trace_parallel_lanes_deterministic () =
+  let export pool_size =
+    let pool = Exec.Pool.create ~size:pool_size () in
+    Fun.protect
+      ~finally:(fun () -> Exec.Pool.shutdown pool)
+      (fun () ->
+        let tr = Obs.Trace.create () in
+        ignore
+          (Exec.Pool.map pool
+             (fun lane ->
+               Obs.Trace.run tr ~lane (fun () ->
+                   for i = 0 to 99 do
+                     Obs.Trace.emit (ev ~t:(float_of_int i) ~seq:((1000 * lane) + i))
+                   done))
+             (Array.init 6 Fun.id));
+        Obs.Trace.to_jsonl tr)
+  in
+  check_string "jsonl identical at pool sizes 1 and 4" (export 1) (export 4)
+
+(* ------------------------------------------------------------------ *)
+(* Exports *)
+
+let test_jsonl_lines_parse_and_roundtrip () =
+  let tr = Obs.Trace.create () in
+  Obs.Trace.run tr (fun () ->
+      Obs.Trace.emit (ev ~t:0.25 ~seq:3);
+      Obs.Trace.emit
+        (Obs.Event.Cycle
+           { t = 1.5; chosen = "skip"; u_prev = nan; u_rl = nan; u_cl = nan; x_next = 2e6 });
+      Obs.Trace.emit
+        (Obs.Event.Rl_step
+           { t = 2.0; episode = -1; step = 7; rate = 1.25e6; reward = nan; action = -0.5 }));
+  let lines =
+    String.split_on_char '\n' (Obs.Trace.to_jsonl tr)
+    |> List.filter (fun l -> l <> "")
+  in
+  check_int "three lines" 3 (List.length lines);
+  List.iter
+    (fun line ->
+      match Obs.Json.parse line with
+      | Error msg -> Alcotest.failf "line %S does not parse: %s" line msg
+      | Ok v ->
+        check_bool "has t" true (Obs.Json.member "t" v <> None);
+        check_bool "has ev" true
+          (Option.bind (Obs.Json.member "ev" v) Obs.Json.str <> None))
+    lines;
+  (* Non-finite floats export as null. *)
+  let skip_line = List.nth lines 1 in
+  (match Obs.Json.parse skip_line with
+  | Ok v ->
+    check_bool "nan is null" true (Obs.Json.member "u_prev" v = Some Obs.Json.Null)
+  | Error _ -> Alcotest.fail "skip line unparseable");
+  (* CSV: header plus one row per event, fixed column count. *)
+  let csv = Obs.Trace.to_csv tr in
+  let rows = String.split_on_char '\n' csv |> List.filter (fun l -> l <> "") in
+  check_int "header + 3 rows" 4 (List.length rows);
+  List.iter
+    (fun row ->
+      check_int "fixed column count" Obs.Event.csv_columns
+        (List.length (String.split_on_char ',' row)))
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* Metrics *)
+
+let test_metrics_counters_and_gauges () =
+  let c = Obs.Metrics.counter "test.counter" in
+  let g = Obs.Metrics.gauge "test.gauge" in
+  let reg = Obs.Metrics.create_registry () in
+  (* No registry installed: updates are dropped. *)
+  Obs.Metrics.incr c;
+  Obs.Metrics.run reg (fun () ->
+      Obs.Metrics.incr c;
+      Obs.Metrics.add c 4;
+      Obs.Metrics.set g 2.5);
+  Obs.Metrics.incr c;
+  let rows = Obs.Metrics.dump reg in
+  check_bool "counter is 5" true
+    (List.mem ("test.counter", "counter", "count", "5") rows);
+  check_bool "gauge is 2.5" true
+    (List.mem ("test.gauge", "gauge", "value", "2.5") rows)
+
+let test_metrics_histogram_buckets () =
+  let h = Obs.Metrics.histogram "test.hist" ~bounds:[| 1.0; 10.0 |] in
+  let reg = Obs.Metrics.create_registry () in
+  Obs.Metrics.run reg (fun () ->
+      List.iter (Obs.Metrics.observe h) [ 0.5; 0.9; 5.0; 50.0 ]);
+  let rows = Obs.Metrics.dump reg in
+  check_bool "le_1 = 2" true (List.mem ("test.hist", "histogram", "le_1", "2") rows);
+  check_bool "le_10 = 1" true (List.mem ("test.hist", "histogram", "le_10", "1") rows);
+  check_bool "overflow = 1" true (List.mem ("test.hist", "histogram", "le_inf", "1") rows);
+  check_bool "count = 4" true (List.mem ("test.hist", "histogram", "count", "4") rows)
+
+let test_metrics_merge_rules () =
+  let c = Obs.Metrics.counter "test.merge.counter" in
+  let g = Obs.Metrics.gauge "test.merge.gauge" in
+  let a = Obs.Metrics.create_registry () in
+  let b = Obs.Metrics.create_registry () in
+  Obs.Metrics.run a (fun () ->
+      Obs.Metrics.add c 3;
+      Obs.Metrics.set g 1.0);
+  Obs.Metrics.run b (fun () -> Obs.Metrics.add c 4);
+  let merged = Obs.Metrics.create_registry () in
+  Obs.Metrics.merge ~into:merged a;
+  Obs.Metrics.merge ~into:merged b;
+  let rows = Obs.Metrics.dump merged in
+  check_bool "counters add" true
+    (List.mem ("test.merge.counter", "counter", "count", "7") rows);
+  (* b never wrote the gauge, so a's write survives the later merge. *)
+  check_bool "unwritten gauge does not overwrite" true
+    (List.mem ("test.merge.gauge", "gauge", "value", "1") rows)
+
+let test_metrics_reregistration () =
+  let a = Obs.Metrics.counter "test.rereg" in
+  let b = Obs.Metrics.counter "test.rereg" in
+  check_bool "same probe" true (a = b);
+  check_bool "kind mismatch rejected" true
+    (try
+       ignore (Obs.Metrics.gauge "test.rereg");
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Mini JSON *)
+
+let test_json_roundtrip () =
+  let src = {|{"a": 1.5, "b": [true, null, "x\ny"], "c": {"d": -2e3}}|} in
+  match Obs.Json.parse src with
+  | Error msg -> Alcotest.failf "parse failed: %s" msg
+  | Ok v ->
+    check_bool "a" true (Option.bind (Obs.Json.member "a" v) Obs.Json.num = Some 1.5);
+    (* Printing then reparsing yields the same tree. *)
+    (match Obs.Json.parse (Obs.Json.to_string v) with
+    | Ok v2 -> check_bool "roundtrip" true (v = v2)
+    | Error msg -> Alcotest.failf "reparse failed: %s" msg)
+
+let test_json_rejects_garbage () =
+  List.iter
+    (fun s ->
+      check_bool (Printf.sprintf "rejects %S" s) true
+        (match Obs.Json.parse s with Error _ -> true | Ok _ -> false))
+    [ ""; "{"; "{\"a\":}"; "[1,]"; "nul"; "{\"a\":1} trailing" ]
+
+let test_json_set_member () =
+  let v = Obs.Json.Obj [ ("a", Obs.Json.Num 1.0) ] in
+  let v = Obs.Json.set_member "b" (Obs.Json.Num 2.0) v in
+  let v = Obs.Json.set_member "a" (Obs.Json.Num 9.0) v in
+  check_bool "replaced" true (Option.bind (Obs.Json.member "a" v) Obs.Json.num = Some 9.0);
+  check_bool "appended" true (Option.bind (Obs.Json.member "b" v) Obs.Json.num = Some 2.0)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "trace",
+        [
+          Alcotest.test_case "records in order" `Quick test_trace_records_in_order;
+          Alcotest.test_case "off outside run" `Quick test_trace_off_outside_run;
+          Alcotest.test_case "category filter" `Quick test_trace_category_filter;
+          Alcotest.test_case "run boundary survives filter" `Quick
+            test_run_boundary_survives_filter;
+          Alcotest.test_case "parse filter" `Quick test_category_parse_filter;
+          Alcotest.test_case "ring overwrites" `Quick test_trace_ring_overwrites_oldest;
+          Alcotest.test_case "lane merge order" `Quick test_trace_lane_merge_order;
+          Alcotest.test_case "nested run" `Quick test_trace_nested_run_restores_outer;
+          Alcotest.test_case "unobserved" `Quick test_trace_unobserved_masks;
+          Alcotest.test_case "parallel lanes" `Quick
+            test_trace_parallel_lanes_deterministic;
+        ] );
+      ( "export",
+        [ Alcotest.test_case "jsonl + csv" `Quick test_jsonl_lines_parse_and_roundtrip ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "counters + gauges" `Quick test_metrics_counters_and_gauges;
+          Alcotest.test_case "histogram buckets" `Quick test_metrics_histogram_buckets;
+          Alcotest.test_case "merge rules" `Quick test_metrics_merge_rules;
+          Alcotest.test_case "re-registration" `Quick test_metrics_reregistration;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "rejects garbage" `Quick test_json_rejects_garbage;
+          Alcotest.test_case "set_member" `Quick test_json_set_member;
+        ] );
+    ]
