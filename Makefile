@@ -1,4 +1,4 @@
-.PHONY: all check bench trace clean
+.PHONY: all check bench trace robustness clean
 
 all:
 	dune build
@@ -15,6 +15,11 @@ bench:
 # trace_check (JSONL parses, per-lane timestamps non-decreasing).
 trace:
 	dune build @trace
+
+# Full robustness matrix: CCA suite x fault-injection profiles
+# (clean / bursty-loss / reorder / flap / jitter).
+robustness:
+	dune exec bin/experiments.exe -- robust
 
 clean:
 	dune clean

@@ -193,6 +193,56 @@ let run_trace_overhead () =
        ])
 
 (* ------------------------------------------------------------------ *)
+(* Impairment overhead: the same fixed wired scenario run clean, with
+   the full packet-channel pipeline, and with a flapping link, so the
+   per-packet cost of the fault injector is tracked in
+   BENCH_results.json ("impairment_overhead") across PRs. *)
+
+let impairment_scenario impair () =
+  let spec =
+    Harness.Scenario.make_spec
+      ~impair:(Faults.Spec.of_string_exn impair)
+      (Traces.Rate.constant 24.0)
+  in
+  ignore
+    (Harness.Scenario.run_uniform ~factory:Harness.Ccas.cubic ~duration:10.0 spec)
+
+let run_impairment_overhead () =
+  Harness.Table.heading "Impairment overhead: 10s wired run, cubic";
+  (* Zero-probability channels / identity shaper: the packet stream is
+     identical to the clean run, so the wall-clock delta is purely the
+     cost of the injection machinery (per-packet hook + rng draws, and
+     per-service-slot rate shaping), not a traffic-volume artefact of
+     impairments that change the congestion controller's behaviour. *)
+  let pipeline =
+    "gilbert:p_gb=0,p_bad=0+reorder:p=0+dup:p=0+corrupt:p=0+jitter:max=0"
+  in
+  let shaper = "clamp:factor=1" in
+  (* Warm-up leg, as in the tracing bench. *)
+  impairment_scenario "clean" ();
+  let (), clean_s = time_run (impairment_scenario "clean") in
+  let (), pipeline_s = time_run (impairment_scenario pipeline) in
+  let (), shaper_s = time_run (impairment_scenario shaper) in
+  let pct v = Printf.sprintf "%+.1f%%" ((v -. clean_s) /. clean_s *. 100.0) in
+  Harness.Table.print
+    ~header:[ "impairment"; "wall"; "vs clean" ]
+    [
+      [ "clean"; Printf.sprintf "%.3fs" clean_s; "-" ];
+      [ "5-channel pipeline (all p=0)"; Printf.sprintf "%.3fs" pipeline_s;
+        pct pipeline_s ];
+      [ "shaper (clamp factor=1)"; Printf.sprintf "%.3fs" shaper_s;
+        pct shaper_s ];
+    ];
+  patch_bench_json "impairment_overhead"
+    (Obs.Json.Obj
+       [
+         ("scenario", Obs.Json.Str "wired24-cubic-10s");
+         ("clean_s", Obs.Json.Num clean_s);
+         ("pipeline_s", Obs.Json.Num pipeline_s);
+         ("shaper_s", Obs.Json.Num shaper_s);
+       ])
+
+(* ------------------------------------------------------------------ *)
 
 (* Run every experiment group on the domain pool, timing each; print
    the buffered reports in registry order. *)
@@ -265,17 +315,21 @@ let () =
     run_micro ()
   | [ "micro" ] -> run_micro ()
   | [ "trace-overhead" ] -> run_trace_overhead ()
+  | [ "impairment-overhead" ] -> run_impairment_overhead ()
   | ids ->
     List.iter
       (fun id ->
         if id = "micro" then run_micro ()
         else if id = "trace-overhead" then run_trace_overhead ()
+        else if id = "impairment-overhead" then run_impairment_overhead ()
         else
           match Harness.Registry.find id with
           | Some e -> Harness.Report.print (e.Harness.Registry.run ())
           | None ->
             Printf.eprintf
-              "unknown experiment %S (known: %s, micro, trace-overhead)\n" id
+              "unknown experiment %S (known: %s, micro, trace-overhead, \
+               impairment-overhead)\n"
+              id
               (String.concat ", " (Harness.Registry.ids ())))
       ids);
   Printf.printf "\n[bench] %d domain(s), total wall time: %.1fs\n"

@@ -56,13 +56,18 @@ let obs_export session ~trace_out ~metrics_out =
         file)
     trace_out
 
-let run_cmd full domains trace_out trace_filter metrics_out ids all =
+let run_cmd full domains impair trace_out trace_filter metrics_out ids all =
   (match domains with
   | Some d when d < 1 ->
     Printf.eprintf "invalid --domains %d (want a positive integer)\n" d;
     exit 2
   | _ -> ());
   Option.iter Exec.Pool.set_default_size domains;
+  (match Faults.Spec.of_string impair with
+  | Ok s -> Harness.Scenario.set_default_impair s
+  | Error m ->
+    prerr_endline m;
+    exit 2);
   Harness.Scale.set (if full then Harness.Scale.full else Harness.Scale.quick);
   let session =
     match (trace_out, metrics_out) with
@@ -104,6 +109,16 @@ let run_cmd full domains trace_out trace_filter metrics_out ids all =
 
 let full = Arg.(value & flag & info [ "full" ] ~doc:"paper-scale durations")
 
+let impair =
+  Arg.(
+    value
+    & opt string "clean"
+    & info [ "impair" ] ~docv:"SPEC"
+        ~doc:
+          "run every experiment scenario under this fault-injection schedule \
+           ('+'-joined name[:k=v,..] items; see libra_sim --list); 'clean' \
+           disables. Scenarios that set their own impairment keep it.")
+
 let trace_out =
   Arg.(
     value
@@ -121,7 +136,7 @@ let trace_filter =
     & info [ "trace-filter" ] ~docv:"CAT,.."
         ~doc:
           "comma-separated event categories \
-           (pkt,link,ack,rate,monitor,stage,cycle,rl); default all")
+           (pkt,link,ack,rate,monitor,stage,cycle,rl,fault); default all")
 
 let metrics_out =
   Arg.(
@@ -143,7 +158,7 @@ let cmd =
   Cmd.v
     (Cmd.info "experiments" ~doc:"reproduce the paper's tables and figures")
     Term.(
-      const run_cmd $ full $ domains $ trace_out $ trace_filter $ metrics_out
-      $ ids $ all)
+      const run_cmd $ full $ domains $ impair $ trace_out $ trace_filter
+      $ metrics_out $ ids $ all)
 
 let () = exit (Cmd.eval' cmd)

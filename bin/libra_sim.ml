@@ -55,28 +55,40 @@ let with_observability ~trace_out ~trace_filter ~metrics_out f =
       trace_out;
     result
 
-let run_cmd cca trace_spec rtt_ms buffer_kb loss duration flows seed series
-    trace_out trace_filter metrics_out list_all =
+let run_cmd cca trace_spec rtt_ms buffer_kb loss duration flows seed impair
+    series trace_out trace_filter metrics_out list_all =
   if list_all then begin
     print_endline "CCAs:";
     List.iter (fun (name, _) -> Printf.printf "  %s\n" name) Harness.Ccas.all;
     print_endline "traces: wired:<mbps> lte:<scenario> step:<m1,m2,..> wan:<inter|intra>";
+    print_endline
+      "impairments: gilbert bernoulli reorder dup corrupt jitter outage clamp \
+       flap, joined with +  (e.g. gilbert:p_gb=0.01,p_bg=0.3+jitter)";
     0
   end
   else begin
     let factory = Harness.Ccas.find cca in
+    let impair =
+      match Faults.Spec.of_string impair with
+      | Ok s -> s
+      | Error m ->
+        prerr_endline m;
+        exit 2
+    in
     let spec =
       match parse_trace ~duration ~seed trace_spec with
       | `Trace trace ->
         Harness.Scenario.make_spec ~rtt:(rtt_ms /. 1000.0) ~buffer_kb
-          ~loss_p:loss trace
+          ~loss_p:loss ~impair trace
       | `Wan path ->
         {
           Harness.Scenario.trace = path.Traces.Wan.rate;
           rtt = path.Traces.Wan.rtt;
           buffer_bytes = path.Traces.Wan.buffer_bytes;
           loss_p = path.Traces.Wan.loss_p;
-      aqm = `Fifo;
+          aqm = `Fifo;
+          impair;
+          dup_thresh = (if Faults.Spec.may_reorder impair then 3 else 1);
         }
     in
     let outcome =
@@ -127,6 +139,18 @@ let loss = Arg.(value & opt float 0.0 & info [ "loss" ] ~doc:"stochastic loss pr
 let duration = Arg.(value & opt float 20.0 & info [ "duration" ] ~doc:"seconds")
 let flows = Arg.(value & opt int 1 & info [ "flows" ] ~doc:"number of flows")
 let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"random seed")
+
+let impair =
+  Arg.(
+    value
+    & opt string "clean"
+    & info [ "impair" ] ~docv:"SPEC"
+        ~doc:
+          "fault-injection schedule for the bottleneck: '+'-joined items, \
+           each name[:k=v,..] -- gilbert, bernoulli, reorder, dup, corrupt, \
+           jitter (packet channels; accept from=/until= windows) and outage, \
+           clamp, flap (link-rate shapers); 'clean' disables")
+
 let series = Arg.(value & flag & info [ "series" ] ~doc:"print per-second series")
 
 let trace_out =
@@ -146,7 +170,7 @@ let trace_filter =
     & info [ "trace-filter" ] ~docv:"CAT,.."
         ~doc:
           "comma-separated event categories to record \
-           (pkt,link,ack,rate,monitor,stage,cycle,rl); default all")
+           (pkt,link,ack,rate,monitor,stage,cycle,rl,fault); default all")
 
 let metrics_out =
   Arg.(
@@ -161,6 +185,6 @@ let cmd =
     (Cmd.info "libra_sim" ~doc:"packet-level congestion-control simulator")
     Term.(
       const run_cmd $ cca $ trace $ rtt $ buffer $ loss $ duration $ flows $ seed
-      $ series $ trace_out $ trace_filter $ metrics_out $ list_all)
+      $ impair $ series $ trace_out $ trace_filter $ metrics_out $ list_all)
 
 let () = exit (Cmd.eval' cmd)

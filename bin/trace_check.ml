@@ -3,11 +3,12 @@
      trace_check FILE
 
    Checks that every line parses as a JSON object with numeric "t" and
-   "lane" fields and a string "ev", and that timestamps are
-   non-decreasing within each lane (the exporter's determinism
-   contract). A "run_start" event marks a fresh simulation / RL episode
-   whose clock restarts at 0, so it resets the lane's clock.
-   Exits 0 on success, 1 with a diagnostic otherwise. *)
+   "lane" fields and a string "ev" naming a known event, and that
+   timestamps are non-decreasing within each lane (the exporter's
+   determinism contract). A "run_start" event marks a fresh simulation /
+   RL episode whose clock restarts at 0, so it resets the lane's clock.
+   "fault" events must carry a string "kind" (which injector action
+   fired). Exits 0 on success, 1 with a diagnostic otherwise. *)
 
 let fail fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 1) fmt
 
@@ -43,6 +44,13 @@ let () =
            | Some ev -> ev
            | None -> fail "%s:%d: missing \"ev\"" file !lineno
          in
+         if not (List.mem ev Obs.Event.all_names) then
+           fail "%s:%d: unknown event %S (known: %s)" file !lineno ev
+             (String.concat ", " Obs.Event.all_names);
+         if ev = "fault" then
+           (match Option.bind (Obs.Json.member "kind" v) Obs.Json.str with
+           | Some _ -> ()
+           | None -> fail "%s:%d: fault event missing string \"kind\"" file !lineno);
          if ev <> "run_start" then
            (match Hashtbl.find_opt last_t lane with
            | Some prev when t < prev ->

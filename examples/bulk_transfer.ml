@@ -18,6 +18,8 @@ let () =
       buffer_bytes = path.Traces.Wan.buffer_bytes;
       loss_p = path.Traces.Wan.loss_p;
       aqm = `Fifo;
+      impair = Faults.Spec.empty;
+      dup_thresh = 1;
     }
   in
   Printf.printf "inter-continental path: %.0f ms RTT, %.1f%% stochastic loss\n\n"

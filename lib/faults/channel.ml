@@ -1,0 +1,163 @@
+(* Composable packet-level impairment channels.
+
+   Each channel is a small state machine driven by its own explicit
+   {!Netsim.Rng.t}: given an arriving packet it emits zero or more
+   (packet, extra delay) copies. An empty emission drops the packet, two
+   copies duplicate it, a positive delay defers its admission to the
+   bottleneck queue (jitter), and the reorder channel holds one packet
+   back and re-emits it behind later arrivals. Channels are composed by
+   the injector by folding each channel over the previous one's
+   emissions, so e.g. a duplicated packet can still be corrupted.
+
+   Every channel is gated by an absolute-time window [from_, until):
+   outside it packets pass through untouched (and any held packet is
+   flushed), which is how the schedule grammar expresses transient
+   impairments ("loss burst from t=8s to t=10s"). *)
+
+module Rng = Netsim.Rng
+module Packet = Netsim.Packet
+
+type kind =
+  | Gilbert of { p_gb : float; p_bg : float; p_good : float; p_bad : float }
+      (* two-state bursty loss: good->bad with [p_gb], bad->good with
+         [p_bg] (per packet); loss probability [p_good] / [p_bad] in the
+         respective state. Stationary loss rate is
+         p_gb /. (p_gb +. p_bg) *. p_bad  (+ the good-state term). *)
+  | Bernoulli of { p : float }  (* i.i.d. loss *)
+  | Reorder of { p : float; depth : int; max_hold : float }
+      (* with prob. [p] hold the packet and release it after at most
+         [depth] later packets have passed (or [max_hold] seconds) *)
+  | Duplicate of { p : float }  (* with prob. [p] emit the packet twice *)
+  | Corrupt of { p : float }
+      (* with prob. [p] set {!Packet.t.corrupt}: the copy still burns
+         link capacity but the receiver's checksum discards it *)
+  | Jitter of { max_delay : float }
+      (* every packet is deferred by U[0, max_delay) seconds *)
+
+let kind_name = function
+  | Gilbert _ -> "gilbert"
+  | Bernoulli _ -> "bernoulli"
+  | Reorder _ -> "reorder"
+  | Duplicate _ -> "dup"
+  | Corrupt _ -> "corrupt"
+  | Jitter _ -> "jitter"
+
+type t = {
+  kind : kind;
+  from_ : float;
+  until : float;
+  rng : Rng.t;
+  mutable offered : int;  (* packets seen inside the window *)
+  mutable affected : int;  (* packets impaired (dropped/held/dup'd/...) *)
+  mutable last_value : float;  (* magnitude of the last impairment *)
+  mutable in_bad : bool;  (* Gilbert state *)
+  mutable held : (Packet.t * float) option;  (* held packet, held since *)
+  mutable countdown : int;  (* passes left before the held packet frees *)
+}
+
+let create ~rng ?(from_ = 0.0) ?(until = infinity) kind =
+  {
+    kind;
+    from_;
+    until;
+    rng;
+    offered = 0;
+    affected = 0;
+    last_value = 0.0;
+    in_bad = false;
+    held = None;
+    countdown = 0;
+  }
+
+let kind t = t.kind
+let name t = kind_name t.kind
+let offered t = t.offered
+let affected t = t.affected
+let last_value t = t.last_value
+
+let mark t value =
+  t.affected <- t.affected + 1;
+  t.last_value <- value
+
+(* Release anything the channel is holding (reorder). Used when the
+   window closes, when the hold goes stale, and at end of run/tests. *)
+let flush t =
+  match t.held with
+  | None -> []
+  | Some (pkt, _) ->
+    t.held <- None;
+    t.countdown <- 0;
+    [ (pkt, 0.0) ]
+
+let in_window t now = now >= t.from_ && now < t.until
+
+(* Feed one packet through the channel; emissions are in admission
+   order (the link admits list elements front to back). *)
+let apply t ~now pkt =
+  if not (in_window t now) then flush t @ [ (pkt, 0.0) ]
+  else begin
+    t.offered <- t.offered + 1;
+    match t.kind with
+    | Gilbert { p_gb; p_bg; p_good; p_bad } ->
+      (* Evolve the state, then draw the loss: two draws per packet,
+         unconditionally, so the stream stays aligned across states. *)
+      let u = Rng.float t.rng in
+      if t.in_bad then (if u < p_bg then t.in_bad <- false)
+      else if u < p_gb then t.in_bad <- true;
+      let p = if t.in_bad then p_bad else p_good in
+      if Rng.float t.rng < p then begin
+        mark t 1.0;
+        []
+      end
+      else [ (pkt, 0.0) ]
+    | Bernoulli { p } ->
+      if Rng.float t.rng < p then begin
+        mark t 1.0;
+        []
+      end
+      else [ (pkt, 0.0) ]
+    | Reorder { p; depth; max_hold } -> (
+      (* A stale hold releases ahead of the current packet (it has
+         waited long enough); an expiring countdown releases behind it
+         (that is the displacement). At most one packet is held, and it
+         is released after at most [depth] later packets, so no packet
+         is ever displaced beyond [depth] positions. *)
+      let stale =
+        match t.held with
+        | Some (_, since) -> now -. since >= max_hold
+        | None -> false
+      in
+      let before = if stale then flush t else [] in
+      match t.held with
+      | Some (held_pkt, _) ->
+        t.countdown <- t.countdown - 1;
+        if t.countdown <= 0 then begin
+          t.held <- None;
+          before @ [ (pkt, 0.0); (held_pkt, 0.0) ]
+        end
+        else before @ [ (pkt, 0.0) ]
+      | None ->
+        if Rng.float t.rng < p then begin
+          t.held <- Some (pkt, now);
+          t.countdown <- 1 + Rng.int t.rng depth;
+          mark t (float_of_int t.countdown);
+          before
+        end
+        else before @ [ (pkt, 0.0) ])
+    | Duplicate { p } ->
+      if Rng.float t.rng < p then begin
+        mark t 1.0;
+        [ (pkt, 0.0); (pkt, 0.0) ]
+      end
+      else [ (pkt, 0.0) ]
+    | Corrupt { p } ->
+      if Rng.float t.rng < p then begin
+        mark t 1.0;
+        [ ({ pkt with Packet.corrupt = true }, 0.0) ]
+      end
+      else [ (pkt, 0.0) ]
+    | Jitter { max_delay } ->
+      let d = Rng.float t.rng *. max_delay in
+      mark t d;
+      [ (pkt, d) ]
+  end

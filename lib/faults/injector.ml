@@ -1,0 +1,112 @@
+(* Turns a parsed {!Spec.t} into the {!Netsim.Link.hooks} pair: an
+   ingress transform that folds every channel over the packet (so a
+   duplicated packet can still be corrupted, a reordered one still
+   jittered), and a rate shaper that applies the scheduled outages,
+   clamps and flaps on top of the link's trace rate.
+
+   Each channel draws from its own keyed rng stream derived from the
+   injector's rng with {!Netsim.Rng.split_key}, so adding or removing
+   one channel never perturbs another's draws -- the fault schedule is
+   structurally deterministic. *)
+
+module Rng = Netsim.Rng
+
+type t = {
+  channels : Channel.t array;
+  shapers : Spec.shaper list;
+  mutable link_up : bool;  (* for link_down / link_up transition events *)
+}
+
+(* Observability probes (no-ops unless a registry is attached). *)
+let m_offered = Obs.Metrics.counter "faults.offered_pkts"
+let m_impaired = Obs.Metrics.counter "faults.impaired_pkts"
+let m_outage = Obs.Metrics.counter "faults.link_down_transitions"
+
+let create ~rng (spec : Spec.t) =
+  {
+    channels =
+      Array.of_list
+        (List.mapi
+           (fun i { Spec.kind; from_; until } ->
+             Channel.create ~rng:(Rng.split_key rng ~key:i) ~from_ ~until kind)
+           spec.Spec.channels);
+    shapers = spec.Spec.shapers;
+    link_up = true;
+  }
+
+let trace_actions ch ~now ~(pkt : Netsim.Packet.t) ~before =
+  if Channel.affected ch > before && Obs.Trace.on Obs.Category.Fault then
+    Obs.Trace.emit
+      (Obs.Event.Fault
+         {
+           t = now;
+           flow = pkt.Netsim.Packet.flow;
+           seq = pkt.Netsim.Packet.seq;
+           kind = Channel.name ch;
+           value = Channel.last_value ch;
+         })
+
+let ingress t ~now pkt =
+  Obs.Metrics.incr m_offered;
+  let step acc ch =
+    List.concat_map
+      (fun (p, d) ->
+        let before = Channel.affected ch in
+        let outs = Channel.apply ch ~now p in
+        if Channel.affected ch > before then Obs.Metrics.incr m_impaired;
+        trace_actions ch ~now ~pkt:p ~before;
+        List.map (fun (p', d') -> (p', d +. d')) outs)
+      acc
+  in
+  Array.fold_left step [ (pkt, 0.0) ] t.channels
+
+let shaped_rate shapers ~now rate =
+  List.fold_left
+    (fun r s ->
+      match s with
+      | Spec.Outage { at; dur } ->
+        if now >= at && now < at +. dur then 0.0 else r
+      | Spec.Clamp { from_; until; factor } ->
+        if now >= from_ && now < until then r *. factor else r
+      | Spec.Flap { from_; until; period; duty } ->
+        if
+          now >= from_ && now < until
+          && Float.rem (now -. from_) period >= duty *. period
+        then 0.0
+        else r)
+    rate shapers
+
+let shape_rate t ~now rate =
+  let r = shaped_rate t.shapers ~now rate in
+  (* Emit link up/down transitions only when a shaper (not the trace
+     itself) is what killed the rate. *)
+  let forced_down = t.shapers <> [] && rate > 0.0 && r <= 0.0 in
+  if forced_down && t.link_up then begin
+    t.link_up <- false;
+    Obs.Metrics.incr m_outage;
+    if Obs.Trace.on Obs.Category.Fault then
+      Obs.Trace.emit
+        (Obs.Event.Fault
+           { t = now; flow = -1; seq = -1; kind = "link_down"; value = 0.0 })
+  end
+  else if (not forced_down) && not t.link_up then begin
+    t.link_up <- true;
+    if Obs.Trace.on Obs.Category.Fault then
+      Obs.Trace.emit
+        (Obs.Event.Fault
+           { t = now; flow = -1; seq = -1; kind = "link_up"; value = 0.0 })
+  end;
+  r
+
+let hooks t =
+  {
+    Netsim.Link.ingress = (fun ~now pkt -> ingress t ~now pkt);
+    shape_rate = (fun ~now rate -> shape_rate t ~now rate);
+  }
+
+(* Per-channel offered/affected counters, for reports and tests. *)
+let stats t =
+  Array.to_list t.channels
+  |> List.concat_map (fun ch ->
+         let n = Channel.name ch in
+         [ (n ^ ".offered", Channel.offered ch); (n ^ ".affected", Channel.affected ch) ])

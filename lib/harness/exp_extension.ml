@@ -82,6 +82,8 @@ let run_other_networks () =
           buffer_bytes = path.Traces.Wan.buffer_bytes;
           loss_p = path.Traces.Wan.loss_p;
           aqm = `Fifo;
+          impair = Faults.Spec.empty;
+          dup_thresh = 1;
         }
       in
       Table.print

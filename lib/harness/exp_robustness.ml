@@ -1,0 +1,115 @@
+(* Robustness matrix: the CCA suite crossed with fault-injection
+   profiles (lib/faults) on a fixed wired bottleneck.
+
+   The paper evaluates adaptability over clean trace-driven links; this
+   matrix probes the same algorithms when the *path* misbehaves --
+   bursty (Gilbert-Elliott) loss, bounded reordering, a flapping link,
+   delay jitter -- and reports, per profile, absolute
+   throughput/delay/loss plus throughput retention relative to the same
+   CCA's clean-path run. Cells are independent seeded simulations, so
+   they fan out across the domain pool; per-cell seeds depend only on
+   the cell index, keeping every number bit-identical at any pool
+   size. *)
+
+let candidates =
+  [
+    ("cubic", Ccas.cubic);
+    ("bbr", Ccas.bbr);
+    ("ppo", Ccas.aurora);  (* the PPO-only learner, no Libra wrapper *)
+    ("c-libra", Ccas.c_libra);
+    ("b-libra", Ccas.b_libra);
+  ]
+
+type cell = {
+  utilization : float;
+  throughput : float;  (* bytes/s *)
+  mean_delay : float;  (* seconds *)
+  loss_rate : float;
+}
+
+(* One matrix cell: [runs] seeded repetitions of one CCA under one
+   impairment profile, averaged. Runs sequentially inside the cell
+   (cells are the unit of parallelism). *)
+let run_cell ~index ~factory ~impair ~runs ~duration =
+  let spec =
+    Scenario.make_spec ~rtt:0.03 ~buffer_kb:150 ~impair
+      (Traces.Rate.constant 24.0)
+  in
+  let base_seed = 101 + (13 * index) in
+  let n = float_of_int runs in
+  let acc = ref { utilization = 0.0; throughput = 0.0; mean_delay = 0.0; loss_rate = 0.0 } in
+  for r = 0 to runs - 1 do
+    let o =
+      Scenario.run_uniform ~seed:(base_seed + (7919 * r)) ~factory ~duration spec
+    in
+    let d = if Float.is_nan o.Scenario.mean_delay then 0.0 else o.Scenario.mean_delay in
+    acc :=
+      {
+        utilization = !acc.utilization +. (o.Scenario.utilization /. n);
+        throughput = !acc.throughput +. (o.Scenario.throughput /. n);
+        mean_delay = !acc.mean_delay +. (d /. n);
+        loss_rate = !acc.loss_rate +. (o.Scenario.loss_rate /. n);
+      }
+  done;
+  !acc
+
+let run_matrix ~candidates ~profiles ~runs ~duration =
+  let np = List.length profiles in
+  let cells =
+    List.concat_map
+      (fun (_, factory) -> List.map (fun (_, impair) -> (factory, impair)) profiles)
+      candidates
+    |> Array.of_list
+  in
+  let pool = Exec.Pool.default () in
+  let outcomes =
+    Exec.Pool.map pool
+      (fun (i, (factory, impair)) ->
+        run_cell ~index:i ~factory ~impair ~runs ~duration)
+      (Array.mapi (fun i c -> (i, c)) cells)
+  in
+  let cell ci pi = outcomes.((ci * np) + pi) in
+  List.iteri
+    (fun pi (pname, impair) ->
+      Table.subheading
+        (Printf.sprintf "profile %s  (--impair %s)" pname
+           (Faults.Spec.to_string impair));
+      Table.print
+        ~header:[ "cca"; "util"; "thr(Mbit/s)"; "delay(ms)"; "loss"; "thr vs clean" ]
+        (List.mapi
+           (fun ci (cname, _) ->
+             let o = cell ci pi in
+             let clean = cell ci 0 in
+             let retention =
+               if clean.throughput <= 0.0 then nan
+               else o.throughput /. clean.throughput
+             in
+             [
+               cname;
+               Table.f2 o.utilization;
+               Table.mbps o.throughput;
+               Table.ms o.mean_delay;
+               Table.pct o.loss_rate;
+               Table.pct retention;
+             ])
+           candidates))
+    profiles
+
+(* The full matrix: 5 CCAs x 5 profiles. *)
+let run () =
+  let scale = Scale.get () in
+  Table.heading "Robustness: CCA suite under fault-injected bottlenecks";
+  run_matrix ~candidates ~profiles:Faults.Spec.robustness_profiles
+    ~runs:scale.Scale.runs ~duration:scale.Scale.duration
+
+(* Tier-1 smoke: a 2x2 corner of the matrix at a few seconds per cell,
+   cheap enough for every `dune runtest`. *)
+let run_mini () =
+  Table.heading "Robustness (mini): 2 CCAs x 2 profiles";
+  let candidates = [ ("cubic", Ccas.cubic); ("c-libra", Ccas.c_libra) ] in
+  let profiles =
+    List.filter
+      (fun (n, _) -> n = "clean" || n = "bursty-loss")
+      Faults.Spec.robustness_profiles
+  in
+  run_matrix ~candidates ~profiles ~runs:1 ~duration:4.0

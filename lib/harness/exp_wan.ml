@@ -26,6 +26,8 @@ let run_path label (path : Traces.Wan.path) =
       buffer_bytes = path.Traces.Wan.buffer_bytes;
       loss_p = path.Traces.Wan.loss_p;
       aqm = `Fifo;
+      impair = Faults.Spec.empty;
+      dup_thresh = 1;
     }
   in
   let rows =

@@ -41,6 +41,8 @@ let all =
     e "ablate" "eval-order / exploitation ablations" Exp_ablation.run "ablate";
     e "extend" "Sec. 7 extensions: other CCAs, satellite/5G, CoDel" Exp_extension.run "extend";
     e "trace" "deterministic sim-time trace export (JSONL/CSV)" Exp_trace.run "trace";
+    e "robust" "CCA suite x fault-injection robustness matrix" Exp_robustness.run "robust";
+    e "robust-mini" "2x2 corner of the robustness matrix (smoke)" Exp_robustness.run_mini "robust-mini";
   ]
 
 let find id = List.find_opt (fun e -> e.id = id) all

@@ -10,10 +10,39 @@ type spec = {
   buffer_bytes : int;
   loss_p : float;
   aqm : [ `Fifo | `Codel ];
+  impair : Faults.Spec.t;  (* fault schedule; Faults.Spec.empty = clean *)
+  dup_thresh : int;  (* sender dup-ACK loss threshold *)
 }
 
-let make_spec ?(rtt = 0.03) ?(buffer_kb = 150) ?(loss_p = 0.0) ?(aqm = `Fifo) trace =
-  { trace; rtt; buffer_bytes = Netsim.Units.kb buffer_kb; loss_p; aqm }
+(* Ambient impairment, set by the CLIs' --impair flag: applied by
+   [make_spec] whenever a caller doesn't pass one explicitly, so a whole
+   experiment suite can be rerun under a fault schedule. Set once before
+   any simulation starts (it is read concurrently by pool workers). *)
+let default_impair = ref Faults.Spec.empty
+let set_default_impair s = default_impair := s
+
+(* Unless overridden, the dup-ACK threshold follows the impairment: a
+   spec whose channels can reorder ACKs gets the TCP-style 3, a clean
+   path keeps exact gap detection (1). *)
+let make_spec ?(rtt = 0.03) ?(buffer_kb = 150) ?(loss_p = 0.0) ?(aqm = `Fifo)
+    ?impair ?dup_thresh trace =
+  let impair = match impair with Some i -> i | None -> !default_impair in
+  let dup_thresh =
+    match dup_thresh with
+    | Some d -> d
+    | None -> if Faults.Spec.may_reorder impair then 3 else 1
+  in
+  { trace; rtt; buffer_bytes = Netsim.Units.kb buffer_kb; loss_p; aqm;
+    impair; dup_thresh }
+
+(* Network.run's [faults] argument for this spec ([None] when clean, so
+   unimpaired runs take the hook-free fast path and stay bit-identical
+   to pre-fault builds). *)
+let faults_of spec =
+  if Faults.Spec.is_empty spec.impair then None
+  else
+    Some
+      (fun rng -> Faults.Injector.hooks (Faults.Injector.create ~rng spec.impair))
 
 let link_of spec =
   {
@@ -44,7 +73,10 @@ let run_uniform ?(seed = 1) ?(n_flows = 1) ~factory ~duration spec =
           rtt = spec.rtt;
         })
   in
-  let summary = Netsim.Network.run ~seed ~link:(link_of spec) ~flows ~duration () in
+  let summary =
+    Netsim.Network.run ~seed ~dup_thresh:spec.dup_thresh
+      ?faults:(faults_of spec) ~link:(link_of spec) ~flows ~duration ()
+  in
   let stats = List.map (fun f -> f.Netsim.Network.stats) summary.Netsim.Network.flows in
   let delays = List.filter_map (fun s ->
       let d = Netsim.Flow_stats.mean_rtt s in
@@ -104,7 +136,8 @@ let run_mixed ?(seed = 1) ~flows ~duration spec =
         })
       flows
   in
-  Netsim.Network.run ~seed ~link:(link_of spec) ~flows ~duration ()
+  Netsim.Network.run ~seed ~dup_thresh:spec.dup_thresh ?faults:(faults_of spec)
+    ~link:(link_of spec) ~flows ~duration ()
 
 (* Steady-state throughput share of flow 0 vs the rest (Fig. 13's
    normalised throughput ratio), measured over the second half. *)

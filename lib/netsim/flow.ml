@@ -1,10 +1,15 @@
 (* A sending endpoint and its (implicit) receiver.
 
    The sender paces packets at the CCA's [pacing_rate], capped by its
-   [cwnd]. Because the bottleneck queue is FIFO, a flow's packets cannot
-   be reordered: when an ACK arrives for sequence s, every outstanding
-   sequence below s was dropped, which gives exact gap-based loss
-   detection. A retransmission timeout covers tail losses (no ACKs at
+   [cwnd]. Loss detection is dup-ACK counting: an outstanding packet is
+   declared lost once [dup_thresh] ACKs for higher sequences have
+   arrived. On an unimpaired FIFO bottleneck ACKs arrive in order, so
+   [dup_thresh = 1] (the default) is exact gap detection -- when an ACK
+   for sequence s arrives, every outstanding sequence below s was
+   dropped. Fault-injected paths (reordering, duplication, jitter --
+   lib/faults) deliver ACKs out of order, and there a TCP-style
+   [dup_thresh = 3] absorbs bounded reordering instead of misreading it
+   as loss. A retransmission timeout covers tail losses (no ACKs at
    all). Lost data is not retransmitted -- flows model infinite sources
    and we measure delivered goodput, as the paper's emulation does. *)
 
@@ -13,6 +18,8 @@ type outstanding = {
   sent_at : float;
   size : int;
   delivered_at_send : int;
+  mutable dupacks : int;  (* ACKs seen for higher sequences *)
+  mutable resolved : bool;  (* acked, or declared lost *)
 }
 
 type t = {
@@ -24,6 +31,7 @@ type t = {
   start_at : float;
   stop_at : float;
   pkt_size : int;
+  dup_thresh : int;  (* dup-ACKs before a packet is declared lost *)
   stats : Flow_stats.t;
   rtt : Cca.Rtt_tracker.tracker;
   out : outstanding Queue.t;
@@ -46,7 +54,7 @@ let m_rtt =
     ~bounds:[| 0.01; 0.025; 0.05; 0.1; 0.2; 0.4; 0.8; 1.6 |]
 
 let create ~sim ~id ~cca ~return_delay ~start_at ~stop_at ?(pkt_size = Units.mtu)
-    ?(stats_bin = 0.01) () =
+    ?(dup_thresh = 1) ?(stats_bin = 0.01) () =
   {
     id;
     sim;
@@ -56,6 +64,7 @@ let create ~sim ~id ~cca ~return_delay ~start_at ~stop_at ?(pkt_size = Units.mtu
     start_at;
     stop_at;
     pkt_size;
+    dup_thresh = max 1 dup_thresh;
     stats = Flow_stats.create ~bin:stats_bin ();
     rtt = Cca.Rtt_tracker.create ();
     out = Queue.create ();
@@ -91,7 +100,11 @@ let rec arm_rto t =
 and fire_rto t v =
   if v = t.rto_version && t.inflight > 0 && not t.finished then begin
     let now = Sim.now t.sim in
-    let lost = Queue.length t.out in
+    (* Resolved entries may linger mid-queue under reordering; only the
+       unresolved ones are still outstanding. *)
+    let lost =
+      Queue.fold (fun n o -> if o.resolved then n else n + 1) 0 t.out
+    in
     Queue.clear t.out;
     t.inflight <- 0;
     Flow_stats.record_loss t.stats ~now ~pkts:lost;
@@ -136,10 +149,12 @@ and send_packet t now =
         size = t.pkt_size;
         sent_at = now;
         delivered_at_send = t.delivered_bytes;
+        corrupt = false;
       }
     in
     Queue.push
-      { seq; sent_at = now; size = t.pkt_size; delivered_at_send = t.delivered_bytes }
+      { seq; sent_at = now; size = t.pkt_size;
+        delivered_at_send = t.delivered_bytes; dupacks = 0; resolved = false }
       t.out;
     t.inflight <- t.inflight + 1;
     Flow_stats.record_send t.stats ~now ~bytes:t.pkt_size;
@@ -147,24 +162,52 @@ and send_packet t now =
     Link.send link pkt;
     arm_rto t
 
-(* Called (via the network) when the receiver's ACK reaches the sender. *)
+(* Called (via the network) when the receiver's ACK reaches the sender.
+
+   Dup-ACK accounting: an ACK for sequence s counts as a "dup ACK"
+   against every unresolved outstanding packet with a lower sequence; a
+   packet whose count reaches [dup_thresh] is declared lost. At
+   [dup_thresh = 1] with in-order ACKs this reduces exactly to the
+   previous gap-detection rule, so unimpaired runs are unchanged. *)
 let handle_ack t (pkt : Packet.t) =
   if not t.finished then begin
     let now = Sim.now t.sim in
-    (* Declare every outstanding packet older than [pkt] lost. *)
+    (* Pass 1: bump dup-ACK counts; collect newly detected losses. *)
     let lost = ref 0 in
-    let rec drop_older () =
-      match Queue.peek_opt t.out with
-      | Some o when o.seq < pkt.seq ->
-        ignore (Queue.pop t.out);
-        incr lost;
-        drop_older ()
-      | Some _ | None -> ()
+    Queue.iter
+      (fun o ->
+        if (not o.resolved) && o.seq < pkt.seq then begin
+          o.dupacks <- o.dupacks + 1;
+          if o.dupacks >= t.dup_thresh then begin
+            o.resolved <- true;
+            incr lost
+          end
+        end)
+      t.out;
+    (* Pass 2: find the entry this ACK covers (may be mid-queue). *)
+    let acked = ref None in
+    Queue.iter
+      (fun o ->
+        if (not o.resolved) && o.seq = pkt.seq && !acked = None then begin
+          o.resolved <- true;
+          acked := Some o
+        end)
+      t.out;
+    (* Pass 3: resolved entries at the queue front are fully accounted;
+       trim them so the RTO and later passes see only live state. *)
+    let trim () =
+      let rec go () =
+        match Queue.peek_opt t.out with
+        | Some o when o.resolved ->
+          ignore (Queue.pop t.out);
+          go ()
+        | Some _ | None -> ()
+      in
+      go ()
     in
-    drop_older ();
-    match Queue.peek_opt t.out with
-    | Some o when o.seq = pkt.seq ->
-      ignore (Queue.pop t.out);
+    match !acked with
+    | Some o ->
+      trim ();
       t.inflight <- t.inflight - !lost - 1;
       let rtt = now -. o.sent_at in
       t.delivered_bytes <- t.delivered_bytes + o.size;
@@ -209,9 +252,17 @@ let handle_ack t (pkt : Packet.t) =
       arm_rto t;
       (* The window may have opened or the rate risen: re-evaluate. *)
       schedule_send t now
-    | Some _ | None ->
-      (* Stale ACK for a packet already written off by an RTO. *)
-      t.inflight <- max 0 (t.inflight - !lost)
+    | None ->
+      (* Duplicate or stale ACK: the covered packet was already resolved
+         (a dup delivery, or written off by an RTO). Dup-ACK counts may
+         still have crossed the threshold above -- keep the books. *)
+      trim ();
+      t.inflight <- max 0 (t.inflight - !lost);
+      if !lost > 0 then begin
+        Flow_stats.record_loss t.stats ~now ~pkts:!lost;
+        t.cca.Cca.on_loss
+          { now; lost = !lost; kind = Cca.Gap_detected; inflight = t.inflight }
+      end
   end
 
 let attach t link = t.link <- Some link

@@ -1,17 +1,22 @@
 (** A sending endpoint (with implicit receiver) driven by a {!Cca.t}.
 
     Senders pace packets at the CCA's rate, capped by its window. Loss
-    is detected exactly from sequence gaps (the bottleneck is FIFO) plus
-    a retransmission timeout for tail losses. Lost data is not
-    retransmitted: flows model infinite sources and goodput is what is
-    measured, as in the paper's emulation. *)
+    is detected by dup-ACK counting -- with the default threshold of 1
+    and an unimpaired FIFO bottleneck this is exact gap detection, while
+    a TCP-style threshold of 3 tolerates the bounded reordering that
+    fault-injected paths (lib/faults) introduce. A retransmission
+    timeout covers tail losses. Lost data is not retransmitted: flows
+    model infinite sources and goodput is what is measured, as in the
+    paper's emulation. *)
 
 type t
 
 (** [create ~sim ~id ~cca ~return_delay ~start_at ~stop_at ()] builds a
     flow. [return_delay] is the fixed latency from bottleneck egress to
     the ACK arriving back at the sender (i.e. the propagation part of
-    the RTT). *)
+    the RTT). [dup_thresh] (default 1) is the number of ACKs for higher
+    sequences that declare an outstanding packet lost; use 3 on paths
+    that may reorder. *)
 val create :
   sim:Sim.t ->
   id:int ->
@@ -20,6 +25,7 @@ val create :
   start_at:float ->
   stop_at:float ->
   ?pkt_size:int ->
+  ?dup_thresh:int ->
   ?stats_bin:float ->
   unit ->
   t

@@ -7,9 +7,25 @@
    variable-rate traces are piecewise constant at a fine grain, so this
    per-packet sampling tracks the trace closely. When the instantaneous
    rate is (near) zero -- cellular outage -- the server retries at the
-   trace grain. *)
+   trace grain.
+
+   Fault injection attaches through [hooks]: an ingress transform that
+   may drop, delay, duplicate, corrupt or reorder arriving packets
+   before they reach the loss/queue stages, and a rate shaper that
+   rewrites the instantaneous service rate (outages, clamps, flaps).
+   Both are plain closures so the substrate stays decoupled from the
+   impairment library (lib/faults) that builds them. *)
 
 type qdisc = Fifo of Droptail.t | Codel_q of Codel.t
+
+type hooks = {
+  ingress : now:float -> Packet.t -> (Packet.t * float) list;
+      (* arriving packet -> (packet, extra delay) to admit; an empty
+         list drops, several entries duplicate, a positive delay defers
+         admission (jitter / reordering relative to the FIFO) *)
+  shape_rate : now:float -> float -> float;
+      (* trace rate -> effective service rate (outage windows, clamps) *)
+}
 
 type t = {
   sim : Sim.t;
@@ -18,6 +34,7 @@ type t = {
   queue : qdisc;
   loss_p : float;
   rng : Rng.t;
+  hooks : hooks option;
   deliver : Packet.t -> unit;  (* invoked when a packet finishes service *)
   mutable busy : bool;
   mutable delivered_bytes : int;
@@ -37,11 +54,13 @@ let m_tail_drops = Obs.Metrics.counter "netsim.link.tail_drops"
 let m_random_drops = Obs.Metrics.counter "netsim.link.random_drops"
 let m_queue_bytes = Obs.Metrics.gauge "netsim.link.queue_bytes"
 
-let create ?(aqm = `Fifo) ~sim ~rate_fn ~grain ~buffer_bytes ~loss_p ~rng ~deliver () =
+let create ?(aqm = `Fifo) ?hooks ~sim ~rate_fn ~grain ~buffer_bytes ~loss_p ~rng
+    ~deliver () =
   {
     sim;
     rate_fn;
     grain;
+    hooks;
     queue =
       (match aqm with
       | `Fifo -> Fifo (Droptail.create ~capacity:buffer_bytes)
@@ -70,7 +89,13 @@ let queue_is_empty t =
 let delivered_bytes t = t.delivered_bytes
 let delivered_pkts t = t.delivered_pkts
 let random_drops t = t.random_drops
-let rate_at t time = t.rate_fn time
+
+(* Effective service rate: the trace rate, rewritten by the fault
+   shaper when one is attached. *)
+let rate_at t time =
+  match t.hooks with
+  | None -> t.rate_fn time
+  | Some h -> h.shape_rate ~now:time (t.rate_fn time)
 
 let mean_queue_delay t =
   if t.queue_delay_samples = 0 then 0.0
@@ -90,7 +115,7 @@ let rec start_service t =
   | Some pkt ->
     t.busy <- true;
     let now = Sim.now t.sim in
-    let rate = t.rate_fn now in
+    let rate = rate_at t now in
     if Obs.Trace.on Obs.Category.Link && rate <> t.traced_rate then begin
       t.traced_rate <- rate;
       Obs.Trace.emit (Obs.Event.Link_rate { t = now; rate })
@@ -121,7 +146,7 @@ and finish_service t =
     start_service t
 
 (* Admit a packet: Bernoulli stochastic loss first, then droptail. *)
-let send t pkt =
+let admit t pkt =
   if t.loss_p > 0.0 && Rng.bool t.rng ~p:t.loss_p then begin
     t.random_drops <- t.random_drops + 1;
     Obs.Metrics.incr m_random_drops;
@@ -157,10 +182,24 @@ let send t pkt =
     end;
     if admitted then begin
       (* Track queueing delay via the backlog at admission. *)
-      let rate = Float.max min_rate (t.rate_fn now) in
+      let rate = Float.max min_rate (rate_at t now) in
       t.queue_delay_sum <-
         t.queue_delay_sum +. (float_of_int (queue_bytes t) /. rate);
       t.queue_delay_samples <- t.queue_delay_samples + 1;
       if not t.busy then start_service t
     end
   end
+
+(* Link ingress: run the impairment pipeline (if any), then admit each
+   surviving copy -- immediately, or after its extra delay (jitter /
+   held-for-reordering). *)
+let send t pkt =
+  match t.hooks with
+  | None -> admit t pkt
+  | Some h ->
+    let now = Sim.now t.sim in
+    List.iter
+      (fun (pkt, delay) ->
+        if delay <= 0.0 then admit t pkt
+        else Sim.after t.sim delay (fun () -> admit t pkt))
+      (h.ingress ~now pkt)

@@ -1,7 +1,19 @@
 (** Shared bottleneck link: droptail buffer + time-varying-rate server +
-    optional Bernoulli stochastic loss at ingress. *)
+    optional Bernoulli stochastic loss at ingress, with optional fault
+    hooks (lib/faults builds them) for impairment pipelines and
+    scheduled outages / rate clamps. *)
 
 type t
+
+(** Fault-injection attachment points. [ingress] rewrites an arriving
+    packet into the (packet, extra admission delay) copies to admit —
+    empty list drops, several entries duplicate, positive delay defers
+    (jitter / reordering). [shape_rate] rewrites the instantaneous
+    service rate (outage windows force it to zero, clamps scale it). *)
+type hooks = {
+  ingress : now:float -> Packet.t -> (Packet.t * float) list;
+  shape_rate : now:float -> float -> float;
+}
 
 (** [create ~sim ~rate_fn ~grain ~buffer_bytes ~loss_p ~rng ~deliver]
     builds a link whose service rate at time [now] is [rate_fn now]
@@ -9,6 +21,7 @@ type t
     [grain] seconds. [deliver] fires when a packet finishes service. *)
 val create :
   ?aqm:[ `Fifo | `Codel ] ->
+  ?hooks:hooks ->
   sim:Sim.t ->
   rate_fn:(float -> float) ->
   grain:float ->
@@ -38,7 +51,8 @@ val delivered_pkts : t -> int
 (** Packets dropped by the stochastic-loss process (not droptail). *)
 val random_drops : t -> int
 
-(** Instantaneous service rate at [time], bytes/s. *)
+(** Instantaneous effective service rate at [time], bytes/s (after the
+    fault shaper, when hooks are attached). *)
 val rate_at : t -> float -> float
 
 (** Mean queueing delay experienced at admission, seconds. *)

@@ -47,7 +47,8 @@ let capacity_integral ?const_rate ~rate_fn ~grain ~duration () =
     done;
     !acc
 
-let run ?(seed = 42) ?(stats_bin = 0.01) ~link ~flows ~duration () =
+let run ?(seed = 42) ?(stats_bin = 0.01) ?(dup_thresh = 1) ?faults ~link ~flows
+    ~duration () =
   let sim = Sim.create () in
   (* Run boundary: the sim clock starts at 0, so a lane that runs
      several simulations back-to-back needs the marker to stay
@@ -55,21 +56,30 @@ let run ?(seed = 42) ?(stats_bin = 0.01) ~link ~flows ~duration () =
   if Obs.Trace.on Obs.Category.Run then
     Obs.Trace.emit (Obs.Event.Run_start { t = Sim.now sim; label = "sim" });
   let rng = Rng.create seed in
+  (* The fault injector gets a keyed stream derived from the seed alone,
+     so attaching it never perturbs the link's own Bernoulli stream --
+     existing seeded runs stay bit-identical. *)
+  let hooks =
+    Option.map (fun mk -> mk (Rng.split_key rng ~key:0xFA)) faults
+  in
   let flow_arr =
     List.mapi
       (fun i (cfg : flow_cfg) ->
         Flow.create ~sim ~id:i ~cca:cfg.cca ~return_delay:cfg.rtt
-          ~start_at:cfg.start_at ~stop_at:cfg.stop_at ~stats_bin ())
+          ~start_at:cfg.start_at ~stop_at:cfg.stop_at ~dup_thresh ~stats_bin ())
       flows
     |> Array.of_list
   in
   let rtts = Array.of_list (List.map (fun (cfg : flow_cfg) -> cfg.rtt) flows) in
   let deliver (pkt : Packet.t) =
-    let flow = flow_arr.(pkt.Packet.flow) in
-    Sim.after sim rtts.(pkt.Packet.flow) (fun () -> Flow.handle_ack flow pkt)
+    (* A corrupted payload fails the receiver's checksum: no ACK. The
+       sender recovers via dup-ACKs or its RTO, like a real loss. *)
+    if not pkt.Packet.corrupt then
+      let flow = flow_arr.(pkt.Packet.flow) in
+      Sim.after sim rtts.(pkt.Packet.flow) (fun () -> Flow.handle_ack flow pkt)
   in
   let the_link =
-    Link.create ~aqm:link.aqm ~sim ~rate_fn:link.rate_fn ~grain:link.grain
+    Link.create ~aqm:link.aqm ?hooks ~sim ~rate_fn:link.rate_fn ~grain:link.grain
       ~buffer_bytes:link.buffer_bytes ~loss_p:link.loss_p ~rng ~deliver ()
   in
   Array.iter

@@ -41,10 +41,17 @@ val capacity_integral :
   float
 
 (** Run the scenario to completion and return per-flow and link
-    aggregates. [seed] drives the stochastic loss process. *)
+    aggregates. [seed] drives the stochastic loss process.
+    [dup_thresh] (default 1) is the senders' dup-ACK loss threshold;
+    use 3 with impairments that reorder. [faults] builds the link's
+    fault hooks from a keyed rng derived from [seed] -- attaching it
+    does not perturb the link's own loss stream, and corrupted packets
+    are discarded at the receiver (no ACK). *)
 val run :
   ?seed:int ->
   ?stats_bin:float ->
+  ?dup_thresh:int ->
+  ?faults:(Rng.t -> Link.hooks) ->
   link:link_cfg ->
   flows:flow_cfg list ->
   duration:float ->

@@ -2,7 +2,12 @@
 
    [delivered_at_send] snapshots the sender's cumulative delivered byte
    count when the packet left, which yields per-ACK delivery-rate samples
-   in the style of BBR's rate estimator. *)
+   in the style of BBR's rate estimator.
+
+   [corrupt] marks a payload damaged in transit (set by the fault
+   injector): the packet still consumes link capacity, but the receiver's
+   checksum discards it, so no ACK comes back and the sender sees it as
+   a loss. *)
 
 type t = {
   flow : int;
@@ -10,4 +15,5 @@ type t = {
   size : int;
   sent_at : float;
   delivered_at_send : int;
+  corrupt : bool;
 }

@@ -33,3 +33,10 @@ val exponential : t -> mean:float -> float
 
 (** [split t] derives an independent generator from [t]'s stream. *)
 val split : t -> t
+
+(** [split_key t ~key] derives an independent generator from [t]'s
+    original seed and [key] alone. Unlike {!split} it neither consumes
+    nor observes the parent's draw position: the derived stream is the
+    same no matter how many draws the parent has made, so keyed
+    components stay deterministic under any draw interleaving. *)
+val split_key : t -> key:int -> t

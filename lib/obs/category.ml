@@ -12,13 +12,14 @@ type t =
   | Stage  (* Libra stage transitions *)
   | Cycle  (* Libra per-cycle utility triples and decisions *)
   | Rl  (* RL step / reward / action records *)
+  | Fault  (* fault-injector actions: drops, holds, corruption, outages *)
   | Run
     (* run boundaries: a new simulation (or RL episode) starting at sim
        time 0. Structural markers — every tracer subscribes to them
        regardless of its filter, because consumers (trace_check) need
        them to segment a lane whose sim clock restarts. *)
 
-let all = [ Pkt; Link; Ack; Rate; Monitor; Stage; Cycle; Rl; Run ]
+let all = [ Pkt; Link; Ack; Rate; Monitor; Stage; Cycle; Rl; Fault; Run ]
 
 let bit = function
   | Pkt -> 1
@@ -30,6 +31,7 @@ let bit = function
   | Cycle -> 64
   | Rl -> 128
   | Run -> 256
+  | Fault -> 512
 
 let to_string = function
   | Pkt -> "pkt"
@@ -40,6 +42,7 @@ let to_string = function
   | Stage -> "stage"
   | Cycle -> "cycle"
   | Rl -> "rl"
+  | Fault -> "fault"
   | Run -> "run"
 
 let of_string = function
@@ -51,6 +54,7 @@ let of_string = function
   | "stage" -> Some Stage
   | "cycle" -> Some Cycle
   | "rl" -> Some Rl
+  | "fault" -> Some Fault
   | "run" -> Some Run
   | _ -> None
 

@@ -46,6 +46,11 @@ type t =
       reward : float;  (* nan when no reward attaches (live decisions) *)
       action : float;
     }
+  | Fault of { t : float; flow : int; seq : int; kind : string; value : float }
+    (* a fault-injector action: [kind] names it ("gilbert", "reorder",
+       "dup", "corrupt", "jitter", "bernoulli", "link_down", "link_up"),
+       [value] its magnitude (a delay in seconds, or 1.0 for unit
+       actions). Link transitions carry flow = seq = -1. *)
   | Run_start of { t : float; label : string }
     (* a fresh simulation / RL episode whose clock restarts at [t]
        (normally 0); within a lane, timestamps are non-decreasing
@@ -65,6 +70,7 @@ let time = function
   | Stage e -> e.t
   | Cycle e -> e.t
   | Rl_step e -> e.t
+  | Fault e -> e.t
   | Run_start e -> e.t
 
 let category = function
@@ -76,6 +82,7 @@ let category = function
   | Stage _ -> Category.Stage
   | Cycle _ -> Category.Cycle
   | Rl_step _ -> Category.Rl
+  | Fault _ -> Category.Fault
   | Run_start _ -> Category.Run
 
 let name = function
@@ -89,7 +96,16 @@ let name = function
   | Stage _ -> "stage"
   | Cycle _ -> "cycle"
   | Rl_step _ -> "rl_step"
+  | Fault _ -> "fault"
   | Run_start _ -> "run_start"
+
+(* Every event name that can appear in an exported trace (trace_check
+   validates the "ev" field against this list). *)
+let all_names =
+  [
+    "enqueue"; "dequeue"; "drop"; "link_rate"; "ack"; "rate"; "mi_snapshot";
+    "stage"; "cycle"; "rl_step"; "fault"; "run_start";
+  ]
 
 let reason_name = function Tail -> "tail" | Codel -> "codel" | Random -> "random"
 
@@ -167,6 +183,11 @@ let to_json_line ~lane buf ev =
     field_f b "rate" e.rate;
     field_f b "reward" e.reward;
     field_f b "action" e.action
+  | Fault e ->
+    field_i b "flow" e.flow;
+    field_i b "seq" e.seq;
+    field_s b "kind" e.kind;
+    field_f b "value" e.value
   | Run_start e -> field_s b "label" e.label);
   Buffer.add_string b "}\n"
 
@@ -175,9 +196,9 @@ let to_json_line ~lane buf ev =
 (* One wide row per event: inapplicable columns are left empty, which
    keeps the file trivially loadable for offline plotting. *)
 let csv_header =
-  "t,lane,ev,flow,seq,size,backlog,reason,rate,pacing,cwnd,rtt,newly_lost,duration,throughput,avg_rtt,loss_rate,rtt_gradient,acked,lost,stage,chosen,u_prev,u_rl,u_cl,x_next,episode,step,reward,action,label"
+  "t,lane,ev,flow,seq,size,backlog,reason,rate,pacing,cwnd,rtt,newly_lost,duration,throughput,avg_rtt,loss_rate,rtt_gradient,acked,lost,stage,chosen,u_prev,u_rl,u_cl,x_next,episode,step,reward,action,label,kind,value"
 
-let csv_columns = 31
+let csv_columns = 33
 
 let fcell v = if Float.is_finite v then Printf.sprintf "%.9g" v else ""
 
@@ -235,6 +256,11 @@ let to_csv_row ~lane buf ev =
     cells.(8) <- fcell e.rate;
     cells.(28) <- fcell e.reward;
     cells.(29) <- fcell e.action
+  | Fault e ->
+    cells.(3) <- string_of_int e.flow;
+    cells.(4) <- string_of_int e.seq;
+    cells.(31) <- e.kind;
+    cells.(32) <- fcell e.value
   | Run_start e -> cells.(30) <- e.label);
   Buffer.add_string buf (String.concat "," (Array.to_list cells));
   Buffer.add_char buf '\n'

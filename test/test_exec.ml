@@ -132,6 +132,29 @@ let test_averaged_deterministic_lte () =
       let par = outcome_quad ~pool ~base_seed:17 spec ~duration:4.0 in
       check_exact_quad "lte" seq par)
 
+(* Fault-injected runs obey the same contract: the injector draws from
+   keyed rng streams, so an impaired scenario is bit-identical at any
+   pool size, on both wired and trace-driven (LTE) links. *)
+let test_averaged_deterministic_impaired () =
+  let impair =
+    Faults.Spec.of_string_exn "gilbert+reorder+jitter+outage:at=1,for=0.5"
+  in
+  let wired = Harness.Scenario.make_spec ~impair (Traces.Rate.constant 24.0) in
+  let lte =
+    Harness.Scenario.make_spec ~impair
+      (Traces.Lte.generate ~seed:11 ~duration:4.0 Traces.Lte.Walking)
+  in
+  with_pool 4 (fun pool ->
+      List.iter
+        (fun (label, spec) ->
+          let seq =
+            outcome_quad ~pool:Exec.Pool.sequential ~base_seed:23 spec
+              ~duration:4.0
+          in
+          let par = outcome_quad ~pool ~base_seed:23 spec ~duration:4.0 in
+          check_exact_quad label seq par)
+        [ ("impaired wired", wired); ("impaired lte", lte) ])
+
 let test_evaluate_deterministic () =
   (* RL evaluation rollouts fan episodes across the pool; the summary
      must not depend on pool size. *)
@@ -226,6 +249,8 @@ let () =
         [
           Alcotest.test_case "averaged wired" `Slow test_averaged_deterministic_wired;
           Alcotest.test_case "averaged lte" `Slow test_averaged_deterministic_lte;
+          Alcotest.test_case "averaged impaired" `Slow
+            test_averaged_deterministic_impaired;
           Alcotest.test_case "rl evaluate" `Slow test_evaluate_deterministic;
           Alcotest.test_case "registry reports" `Slow test_registry_reports_byte_identical;
           Alcotest.test_case "exp_trace artifacts" `Slow

@@ -242,14 +242,18 @@ let test_codel_keeps_capacity_bound () =
   let q = Netsim.Codel.create ~capacity:4500 () in
   check_bool "admit 3" true
     (Netsim.Codel.enqueue q { Netsim.Packet.flow = 0; seq = 0; size = 1500;
-                              sent_at = 0.0; delivered_at_send = 0 } ~now:0.0
+                              sent_at = 0.0; delivered_at_send = 0;
+                              corrupt = false } ~now:0.0
     && Netsim.Codel.enqueue q { Netsim.Packet.flow = 0; seq = 1; size = 1500;
-                                sent_at = 0.0; delivered_at_send = 0 } ~now:0.0
+                                sent_at = 0.0; delivered_at_send = 0;
+                              corrupt = false } ~now:0.0
     && Netsim.Codel.enqueue q { Netsim.Packet.flow = 0; seq = 2; size = 1500;
-                                sent_at = 0.0; delivered_at_send = 0 } ~now:0.0);
+                                sent_at = 0.0; delivered_at_send = 0;
+                              corrupt = false } ~now:0.0);
   check_bool "tail drop at capacity" true
     (not (Netsim.Codel.enqueue q { Netsim.Packet.flow = 0; seq = 3; size = 1500;
-                                   sent_at = 0.0; delivered_at_send = 0 } ~now:0.0))
+                                   sent_at = 0.0; delivered_at_send = 0;
+                              corrupt = false } ~now:0.0))
 
 (* ------------------------------------------------------------------ *)
 (* Libra over other classics builds and runs *)

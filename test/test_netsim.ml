@@ -21,6 +21,33 @@ let test_rng_distinct_seeds () =
   done;
   check_bool "streams differ" true (!same < 5)
 
+(* split_key derives from the parent's original seed, not its evolving
+   state: the keyed stream must not move when the parent draws more. *)
+let test_rng_split_key_stable () =
+  let draws rng n = List.init n (fun _ -> Netsim.Rng.float rng) in
+  let fresh = Netsim.Rng.create 7 in
+  let expected = draws (Netsim.Rng.split_key fresh ~key:3) 20 in
+  let parent = Netsim.Rng.create 7 in
+  let parent_before = draws parent 10 in
+  (* 10 extra draws on the parent must not shift the keyed child. *)
+  let got = draws (Netsim.Rng.split_key parent ~key:3) 20 in
+  List.iter2 (check_float "keyed stream stable under parent draws") expected got;
+  (* ... and deriving the child must not shift the parent's own stream. *)
+  let parent2 = Netsim.Rng.create 7 in
+  List.iter2
+    (check_float "parent stream unperturbed")
+    parent_before (draws parent2 10)
+
+let test_rng_split_key_distinct () =
+  let rng = Netsim.Rng.create 7 in
+  let a = Netsim.Rng.split_key rng ~key:0 in
+  let b = Netsim.Rng.split_key rng ~key:1 in
+  let same = ref 0 in
+  for _ = 1 to 50 do
+    if Netsim.Rng.float a = Netsim.Rng.float b then incr same
+  done;
+  check_bool "keyed streams differ" true (!same < 5)
+
 let prop_rng_range =
   QCheck.Test.make ~name:"rng floats in [0,1)" ~count:200 QCheck.small_int
     (fun seed ->
@@ -160,7 +187,8 @@ let test_sim_horizon_stops_events () =
 (* Droptail *)
 
 let mk_pkt ?(size = 1500) seq =
-  { Netsim.Packet.flow = 0; seq; size; sent_at = 0.0; delivered_at_send = 0 }
+  { Netsim.Packet.flow = 0; seq; size; sent_at = 0.0; delivered_at_send = 0;
+    corrupt = false }
 
 let test_droptail_admits_until_capacity () =
   let q = Netsim.Droptail.create ~capacity:4500 in
@@ -512,6 +540,8 @@ let () =
         [
           Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
           Alcotest.test_case "distinct seeds" `Quick test_rng_distinct_seeds;
+          Alcotest.test_case "split_key stable" `Quick test_rng_split_key_stable;
+          Alcotest.test_case "split_key distinct" `Quick test_rng_split_key_distinct;
         ]
         @ qsuite [ prop_rng_range; prop_rng_uniform_bounds ] );
       ( "event_heap",
