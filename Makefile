@@ -1,10 +1,11 @@
-.PHONY: all check bench trace robustness clean
+.PHONY: all check bench trace robustness perfcheck clean
 
 all:
 	dune build
 
 # Tier-1 gate: build + full test suite (incl. the sequential-vs-parallel
-# determinism tests) + bench micro smoke + trace export smoke.
+# determinism tests) + bench micro smoke + trace export smoke + profiled
+# robustness mini-matrix.
 check:
 	dune build @tier1
 
@@ -12,7 +13,8 @@ bench:
 	dune exec bench/main.exe -- all
 
 # Trace smoke alone: 5s wired run with --trace-out, validated by
-# trace_check (JSONL parses, per-lane timestamps non-decreasing).
+# trace_check (manifest header, JSONL parses, per-lane timestamps
+# non-decreasing).
 trace:
 	dune build @trace
 
@@ -20,6 +22,15 @@ trace:
 # (clean / bursty-loss / reorder / flap / jitter).
 robustness:
 	dune exec bin/experiments.exe -- robust
+
+# CI perf gate: run the quick perf-smoke subset (spans on), append the
+# result to BENCH_history.jsonl, and compare against the most recent
+# comparable entry — non-zero exit if any experiment regressed > 20%.
+# The first run only seeds the history (nothing to gate against).
+perfcheck:
+	dune build bench/main.exe bin/perf_report.exe
+	dune exec bench/main.exe -- perf-smoke
+	dune exec bin/perf_report.exe -- --gate 20
 
 clean:
 	dune clean

@@ -79,6 +79,9 @@ let micro_tests () =
     Test.make ~name:"obs/metrics-off"
       (let p = Obs.Metrics.counter "bench.noop" in
        Staged.stage (fun () -> Obs.Metrics.incr p));
+    Test.make ~name:"obs/span-off"
+      (let p = Obs.Span.probe "bench.noop" in
+       Staged.stage (fun () -> Obs.Span.timed p Fun.id));
   ]
 
 let run_micro () =
@@ -244,55 +247,150 @@ let run_impairment_overhead () =
 
 (* ------------------------------------------------------------------ *)
 
-(* Run every experiment group on the domain pool, timing each; print
-   the buffered reports in registry order. *)
-let run_all_timed () =
+(* Run the given experiment groups on the domain pool, timing each;
+   print the buffered reports in registry order. With [recorder], each
+   group also runs inside its own span lane (lane = group index), so
+   the history entry carries a per-group span profile whose root
+   [group.<name>] span covers the same extent as the wall timing —
+   which is what makes perf_report's attribution column meaningful. *)
+let run_groups_timed ?recorder gs =
   let pool = Exec.Pool.default () in
   (* Train the four shared evaluation policies up front, in parallel,
      so the per-group timings below measure the experiments themselves
      rather than whichever group happens to fault a policy in first. *)
   Rlcc.Pretrained.warm ~pool ();
-  let gs = Array.of_list (Harness.Registry.groups ()) in
   let results =
     Exec.Pool.map pool
-      (fun e ->
+      (fun (i, e) ->
         let t0 = Unix.gettimeofday () in
-        let r = e.Harness.Registry.run () in
+        let run () =
+          Obs.Span.timed
+            (Obs.Span.probe ("group." ^ e.Harness.Registry.group))
+            (fun () -> e.Harness.Registry.run ())
+        in
+        let r =
+          match recorder with
+          | Some rec_ -> Obs.Span.run rec_ ~lane:i run
+          | None -> e.Harness.Registry.run ()
+        in
         (e.Harness.Registry.group, r, Unix.gettimeofday () -. t0))
-      gs
+      (Array.mapi (fun i e -> (i, e)) gs)
   in
   Array.iter (fun (_, r, _) -> Harness.Report.print r) results;
   Array.to_list (Array.map (fun (g, _, s) -> (g, s)) results)
 
-(* BENCH_results.json: experiment group -> wall-clock seconds, plus the
-   pool size, so the perf trajectory is trackable across PRs. Written
-   atomically via a temp file. *)
+let bench_manifest ~scale =
+  Obs.Manifest.make ~scale ~domains:(Exec.Pool.size (Exec.Pool.default ())) ()
+
+(* Per-group span rollup for the history entry: { group: [trees...] }.
+   Lane ids are the group indices [run_groups_timed] assigned. *)
+let spans_json ~groups recorder =
+  let by_lane = Obs.Span.lanes_json recorder in
+  Obs.Json.Obj
+    (List.filter_map
+       (fun (lane, trees) ->
+         if lane < Array.length groups then
+           Some (groups.(lane).Harness.Registry.group, trees)
+         else None)
+       by_lane)
+
+let total_wall timed = List.fold_left (fun a (_, s) -> a +. s) 0.0 timed
+
+let experiments_json timed =
+  Obs.Json.Obj (List.map (fun (g, s) -> (g, Obs.Json.Num s)) timed)
+
+(* BENCH_results.json stays the "latest run" snapshot: experiment group
+   -> wall-clock seconds, pool size, scale, and now the provenance
+   manifest. Keys other runs patched in (trace_overhead,
+   impairment_overhead) are preserved instead of silently dropped.
+   Written atomically via a temp file. *)
 let write_bench_json ~scale ~timed =
   let path = "BENCH_results.json" in
+  let base =
+    if Sys.file_exists path then begin
+      let ic = open_in_bin path in
+      let s = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      match Obs.Json.parse s with Ok (Obs.Json.Obj _ as v) -> v | _ -> Obs.Json.Obj []
+    end
+    else Obs.Json.Obj []
+  in
+  let updated =
+    base
+    |> Obs.Json.set_member "domains"
+         (Obs.Json.Num (float_of_int (Exec.Pool.size (Exec.Pool.default ()))))
+    |> Obs.Json.set_member "scale" (Obs.Json.Str scale)
+    |> Obs.Json.set_member "experiments" (experiments_json timed)
+    |> Obs.Json.set_member "total_wall_s" (Obs.Json.Num (total_wall timed))
+    |> Obs.Json.set_member "manifest" (bench_manifest ~scale)
+  in
   let tmp = path ^ ".tmp" in
   let oc = open_out tmp in
-  Printf.fprintf oc "{\n  \"domains\": %d,\n  \"scale\": %S,\n"
-    (Exec.Pool.size (Exec.Pool.default ()))
-    scale;
-  output_string oc "  \"experiments\": {\n";
-  let n = List.length timed in
-  List.iteri
-    (fun i (group, seconds) ->
-      Printf.fprintf oc "    %S: %.3f%s\n" group seconds
-        (if i < n - 1 then "," else ""))
-    timed;
-  output_string oc "  },\n";
-  Printf.fprintf oc "  \"total_wall_s\": %.3f\n"
-    (List.fold_left (fun a (_, s) -> a +. s) 0.0 timed);
-  output_string oc "}\n";
+  output_string oc (Obs.Json.to_string updated);
+  output_string oc "\n";
   close_out oc;
   Sys.rename tmp path;
   Printf.printf "\n[bench] wrote %s\n" path
 
+(* The bench trajectory: every run appends one compact line to
+   BENCH_history.jsonl (manifest + timings + optional span rollup), so
+   past runs survive shape changes to BENCH_results.json and
+   perf_report can gate regressions between any two entries. *)
+let append_history ~scale ~subset ~timed ~recorder ~groups =
+  let path = "BENCH_history.jsonl" in
+  let entry =
+    Obs.Json.Obj
+      [
+        ("manifest", bench_manifest ~scale);
+        ("scale", Obs.Json.Str scale);
+        ( "domains",
+          Obs.Json.Num (float_of_int (Exec.Pool.size (Exec.Pool.default ()))) );
+        ( "subset",
+          match subset with
+          | None -> Obs.Json.Str "all"
+          | Some ids -> Obs.Json.List (List.map (fun i -> Obs.Json.Str i) ids) );
+        ("experiments", experiments_json timed);
+        ("total_wall_s", Obs.Json.Num (total_wall timed));
+        ( "spans",
+          match recorder with
+          | Some r -> spans_json ~groups r
+          | None -> Obs.Json.Null );
+      ]
+  in
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+  output_string oc (Obs.Json.to_compact entry);
+  output_string oc "\n";
+  close_out oc;
+  Printf.printf "[bench] appended history entry to %s\n" path
+
+let run_all_timed ~scale ~spans () =
+  let gs = Array.of_list (Harness.Registry.groups ()) in
+  let recorder = if spans then Some (Obs.Span.create ()) else None in
+  let timed = run_groups_timed ?recorder gs in
+  write_bench_json ~scale ~timed;
+  append_history ~scale ~subset:None ~timed ~recorder ~groups:gs
+
+(* perf-smoke: the fastest experiment groups, spans always on — the
+   quick subset `make perfcheck` runs twice-in-a-row cheaply and gates
+   with perf_report. *)
+let perf_smoke_ids = [ "fig2a"; "fig8"; "fig17"; "fig18" ]
+
+let run_perf_smoke ~scale () =
+  let gs =
+    Array.of_list (List.filter_map Harness.Registry.find perf_smoke_ids)
+  in
+  let recorder = Some (Obs.Span.create ()) in
+  let timed = run_groups_timed ?recorder gs in
+  append_history ~scale ~subset:(Some perf_smoke_ids) ~timed ~recorder ~groups:gs
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let full = List.mem "--full" args in
-  let args = List.filter (fun a -> a <> "--full") args in
+  (* --spans records a per-group span profile into the history entry;
+     off by default so `bench all` numbers stay comparable with
+     profile-free baselines (the disabled path is one branch). *)
+  let spans = List.mem "--spans" args in
+  let args = List.filter (fun a -> a <> "--full" && a <> "--spans") args in
   (* --domains N overrides LIBRA_DOMAINS / the detected core count. *)
   let rec strip_domains = function
     | "--domains" :: n :: rest ->
@@ -308,27 +406,29 @@ let () =
   let args = strip_domains args in
   Harness.Scale.set (if full then Harness.Scale.full else Harness.Scale.quick);
   let t0 = Unix.gettimeofday () in
+  let scale = if full then "full" else "quick" in
   (match args with
   | [] | [ "all" ] ->
-    let timed = run_all_timed () in
-    write_bench_json ~scale:(if full then "full" else "quick") ~timed;
+    run_all_timed ~scale ~spans ();
     run_micro ()
   | [ "micro" ] -> run_micro ()
   | [ "trace-overhead" ] -> run_trace_overhead ()
   | [ "impairment-overhead" ] -> run_impairment_overhead ()
+  | [ "perf-smoke" ] -> run_perf_smoke ~scale ()
   | ids ->
     List.iter
       (fun id ->
         if id = "micro" then run_micro ()
         else if id = "trace-overhead" then run_trace_overhead ()
         else if id = "impairment-overhead" then run_impairment_overhead ()
+        else if id = "perf-smoke" then run_perf_smoke ~scale ()
         else
           match Harness.Registry.find id with
           | Some e -> Harness.Report.print (e.Harness.Registry.run ())
           | None ->
             Printf.eprintf
               "unknown experiment %S (known: %s, micro, trace-overhead, \
-               impairment-overhead)\n"
+               impairment-overhead, perf-smoke)\n"
               id
               (String.concat ", " (Harness.Registry.ids ())))
       ids);

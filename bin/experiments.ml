@@ -7,24 +7,29 @@
 open Cmdliner
 
 (* Observability session: a tracer whose lanes are experiment indices
-   (deterministic at any pool size) plus per-lane metrics registries
-   merged in lane order at export time. *)
+   (deterministic at any pool size), per-lane metrics registries merged
+   in lane order at export time, and an optional span recorder whose
+   lanes mirror the tracer's (--profile). *)
 type obs_session = {
   tracer : Obs.Trace.t;
   regs : (int, Obs.Metrics.registry) Hashtbl.t;
   regs_lock : Mutex.t;
+  spans : Obs.Span.t option;
+  manifest : Obs.Json.t;
 }
 
-let obs_session_of ~trace_filter =
+let obs_session_of ~trace_filter ~profile ~manifest =
   let categories =
     match trace_filter with
     | None -> Obs.Category.all
     | Some spec -> Obs.Category.parse_filter spec
   in
   {
-    tracer = Obs.Trace.create ~categories ();
+    tracer = Obs.Trace.create ~categories ~manifest ();
     regs = Hashtbl.create 8;
     regs_lock = Mutex.create ();
+    spans = (if profile then Some (Obs.Span.create ()) else None);
+    manifest;
   }
 
 let obs_wrap session lane run =
@@ -32,9 +37,16 @@ let obs_wrap session lane run =
   Mutex.lock session.regs_lock;
   Hashtbl.replace session.regs lane reg;
   Mutex.unlock session.regs_lock;
-  Obs.Trace.run session.tracer ~lane (fun () -> Obs.Metrics.run reg run)
+  let run =
+    match session.spans with
+    | Some sp -> fun () -> Obs.Span.run sp ~lane (fun () -> Obs.Metrics.run reg run)
+    | None -> fun () -> Obs.Metrics.run reg run
+  in
+  Obs.Trace.run session.tracer ~lane run
 
-let obs_export session ~trace_out ~metrics_out =
+(* [lane_name lane] labels span-profile groups; lanes are registry
+   group indices (run_all) or positions in the id list. *)
+let obs_export session ~trace_out ~metrics_out ~profile_out ~lane_name =
   Option.iter (Obs.Trace.write session.tracer) trace_out;
   Option.iter
     (fun file ->
@@ -49,6 +61,25 @@ let obs_export session ~trace_out ~metrics_out =
         lanes;
       Obs.Metrics.write_csv merged file)
     metrics_out;
+  (match (session.spans, profile_out) with
+  | Some sp, Some file ->
+    let groups =
+      List.map (fun (lane, trees) -> (lane_name lane, trees)) (Obs.Span.lanes_json sp)
+    in
+    let doc =
+      Obs.Json.Obj
+        [
+          ("profile", Obs.Json.Num 1.0);
+          ("manifest", session.manifest);
+          ("groups", Obs.Json.Obj groups);
+        ]
+    in
+    let oc = open_out file in
+    output_string oc (Obs.Json.to_string doc);
+    output_string oc "\n";
+    close_out oc;
+    Printf.printf "profile: %d group(s) -> %s\n" (List.length groups) file
+  | _ -> ());
   Option.iter
     (fun file ->
       Printf.printf "trace: %d events -> %s\n"
@@ -56,29 +87,53 @@ let obs_export session ~trace_out ~metrics_out =
         file)
     trace_out
 
-let run_cmd full domains impair trace_out trace_filter metrics_out ids all =
+let run_cmd full domains impair trace_out trace_filter metrics_out profile_out ids all =
   (match domains with
   | Some d when d < 1 ->
     Printf.eprintf "invalid --domains %d (want a positive integer)\n" d;
     exit 2
   | _ -> ());
   Option.iter Exec.Pool.set_default_size domains;
-  (match Faults.Spec.of_string impair with
-  | Ok s -> Harness.Scenario.set_default_impair s
-  | Error m ->
-    prerr_endline m;
-    exit 2);
+  let impair_spec =
+    match Faults.Spec.of_string impair with
+    | Ok s ->
+      Harness.Scenario.set_default_impair s;
+      s
+    | Error m ->
+      prerr_endline m;
+      exit 2
+  in
   Harness.Scale.set (if full then Harness.Scale.full else Harness.Scale.quick);
+  let manifest =
+    Obs.Manifest.make
+      ~scale:(if full then "full" else "quick")
+      ~domains:(Exec.Pool.size (Exec.Pool.default ()))
+      ~impair:(Faults.Spec.to_string impair_spec)
+      ()
+  in
   let session =
-    match (trace_out, metrics_out) with
-    | None, None -> None
-    | _ -> Some (obs_session_of ~trace_filter)
+    match (trace_out, metrics_out, profile_out) with
+    | None, None, None -> None
+    | _ -> Some (obs_session_of ~trace_filter ~profile:(profile_out <> None) ~manifest)
   in
   let wrap lane run =
     match session with Some s -> obs_wrap s lane run | None -> run ()
   in
+  let run_all_groups = all || ids = [] in
+  let lane_name =
+    if run_all_groups then begin
+      let gs = Array.of_list (Harness.Registry.groups ()) in
+      fun lane ->
+        if lane < Array.length gs then gs.(lane).Harness.Registry.group
+        else string_of_int lane
+    end
+    else begin
+      let arr = Array.of_list ids in
+      fun lane -> if lane < Array.length arr then arr.(lane) else string_of_int lane
+    end
+  in
   let status =
-    if all || ids = [] then begin
+    if run_all_groups then begin
       Harness.Registry.run_all ~wrap ();
       0
     end
@@ -104,7 +159,7 @@ let run_cmd full domains impair trace_out trace_filter metrics_out ids all =
       end
     end
   in
-  Option.iter (obs_export ~trace_out ~metrics_out) session;
+  Option.iter (obs_export ~trace_out ~metrics_out ~profile_out ~lane_name) session;
   status
 
 let full = Arg.(value & flag & info [ "full" ] ~doc:"paper-scale durations")
@@ -144,6 +199,15 @@ let metrics_out =
     & opt (some string) None
     & info [ "metrics" ] ~docv:"FILE" ~doc:"export the metrics registry as CSV")
 
+let profile_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "profile" ] ~docv:"FILE"
+        ~doc:
+          "record a host-time span profile per experiment and write it as JSON \
+           to $(docv) (render with perf_report --profile)")
+
 let domains =
   Arg.(
     value
@@ -159,6 +223,6 @@ let cmd =
     (Cmd.info "experiments" ~doc:"reproduce the paper's tables and figures")
     Term.(
       const run_cmd $ full $ domains $ impair $ trace_out $ trace_filter
-      $ metrics_out $ ids $ all)
+      $ metrics_out $ profile_out $ ids $ all)
 
 let () = exit (Cmd.eval' cmd)

@@ -32,8 +32,9 @@ let parse_trace ~duration ~seed spec =
 
 (* Observability plumbing: when --trace-out / --metrics is given, run
    the simulation with a tracer (and a metrics registry) installed as
-   this domain's ambient sink, then export. Lane 0: single run. *)
-let with_observability ~trace_out ~trace_filter ~metrics_out f =
+   this domain's ambient sink, then export. Lane 0: single run. The
+   manifest (seed + impair provenance) heads the JSONL export. *)
+let with_observability ~trace_out ~trace_filter ~metrics_out ~manifest f =
   let categories =
     match trace_filter with
     | None -> Obs.Category.all
@@ -42,7 +43,7 @@ let with_observability ~trace_out ~trace_filter ~metrics_out f =
   match (trace_out, metrics_out) with
   | None, None -> f ()
   | _ ->
-    let tracer = Obs.Trace.create ~categories () in
+    let tracer = Obs.Trace.create ~categories ~manifest () in
     let reg = Obs.Metrics.create_registry () in
     let result =
       Obs.Trace.run tracer ~lane:0 (fun () -> Obs.Metrics.run reg f)
@@ -91,8 +92,12 @@ let run_cmd cca trace_spec rtt_ms buffer_kb loss duration flows seed impair
           dup_thresh = (if Faults.Spec.may_reorder impair then 3 else 1);
         }
     in
+    let manifest =
+      Obs.Manifest.make ~seeds:[ seed ] ~scale:"cli" ~domains:1
+        ~impair:(Faults.Spec.to_string impair) ()
+    in
     let outcome =
-      with_observability ~trace_out ~trace_filter ~metrics_out (fun () ->
+      with_observability ~trace_out ~trace_filter ~metrics_out ~manifest (fun () ->
           Harness.Scenario.run_uniform ~seed ~n_flows:flows ~factory ~duration
             spec)
     in

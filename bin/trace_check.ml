@@ -1,67 +1,88 @@
 (* trace_check: validate a JSONL trace export.
 
-     trace_check FILE
+     trace_check [--require-manifest] FILE
 
-   Checks that every line parses as a JSON object with numeric "t" and
-   "lane" fields and a string "ev" naming a known event, and that
-   timestamps are non-decreasing within each lane (the exporter's
-   determinism contract). A "run_start" event marks a fresh simulation /
-   RL episode whose clock restarts at 0, so it resets the lane's clock.
-   "fault" events must carry a string "kind" (which injector action
-   fired). Exits 0 on success, 1 with a diagnostic otherwise. *)
+   Checks that every line parses as a JSON object. A line carrying a
+   "manifest" key is a provenance header (see Obs.Manifest) and is
+   validated for required keys and formats (7-40 hex-char sha or
+   "unknown", numeric seeds, etc.). Every other line must be an event:
+   numeric "t" and "lane" fields, a string "ev" naming a known event,
+   timestamps non-decreasing within each lane (the exporter's
+   determinism contract; a "run_start" event marks a fresh simulation /
+   RL episode whose clock restarts at 0, so it resets the lane's
+   clock), and "fault" events must carry a string "kind".
+
+   With --require-manifest the first non-empty line must be a valid
+   manifest header (the contract of Obs.Trace.to_jsonl). Exits 0 on
+   success, 1 with a diagnostic otherwise. *)
 
 let fail fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 1) fmt
 
 let () =
-  let file =
-    match Sys.argv with
-    | [| _; file |] -> file
-    | _ -> fail "usage: trace_check FILE.jsonl"
+  let require_manifest, file =
+    match Array.to_list Sys.argv with
+    | [ _; file ] -> (false, file)
+    | [ _; "--require-manifest"; file ] | [ _; file; "--require-manifest" ] -> (true, file)
+    | _ -> fail "usage: trace_check [--require-manifest] FILE.jsonl"
   in
   let ic = try open_in file with Sys_error e -> fail "cannot open: %s" e in
   let last_t = Hashtbl.create 8 in
   let events = ref 0 in
+  let manifests = ref 0 in
+  let first_is_manifest = ref false in
+  let nonempty = ref 0 in
   let lineno = ref 0 in
   (try
      while true do
        let line = input_line ic in
        incr lineno;
        if String.trim line <> "" then begin
+         incr nonempty;
          let v =
            match Obs.Json.parse line with
            | Ok v -> v
            | Error msg -> fail "%s:%d: bad JSON: %s" file !lineno msg
          in
-         let num key =
-           match Option.bind (Obs.Json.member key v) Obs.Json.num with
-           | Some n -> n
-           | None -> fail "%s:%d: missing numeric %S" file !lineno key
-         in
-         let t = num "t" in
-         let lane = int_of_float (num "lane") in
-         let ev =
-           match Option.bind (Obs.Json.member "ev" v) Obs.Json.str with
-           | Some ev -> ev
-           | None -> fail "%s:%d: missing \"ev\"" file !lineno
-         in
-         if not (List.mem ev Obs.Event.all_names) then
-           fail "%s:%d: unknown event %S (known: %s)" file !lineno ev
-             (String.concat ", " Obs.Event.all_names);
-         if ev = "fault" then
-           (match Option.bind (Obs.Json.member "kind" v) Obs.Json.str with
-           | Some _ -> ()
-           | None -> fail "%s:%d: fault event missing string \"kind\"" file !lineno);
-         if ev <> "run_start" then
-           (match Hashtbl.find_opt last_t lane with
-           | Some prev when t < prev ->
-             fail "%s:%d: time went backwards in lane %d (%.9g < %.9g)" file
-               !lineno lane t prev
-           | _ -> ());
-         Hashtbl.replace last_t lane t;
-         incr events
+         match Obs.Json.member "manifest" v with
+         | Some _ ->
+           (match Obs.Manifest.validate v with
+           | Ok () ->
+             incr manifests;
+             if !nonempty = 1 then first_is_manifest := true
+           | Error msg -> fail "%s:%d: %s" file !lineno msg)
+         | None ->
+           let num key =
+             match Option.bind (Obs.Json.member key v) Obs.Json.num with
+             | Some n -> n
+             | None -> fail "%s:%d: missing numeric %S" file !lineno key
+           in
+           let t = num "t" in
+           let lane = int_of_float (num "lane") in
+           let ev =
+             match Option.bind (Obs.Json.member "ev" v) Obs.Json.str with
+             | Some ev -> ev
+             | None -> fail "%s:%d: missing \"ev\"" file !lineno
+           in
+           if not (List.mem ev Obs.Event.all_names) then
+             fail "%s:%d: unknown event %S (known: %s)" file !lineno ev
+               (String.concat ", " Obs.Event.all_names);
+           if ev = "fault" then
+             (match Option.bind (Obs.Json.member "kind" v) Obs.Json.str with
+             | Some _ -> ()
+             | None -> fail "%s:%d: fault event missing string \"kind\"" file !lineno);
+           if ev <> "run_start" then
+             (match Hashtbl.find_opt last_t lane with
+             | Some prev when t < prev ->
+               fail "%s:%d: time went backwards in lane %d (%.9g < %.9g)" file
+                 !lineno lane t prev
+             | _ -> ());
+           Hashtbl.replace last_t lane t;
+           incr events
        end
      done
    with End_of_file -> ());
   close_in ic;
-  Printf.printf "%s: %d events, %d lane(s), timestamps non-decreasing\n" file
-    !events (Hashtbl.length last_t)
+  if require_manifest && not !first_is_manifest then
+    fail "%s: --require-manifest: first line is not a valid manifest header" file;
+  Printf.printf "%s: %d events, %d lane(s), %d manifest(s), timestamps non-decreasing\n"
+    file !events (Hashtbl.length last_t) !manifests

@@ -10,7 +10,7 @@ let sets =
 
 (* Run [f] with a tracer/metrics registry installed when exports are
    requested (lane 0: training is a single serial loop). *)
-let with_observability ~trace_out ~trace_filter ~metrics_out f =
+let with_observability ~trace_out ~trace_filter ~metrics_out ~manifest f =
   let categories =
     match trace_filter with
     | None -> Obs.Category.all
@@ -19,7 +19,7 @@ let with_observability ~trace_out ~trace_filter ~metrics_out f =
   match (trace_out, metrics_out) with
   | None, None -> f ()
   | _ ->
-    let tracer = Obs.Trace.create ~categories () in
+    let tracer = Obs.Trace.create ~categories ~manifest () in
     let reg = Obs.Metrics.create_registry () in
     let result =
       Obs.Trace.run tracer ~lane:0 (fun () -> Obs.Metrics.run reg f)
@@ -55,8 +55,9 @@ let run_cmd set_name episodes steps seed randomized delta no_loss trace_out
       }
     in
     let t0 = Sys.time () in
+    let manifest = Obs.Manifest.make ~seeds:[ seed ] ~scale:"cli" ~domains:1 () in
     let outcome =
-      with_observability ~trace_out ~trace_filter ~metrics_out (fun () ->
+      with_observability ~trace_out ~trace_filter ~metrics_out ~manifest (fun () ->
           Rlcc.Train.run cfg)
     in
     let elapsed = Sys.time () -. t0 in

@@ -287,9 +287,12 @@ let utility_of t ~common_grad ~rate_bps (s : Netsim.Monitor.snapshot) =
     ~rtt_gradient:(excess_grad ~common:common_grad s)
     ~loss_rate:(excess_loss t s)
 
+let span_cycle = Obs.Span.probe "libra.finish_cycle"
+
 (* End of the exploitation stage: score the three candidates and adopt
    the best as the next base rate (Alg. 1 lines 20-22). *)
 let finish_cycle t ~now =
+ Obs.Span.timed span_cycle @@ fun () ->
   let snap_of m = Netsim.Monitor.snapshot m ~now in
   let explore = snap_of t.m_explore in
   let low = snap_of t.m_eval_low in
@@ -428,7 +431,9 @@ let check_divergence t ~now =
       begin_evaluation t ~now
   end
 
-let on_ack t (ack : Netsim.Cca.ack_info) =
+let span_on_ack = Obs.Span.probe "libra.on_ack"
+
+let on_ack_impl t (ack : Netsim.Cca.ack_info) =
   Netsim.Cca.Rtt_tracker.observe t.rtt ack.rtt;
   t.consecutive_timeouts <- 0;
   (* The classic CCA keeps learning from every ACK (its per-ACK cost is
@@ -466,6 +471,12 @@ let on_ack t (ack : Netsim.Cca.ack_info) =
     check_divergence t ~now:ack.now
   end;
   advance t ~now:ack.now
+
+(* Per-ACK entry point of the whole controller; gated like the heap
+   probes so the disabled path stays a branch. *)
+let on_ack t ack =
+  if Obs.Span.enabled () then Obs.Span.timed span_on_ack (fun () -> on_ack_impl t ack)
+  else on_ack_impl t ack
 
 let on_loss t (loss : Netsim.Cca.loss_info) =
   (match t.classic with

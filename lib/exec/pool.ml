@@ -113,7 +113,7 @@ let rec help_until_done t batch =
       done;
       Mutex.unlock batch.b_lock
 
-let map t f arr =
+let map_impl t f arr =
   let n = Array.length arr in
   if t.size <= 1 || n <= 1 then Array.map f arr
   else begin
@@ -135,6 +135,15 @@ let map t f arr =
         | None -> assert false)
       results
   end
+
+let span_map = Obs.Span.probe "pool.map"
+
+(* The span wraps the whole fan-out on the *caller's* context — one
+   span per [map] call in both the inline and parallel branches, so
+   span structure stays pool-size independent. (Tasks executed by
+   worker domains have no ambient recorder unless they install one;
+   tasks the caller helps with land under this span.) *)
+let map t f arr = Obs.Span.timed span_map (fun () -> map_impl t f arr)
 
 let map_list t f l = Array.to_list (map t f (Array.of_list l))
 

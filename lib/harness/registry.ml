@@ -9,7 +9,14 @@
 
 type entry = { id : string; what : string; run : unit -> Report.t; group : string }
 
-let e id what runner group = { id; what; run = (fun () -> Report.capture runner); group }
+(* Every entry runs inside an [exp.<id>] span and every group fan-out
+   adds a [group.<name>] span (see [run_all_reports]), so a profiled
+   run attributes wall time per experiment with no per-site wiring. *)
+let e id what runner group =
+  let span = Obs.Span.probe ("exp." ^ id) in
+  { id; what; run = (fun () -> Obs.Span.timed span (fun () -> Report.capture runner)); group }
+
+let group_span e = Obs.Span.probe ("group." ^ e.group)
 
 let all =
   [
@@ -73,7 +80,8 @@ let run_all_reports ?pool ?(wrap = fun _i run -> run ()) () =
   let pool = match pool with Some p -> p | None -> Exec.Pool.default () in
   let gs = Array.of_list (groups ()) in
   let reports =
-    Exec.Pool.map pool (fun (i, e) -> wrap i (fun () -> e.run ()))
+    Exec.Pool.map pool
+      (fun (i, e) -> wrap i (fun () -> Obs.Span.timed (group_span e) (fun () -> e.run ())))
       (Array.mapi (fun i e -> (i, e)) gs)
   in
   Array.to_list (Array.map2 (fun e r -> (e.group, r)) gs reports)

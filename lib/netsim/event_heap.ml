@@ -43,12 +43,21 @@ let rec sift_up t entry i =
     end
     else t.entries.(i) <- entry
 
-let push t ~time action =
+let push_impl t ~time action =
   if t.size = Array.length t.entries then grow t;
   let entry = { time; seq = t.next_seq; action } in
   t.next_seq <- t.next_seq + 1;
   sift_up t entry t.size;
   t.size <- t.size + 1
+
+let span_push = Obs.Span.probe "heap.push"
+
+(* Span probes on the hottest structure are gated on [Span.enabled] so
+   the disabled path keeps PR 1's no-closure discipline: one atomic
+   load + branch, no allocation. *)
+let push t ~time action =
+  if Obs.Span.enabled () then Obs.Span.timed span_push (fun () -> push_impl t ~time action)
+  else push_impl t ~time action
 
 let peek_time t = if t.size = 0 then None else Some t.entries.(0).time
 
@@ -70,7 +79,7 @@ exception Empty
 
 (* The entry record allocated at push time is returned as-is; guarded
    callers (see [Sim.run]) pay no allocation per pop. *)
-let pop_entry_exn t =
+let pop_entry_impl t =
   if t.size = 0 then raise Empty;
   let top = t.entries.(0) in
   t.size <- t.size - 1;
@@ -78,6 +87,12 @@ let pop_entry_exn t =
   t.entries.(t.size) <- dummy;
   if t.size > 0 then sift_down t last 0;
   top
+
+let span_pop = Obs.Span.probe "heap.pop"
+
+let pop_entry_exn t =
+  if Obs.Span.enabled () then Obs.Span.timed span_pop (fun () -> pop_entry_impl t)
+  else pop_entry_impl t
 
 let pop t =
   if t.size = 0 then None

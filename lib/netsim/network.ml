@@ -47,8 +47,11 @@ let capacity_integral ?const_rate ~rate_fn ~grain ~duration () =
     done;
     !acc
 
+let span_run = Obs.Span.probe "netsim.run"
+
 let run ?(seed = 42) ?(stats_bin = 0.01) ?(dup_thresh = 1) ?faults ~link ~flows
     ~duration () =
+ Obs.Span.timed span_run @@ fun () ->
   let sim = Sim.create () in
   (* Run boundary: the sim clock starts at 0, so a lane that runs
      several simulations back-to-back needs the marker to stay

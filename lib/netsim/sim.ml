@@ -18,6 +18,8 @@ let after t delay action = at t (t.now +. delay) action
 
 let stop t = t.stopped <- true
 
+let span_loop = Obs.Span.probe "sim.loop"
+
 let run t ~until =
   let rec loop () =
     if t.stopped || Event_heap.is_empty t.heap then ()
@@ -33,5 +35,5 @@ let run t ~until =
         loop ()
       end
   in
-  loop ();
+  Obs.Span.timed span_loop loop;
   if t.now < until then t.now <- until

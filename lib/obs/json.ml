@@ -222,6 +222,44 @@ let to_string v =
   print ~indent:0 b v;
   Buffer.contents b
 
+(* Single-line printer for JSONL records (manifest headers, bench
+   history entries): no whitespace, so one value is exactly one line. *)
+let rec print_compact b v =
+  match v with
+  | Null -> Buffer.add_string b "null"
+  | Bool x -> Buffer.add_string b (string_of_bool x)
+  | Num x ->
+    if Float.is_finite x then Buffer.add_string b (num_to_string x)
+    else Buffer.add_string b "null"
+  | Str s ->
+    Buffer.add_char b '"';
+    Buffer.add_string b (escape s);
+    Buffer.add_char b '"'
+  | List items ->
+    Buffer.add_char b '[';
+    List.iteri
+      (fun i item ->
+        if i > 0 then Buffer.add_char b ',';
+        print_compact b item)
+      items;
+    Buffer.add_char b ']'
+  | Obj members ->
+    Buffer.add_char b '{';
+    List.iteri
+      (fun i (k, item) ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_char b '"';
+        Buffer.add_string b (escape k);
+        Buffer.add_string b "\":";
+        print_compact b item)
+      members;
+    Buffer.add_char b '}'
+
+let to_compact v =
+  let b = Buffer.create 256 in
+  print_compact b v;
+  Buffer.contents b
+
 (* ---- accessors ---- *)
 
 let member key = function

@@ -1,0 +1,134 @@
+(* Run-provenance manifests.
+
+   A manifest is a JSON object identifying exactly what produced an
+   artifact: code version (git sha + describe + dirty flag), seeds,
+   harness scale, domain count, impair spec, OCaml version and the CLI
+   argv. It is emitted as the first line of every JSONL trace export
+   and embedded in BENCH_results.json / BENCH_history.jsonl, so every
+   artifact is self-describing (the same role Pantheon's per-run
+   metadata files play).
+
+   Determinism: a manifest carries *no wall-clock timestamp* — exports
+   from the same process must stay byte-identical at any pool size, and
+   a timestamp would break that. Git info is read once per process via
+   a subprocess and falls back to "unknown" when git is unavailable
+   (e.g. sandboxed build actions); [validate] accepts the fallback. *)
+
+let read_cmd_line cmd =
+  try
+    let ic = Unix.open_process_in cmd in
+    let line = try Some (String.trim (input_line ic)) with End_of_file -> None in
+    match Unix.close_process_in ic with Unix.WEXITED 0 -> line | _ -> None
+  with _ -> None
+
+let git_lock = Mutex.create ()
+let git_cache : (string * string * bool) option ref = ref None
+
+(* (sha, describe, dirty); memoized per process. *)
+let git_info () =
+  Mutex.lock git_lock;
+  let info =
+    match !git_cache with
+    | Some info -> info
+    | None ->
+      let sha =
+        Option.value ~default:"unknown" (read_cmd_line "git rev-parse HEAD 2>/dev/null")
+      in
+      let describe =
+        Option.value ~default:"unknown"
+          (read_cmd_line "git describe --always --tags --dirty 2>/dev/null")
+      in
+      let dirty =
+        String.length describe >= 6
+        && String.sub describe (String.length describe - 6) 6 = "-dirty"
+      in
+      let info = (sha, describe, dirty) in
+      git_cache := Some info;
+      info
+  in
+  Mutex.unlock git_lock;
+  info
+
+let version = 1
+
+let make ?(seeds = []) ?(scale = "unknown") ?(domains = 0) ?(impair = "clean") ?argv
+    ?(extra = []) () =
+  let argv = match argv with Some a -> a | None -> Array.to_list Sys.argv in
+  let sha, describe, dirty = git_info () in
+  Json.Obj
+    ([
+       ("manifest", Json.Num (float_of_int version));
+       ("git_sha", Json.Str sha);
+       ("git_describe", Json.Str describe);
+       ("dirty", Json.Bool dirty);
+       ("ocaml", Json.Str Sys.ocaml_version);
+       ("seeds", Json.List (List.map (fun s -> Json.Num (float_of_int s)) seeds));
+       ("scale", Json.Str scale);
+       ("domains", Json.Num (float_of_int domains));
+       ("impair", Json.Str impair);
+       ("argv", Json.List (List.map (fun a -> Json.Str a) argv));
+     ]
+    @ extra)
+
+let default_lock = Mutex.create ()
+let default_cache : Json.t option ref = ref None
+
+(* The ambient manifest attached to tracers that were not given a
+   richer one: code + argv provenance only (scale/domains unknown). *)
+let default () =
+  Mutex.lock default_lock;
+  let m =
+    match !default_cache with
+    | Some m -> m
+    | None ->
+      let m = make () in
+      default_cache := Some m;
+      m
+  in
+  Mutex.unlock default_lock;
+  m
+
+(* ---- validation (used by bin/trace_check) ---- *)
+
+let is_hex_sha s =
+  let n = String.length s in
+  n >= 7 && n <= 40
+  && String.for_all (function '0' .. '9' | 'a' .. 'f' -> true | _ -> false) s
+
+let validate v =
+  let require_str key pred what =
+    match Option.bind (Json.member key v) Json.str with
+    | None -> Error (Printf.sprintf "manifest: missing or non-string %S" key)
+    | Some s -> if pred s then Ok () else Error (Printf.sprintf "manifest: bad %s %S" what s)
+  in
+  let require key pred what =
+    match Json.member key v with
+    | Some j when pred j -> Ok ()
+    | Some _ -> Error (Printf.sprintf "manifest: bad %s" what)
+    | None -> Error (Printf.sprintf "manifest: missing key %S" key)
+  in
+  let is_num j = Json.num j <> None in
+  let is_bool = function Json.Bool _ -> true | _ -> false in
+  let is_num_list = function
+    | Json.List items -> List.for_all (fun i -> Json.num i <> None) items
+    | _ -> false
+  in
+  let is_str_list = function
+    | Json.List items -> List.for_all (fun i -> Json.str i <> None) items
+    | _ -> false
+  in
+  let ( let* ) = Result.bind in
+  let* () = require "manifest" is_num "version number" in
+  let* () = require_str "git_sha" (fun s -> s = "unknown" || is_hex_sha s) "git sha" in
+  let* () = require_str "git_describe" (fun s -> s <> "") "git describe" in
+  let* () = require "dirty" is_bool "dirty flag" in
+  let* () = require_str "ocaml" (fun s -> s <> "") "ocaml version" in
+  let* () = require "seeds" is_num_list "seeds list" in
+  let* () = require_str "scale" (fun s -> s <> "") "scale" in
+  let* () = require "domains" is_num "domain count" in
+  let* () = require_str "impair" (fun s -> s <> "") "impair spec" in
+  let* () = require "argv" is_str_list "argv list" in
+  Ok ()
+
+(* A manifest as a JSONL header line (no trailing newline). *)
+let header_line m = Json.to_compact m

@@ -1,0 +1,35 @@
+(** Run-provenance manifests: a JSON record of exactly what produced an
+    artifact (git sha/describe/dirty, seeds, scale, domain count,
+    impair spec, OCaml version, argv). Emitted as the first line of
+    every JSONL trace export and embedded in bench results/history.
+
+    Manifests deliberately carry no wall-clock timestamp: exports from
+    one process must stay byte-identical at any pool size. *)
+
+(** Manifest format version (the ["manifest"] key's value). *)
+val version : int
+
+(** Build a manifest. Defaults: no seeds, scale ["unknown"], domains
+    [0] (= unknown), impair ["clean"], argv from [Sys.argv]. [extra]
+    appends caller-specific members. Git info is memoized per process
+    and falls back to ["unknown"] when git is unavailable. *)
+val make :
+  ?seeds:int list ->
+  ?scale:string ->
+  ?domains:int ->
+  ?impair:string ->
+  ?argv:string list ->
+  ?extra:(string * Json.t) list ->
+  unit ->
+  Json.t
+
+(** The memoized code+argv-only manifest attached to tracers that were
+    not given a richer one. *)
+val default : unit -> Json.t
+
+(** Check the required keys and formats ([git_sha] must be 7–40 hex
+    chars or ["unknown"]). Used by [bin/trace_check]. *)
+val validate : Json.t -> (unit, string) result
+
+(** The manifest as a compact one-line JSONL header (no newline). *)
+val header_line : Json.t -> string

@@ -176,6 +176,54 @@ let observe_slow p v =
 
 let[@inline] observe p v = if Atomic.get n_active > 0 then observe_slow p v
 
+(* ---- quantiles ----
+
+   Prometheus-style interpolated histogram quantiles. The q-th quantile
+   targets rank ceil(q*n) clamped to [1, n]; the first bucket whose
+   cumulative count reaches the rank wins, and the value interpolates
+   linearly inside that bucket (lower edge of the first bucket is
+   min(0, bounds.(0)); the overflow bucket reports the last finite
+   bound, since its upper edge is unbounded).
+
+   Defined edge cases (tested in test_obs):
+   - empty histogram (or non-histogram probe, or no finite bounds):
+     [None] for every q — callers like perf_report must not crash;
+   - single sample: every q returns the upper bound of the sample's
+     bucket (the interpolation has one rank to land on), so the result
+     is constant — and in particular monotone — in q;
+   - monotonicity: rank is non-decreasing in q, interpolation is
+     non-decreasing in rank, and each bucket's upper edge equals the
+     next bucket's lower edge, so quantile(q) is non-decreasing in q
+     (qcheck-enforced). *)
+
+let quantile reg p q =
+  if p >= Array.length reg.cells then None
+  else
+    match reg.cells.(p) with
+    | Some (Hcell h) when h.n > 0 && Array.length h.bounds > 0 ->
+      let q = Float.max 0.0 (Float.min 1.0 q) in
+      let n = h.n in
+      let rank = Float.max 1.0 (Float.of_int (int_of_float (ceil (q *. float_of_int n)))) in
+      let nbounds = Array.length h.bounds in
+      let rec find i cum_prev =
+        if i >= Array.length h.counts then Some h.bounds.(nbounds - 1)
+        else
+          let cum = cum_prev + h.counts.(i) in
+          if float_of_int cum >= rank then
+            if i >= nbounds then
+              (* Overflow bucket: no finite upper edge; report the last
+                 finite bound (Prometheus convention). *)
+              Some h.bounds.(nbounds - 1)
+            else
+              let lower = if i = 0 then Float.min 0.0 h.bounds.(0) else h.bounds.(i - 1) in
+              let upper = h.bounds.(i) in
+              let inside = rank -. float_of_int cum_prev in
+              Some (lower +. ((upper -. lower) *. inside /. float_of_int h.counts.(i)))
+          else find (i + 1) cum
+      in
+      find 0 0
+    | _ -> None
+
 (* ---- merging and export ---- *)
 
 (* Merge [src] into [dst]: counters and histogram buckets add, a gauge

@@ -36,6 +36,15 @@ val run : registry -> (unit -> 'a) -> 'a
     {!Trace.unobserved}). *)
 val unobserved : (unit -> 'a) -> 'a
 
+(** [quantile reg p q] is the interpolated q-th quantile of histogram
+    probe [p] in [reg] (Prometheus-style: linear inside the winning
+    bucket, last finite bound for the overflow bucket). [q] is clamped
+    to [0, 1]. Defined edge cases: [None] for an empty histogram, a
+    non-histogram probe, or a histogram with no finite bounds; with a
+    single sample every [q] returns the sample's bucket upper bound.
+    The result is monotone (non-decreasing) in [q]. *)
+val quantile : registry -> probe -> float -> float option
+
 (** Merge [src] into [into]: counters and histogram buckets add,
     written gauges overwrite. Merge pool-task registries in task order
     for determinism. *)

@@ -36,12 +36,14 @@ type t = {
   ring_capacity : int option;
   lock : Mutex.t;
   mutable lanes : lane_buf list;  (* newest first *)
+  mutable manifest : Json.t;
 }
 
-let create ?ring_capacity ?(categories = Category.all) () =
+let create ?ring_capacity ?manifest ?(categories = Category.all) () =
   (match ring_capacity with
   | Some c when c < 1 -> invalid_arg "Obs.Trace.create: ring_capacity < 1"
   | _ -> ());
+  let manifest = match manifest with Some m -> m | None -> Manifest.default () in
   {
     (* Run boundaries are structural (they segment a lane whose sim
        clock restarts), so every tracer subscribes to them no matter
@@ -50,9 +52,12 @@ let create ?ring_capacity ?(categories = Category.all) () =
     ring_capacity;
     lock = Mutex.create ();
     lanes = [];
+    manifest;
   }
 
 let mask t = t.mask
+let manifest t = t.manifest
+let set_manifest t m = t.manifest <- m
 
 (* ---- the ambient per-domain sink ---- *)
 
@@ -169,8 +174,12 @@ let dropped t = List.fold_left (fun a b -> a + b.dropped) 0 (sorted_lanes t)
 
 (* ---- exporters ---- *)
 
+(* JSONL exports open with the tracer's manifest as a self-describing
+   header line; [bin/trace_check --require-manifest] enforces it. *)
 let to_jsonl t =
   let b = Buffer.create 4096 in
+  Buffer.add_string b (Manifest.header_line t.manifest);
+  Buffer.add_char b '\n';
   List.iter
     (fun buf -> iter_lane (fun ev -> Event.to_json_line ~lane:buf.lane b ev) buf)
     (sorted_lanes t);

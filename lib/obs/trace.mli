@@ -10,14 +10,22 @@
 
 type t
 
-(** [create ?ring_capacity ?categories ()] makes a tracer subscribing
-    to [categories] (default: all). With [ring_capacity] each lane
-    keeps only the most recent events (in-memory ring sink for tests);
-    without it lanes grow unboundedly. *)
-val create : ?ring_capacity:int -> ?categories:Category.t list -> unit -> t
+(** [create ?ring_capacity ?manifest ?categories ()] makes a tracer
+    subscribing to [categories] (default: all). With [ring_capacity]
+    each lane keeps only the most recent events (in-memory ring sink
+    for tests); without it lanes grow unboundedly. [manifest] (default
+    {!Manifest.default}) is emitted as the first line of JSONL
+    exports. *)
+val create :
+  ?ring_capacity:int -> ?manifest:Json.t -> ?categories:Category.t list -> unit -> t
 
 (** The subscription bitmask (see {!Category.bit}). *)
 val mask : t -> int
+
+(** The provenance manifest emitted as the JSONL header line. *)
+val manifest : t -> Json.t
+
+val set_manifest : t -> Json.t -> unit
 
 (** [run t ~lane f] runs [f] with [t] installed as this domain's sink,
     recording into a fresh buffer for [lane]. Nested runs save and

@@ -94,6 +94,8 @@ let observation t ~now =
     rate_norm = t.rate_norm;
   }
 
+let span_forward = Obs.Span.probe "rl.forward"
+
 (* Run one decision: consume the finished MI and update the rate. *)
 let decide t ~now =
   let obs = observation t ~now in
@@ -102,10 +104,11 @@ let decide t ~now =
   Features.History.push t.history obs;
   let state = Features.History.state t.history in
   let a =
-    if t.stochastic then
-      let action, _, _ = Ppo.sample t.policy t.rng state in
-      action
-    else Ppo.mean_action t.policy state
+    Obs.Span.timed span_forward (fun () ->
+        if t.stochastic then
+          let action, _, _ = Ppo.sample t.policy t.rng state in
+          action
+        else Ppo.mean_action t.policy state)
   in
   t.decisions <- t.decisions + 1;
   t.rate <-

@@ -228,6 +228,37 @@ let test_exp_trace_artifacts_byte_identical () =
            (fun (name, contents) -> name = "exp_trace.jsonl" && contents <> "")
            seq))
 
+(* Span *structure* (lane ids, span names, nesting, counts) is part of
+   the determinism contract: a profile recorded over a pool fan-out is
+   byte-identical at any pool size. Durations and GC words are host
+   measurements and are deliberately absent from [Obs.Span.structure]. *)
+let test_span_structure_pool_independent () =
+  let contains sub s =
+    let n = String.length sub and m = String.length s in
+    let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+    go 0
+  in
+  let structure_with size =
+    with_pool size (fun pool ->
+        let t = Obs.Span.create () in
+        let spec = Harness.Scenario.make_spec (Traces.Rate.constant 24.0) in
+        ignore
+          (Exec.Pool.map pool
+             (fun lane ->
+               Obs.Span.run t ~lane (fun () ->
+                   Harness.Scenario.run_uniform ~seed:(7 + lane)
+                     ~factory:Harness.Ccas.cubic ~duration:2.0 spec))
+             (Array.init 3 Fun.id));
+        Obs.Span.structure t)
+  in
+  let seq = structure_with 1 in
+  let par = structure_with 4 in
+  Alcotest.(check string) "span structure bytes" seq par;
+  check_bool "profiles the simulator" true
+    (contains "netsim.run" seq && contains "heap.push" seq);
+  check_bool "all three lanes exported" true
+    (List.for_all (fun l -> contains l seq) [ "lane 0"; "lane 1"; "lane 2" ])
+
 let () =
   Alcotest.run "exec"
     [
@@ -255,5 +286,7 @@ let () =
           Alcotest.test_case "registry reports" `Slow test_registry_reports_byte_identical;
           Alcotest.test_case "exp_trace artifacts" `Slow
             test_exp_trace_artifacts_byte_identical;
+          Alcotest.test_case "span structure" `Slow
+            test_span_structure_pool_independent;
         ] );
     ]

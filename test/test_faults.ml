@@ -254,6 +254,10 @@ let test_fault_trace_roundtrip () =
              | Ok v -> v
              | Error m -> Alcotest.fail ("bad JSONL line: " ^ m)
            in
+           if Obs.Json.member "manifest" v <> None then
+             (* The provenance header line; validated in test_obs. *)
+             ()
+           else
            let ev =
              match Option.bind (Obs.Json.member "ev" v) Obs.Json.str with
              | Some ev -> ev

@@ -152,11 +152,20 @@ let test_jsonl_lines_parse_and_roundtrip () =
       Obs.Trace.emit
         (Obs.Event.Rl_step
            { t = 2.0; episode = -1; step = 7; rate = 1.25e6; reward = nan; action = -0.5 }));
-  let lines =
+  let all_lines =
     String.split_on_char '\n' (Obs.Trace.to_jsonl tr)
     |> List.filter (fun l -> l <> "")
   in
-  check_int "three lines" 3 (List.length lines);
+  check_int "manifest header + three events" 4 (List.length all_lines);
+  (* The first line is the provenance manifest, and it validates. *)
+  (match Obs.Json.parse (List.hd all_lines) with
+  | Error msg -> Alcotest.failf "manifest line does not parse: %s" msg
+  | Ok m ->
+    check_bool "manifest key present" true (Obs.Json.member "manifest" m <> None);
+    (match Obs.Manifest.validate m with
+    | Ok () -> ()
+    | Error msg -> Alcotest.failf "manifest invalid: %s" msg));
+  let lines = List.tl all_lines in
   List.iter
     (fun line ->
       match Obs.Json.parse line with
@@ -270,6 +279,250 @@ let test_json_set_member () =
   check_bool "replaced" true (Option.bind (Obs.Json.member "a" v) Obs.Json.num = Some 9.0);
   check_bool "appended" true (Option.bind (Obs.Json.member "b" v) Obs.Json.num = Some 2.0)
 
+(* ------------------------------------------------------------------ *)
+(* Spans *)
+
+let test_span_disabled_noop () =
+  check_bool "disabled outside run" false (Obs.Span.enabled ());
+  let p = Obs.Span.probe "t.span.noop" in
+  (* Without a recorder, timed is transparent: value through, nothing
+     recorded anywhere. *)
+  check_int "value passes through" 41 (Obs.Span.timed p (fun () -> 41));
+  check_bool "still disabled" false (Obs.Span.enabled ())
+
+let test_span_nesting_structure () =
+  let a = Obs.Span.probe "t.span.a" in
+  let b = Obs.Span.probe "t.span.b" in
+  let t = Obs.Span.create () in
+  Obs.Span.run t ~lane:0 (fun () ->
+      check_bool "enabled inside run" true (Obs.Span.enabled ());
+      Obs.Span.timed a (fun () ->
+          Obs.Span.timed b Fun.id;
+          Obs.Span.timed b Fun.id));
+  check_string "calling-context digest"
+    "lane 0\n  t.span.a x1\n    t.span.b x2\n" (Obs.Span.structure t)
+
+let test_span_exception_safety () =
+  let a = Obs.Span.probe "t.span.raise" in
+  let t = Obs.Span.create () in
+  (try
+     Obs.Span.run t ~lane:0 (fun () ->
+         Obs.Span.timed a (fun () -> failwith "boom"))
+   with Failure _ -> ());
+  (* The span closed on the way out, and the recorder uninstalled. *)
+  check_string "span recorded despite raise" "lane 0\n  t.span.raise x1\n"
+    (Obs.Span.structure t);
+  check_bool "disabled again after raising run" false (Obs.Span.enabled ())
+
+let test_span_unobserved_masks () =
+  let a = Obs.Span.probe "t.span.outer" in
+  let b = Obs.Span.probe "t.span.masked" in
+  let t = Obs.Span.create () in
+  Obs.Span.run t ~lane:0 (fun () ->
+      Obs.Span.timed a (fun () ->
+          Obs.Span.unobserved (fun () ->
+              check_bool "disabled inside unobserved" false (Obs.Span.enabled ());
+              Obs.Span.timed b Fun.id)));
+  check_string "masked span dropped, outer kept"
+    "lane 0\n  t.span.outer x1\n" (Obs.Span.structure t)
+
+let test_span_lane_merge_and_sort () =
+  let a = Obs.Span.probe "t.span.lane" in
+  let t = Obs.Span.create () in
+  (* Lanes registered out of order, lane 0 twice: export sorts by lane
+     id and merges same-lane contexts by call path. *)
+  Obs.Span.run t ~lane:2 (fun () -> Obs.Span.timed a Fun.id);
+  Obs.Span.run t ~lane:0 (fun () -> Obs.Span.timed a Fun.id);
+  Obs.Span.run t ~lane:0 (fun () -> Obs.Span.timed a Fun.id);
+  check_string "sorted + merged"
+    "lane 0\n  t.span.lane x2\nlane 2\n  t.span.lane x1\n"
+    (Obs.Span.structure t);
+  check_bool "two exported lanes" true
+    (List.map fst (Obs.Span.lanes_json t) = [ 0; 2 ])
+
+let test_span_json_sanity () =
+  let a = Obs.Span.probe "t.span.json.a" in
+  let b = Obs.Span.probe "t.span.json.b" in
+  let t = Obs.Span.create () in
+  Obs.Span.run t ~lane:0 (fun () ->
+      Obs.Span.timed a (fun () ->
+          Obs.Span.timed b (fun () ->
+              ignore (Sys.opaque_identity (List.init 1000 Fun.id)))));
+  let num k n = Option.value ~default:nan (Option.bind (Obs.Json.member k n) Obs.Json.num) in
+  match Obs.Span.lanes_json t with
+  | [ (0, Obs.Json.List [ root ]) ] ->
+    check_bool "named" true
+      (Option.bind (Obs.Json.member "name" root) Obs.Json.str = Some "t.span.json.a");
+    let total = num "total_s" root and self = num "self_s" root in
+    check_bool "total >= self >= 0" true (total >= self && self >= 0.0);
+    (match Obs.Json.member "children" root with
+    | Some (Obs.Json.List [ kid ]) ->
+      check_bool "child named" true
+        (Option.bind (Obs.Json.member "name" kid) Obs.Json.str = Some "t.span.json.b");
+      check_bool "child inside parent" true (num "total_s" kid <= total);
+      check_bool "allocation attributed" true
+        (num "minor_words" kid +. num "major_words" kid > 0.0)
+    | _ -> Alcotest.fail "expected exactly one child")
+  | _ -> Alcotest.fail "expected a single lane with a single root"
+
+(* End-to-end attribution: running a real scenario under a recorder,
+   the named top-level spans must cover nearly all of the measured wall
+   time (the >= 90% acceptance threshold, with margin for test noise). *)
+let test_span_attribution () =
+  let t = Obs.Span.create () in
+  let wall0 = Unix.gettimeofday () in
+  let spec = Harness.Scenario.make_spec (Traces.Rate.constant 24.0) in
+  ignore
+    (Obs.Span.run t ~lane:0 (fun () ->
+         Harness.Scenario.run_uniform ~seed:11 ~factory:Harness.Ccas.cubic
+           ~duration:10.0 spec));
+  let wall = Unix.gettimeofday () -. wall0 in
+  check_bool "netsim.run span present" true
+    (let s = Obs.Span.structure t in
+     let contains sub =
+       let n = String.length sub and m = String.length s in
+       let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+       go 0
+     in
+     contains "netsim.run" && contains "heap.push");
+  match Obs.Span.lanes_json t with
+  | [ (0, spans) ] ->
+    let frac = Obs.Perf.attributed_fraction ~spans ~wall in
+    check_bool
+      (Printf.sprintf "top-level spans cover >= 90%% of wall (got %.1f%%)"
+         (100.0 *. frac))
+      true
+      (frac >= 0.9 && frac <= 1.5)
+  | _ -> Alcotest.fail "expected one lane"
+
+(* ------------------------------------------------------------------ *)
+(* Manifests *)
+
+let test_manifest_validates () =
+  let m = Obs.Manifest.make ~seeds:[ 1; 2 ] ~scale:"quick" ~domains:4 () in
+  (match Obs.Manifest.validate m with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "fresh manifest rejected: %s" e);
+  check_bool "header is one line" true
+    (not (String.contains (Obs.Manifest.header_line m) '\n'))
+
+let test_manifest_rejects_bad_sha () =
+  let m = Obs.Manifest.make () in
+  let bad = Obs.Json.set_member "git_sha" (Obs.Json.Str "NOT-HEX!") m in
+  check_bool "garbage sha rejected" true
+    (match Obs.Manifest.validate bad with Error _ -> true | Ok () -> false);
+  (* "unknown" is the sanctioned no-git fallback. *)
+  let unknown = Obs.Json.set_member "git_sha" (Obs.Json.Str "unknown") m in
+  check_bool "unknown sha accepted" true
+    (match Obs.Manifest.validate unknown with Ok () -> true | Error _ -> false)
+
+let test_manifest_rejects_missing_key () =
+  match Obs.Manifest.make () with
+  | Obs.Json.Obj kvs ->
+    let without = Obs.Json.Obj (List.remove_assoc "scale" kvs) in
+    check_bool "missing scale rejected" true
+      (match Obs.Manifest.validate without with Error _ -> true | Ok () -> false)
+  | _ -> Alcotest.fail "manifest is not an object"
+
+(* ------------------------------------------------------------------ *)
+(* Histogram quantiles *)
+
+let q_probe = Obs.Metrics.histogram "test.quantile" ~bounds:[| 1.0; 5.0; 10.0 |]
+
+let test_quantile_empty () =
+  let reg = Obs.Metrics.create_registry () in
+  List.iter
+    (fun q ->
+      check_bool
+        (Printf.sprintf "empty histogram -> None at q=%g" q)
+        true
+        (Obs.Metrics.quantile reg q_probe q = None))
+    [ 0.0; 0.5; 1.0 ];
+  (* Non-histogram probes have no quantiles either. *)
+  let c = Obs.Metrics.counter "test.quantile.counter" in
+  Obs.Metrics.run reg (fun () -> Obs.Metrics.incr c);
+  check_bool "counter -> None" true (Obs.Metrics.quantile reg c 0.5 = None)
+
+let test_quantile_single_sample () =
+  let reg = Obs.Metrics.create_registry () in
+  Obs.Metrics.run reg (fun () -> Obs.Metrics.observe q_probe 3.0);
+  (* One sample in the (1, 5] bucket: every q reports that bucket's
+     upper bound — constant, hence trivially monotone. *)
+  List.iter
+    (fun q ->
+      check_bool
+        (Printf.sprintf "single sample -> bucket upper bound at q=%g" q)
+        true
+        (Obs.Metrics.quantile reg q_probe q = Some 5.0))
+    [ 0.0; 0.5; 1.0 ]
+
+let quantile_monotone_prop =
+  QCheck.Test.make ~count:200 ~name:"quantile monotone in q"
+    QCheck.(small_list (float_range 0.0 100.0))
+    (fun samples ->
+      let reg = Obs.Metrics.create_registry () in
+      Obs.Metrics.run reg (fun () ->
+          List.iter (Obs.Metrics.observe q_probe) samples);
+      let qs = List.init 11 (fun i -> float_of_int i /. 10.0) in
+      let vals = List.map (Obs.Metrics.quantile reg q_probe) qs in
+      match samples with
+      | [] -> List.for_all (( = ) None) vals
+      | _ ->
+        let rec monotone = function
+          | Some a :: (Some b :: _ as rest) -> a <= b && monotone rest
+          | [ Some _ ] -> true
+          | _ -> false
+        in
+        monotone vals)
+
+(* ------------------------------------------------------------------ *)
+(* Perf history: baseline choice and the regression gate, on a
+   synthetic two-run fixture (fig1 regresses 50%, fig2 is flat). *)
+
+let perf_fixture =
+  String.concat "\n"
+    [
+      {|{"manifest":{"manifest":1},"scale":"quick","domains":1,"subset":"all","experiments":{"fig1":1.0,"fig2":2.0},"total_wall_s":3.0,"spans":null}|};
+      {|{"manifest":{"manifest":1},"scale":"full","domains":1,"subset":"all","experiments":{"fig1":9.0,"fig2":9.0},"total_wall_s":18.0,"spans":null}|};
+      {|{"manifest":{"manifest":1},"scale":"quick","domains":1,"subset":"all","experiments":{"fig1":1.5,"fig2":2.0},"total_wall_s":3.5,"spans":null}|};
+    ]
+
+let test_perf_gate_fixture () =
+  match Obs.Perf.parse_history perf_fixture with
+  | Error e -> Alcotest.failf "fixture does not parse: %s" e
+  | Ok entries ->
+    check_int "three entries" 3 (List.length entries);
+    let candidate = List.nth entries 2 in
+    (match Obs.Perf.find_baseline entries ~candidate with
+    | None -> Alcotest.fail "no baseline found"
+    | Some baseline ->
+      (* The full-scale entry in between must be skipped: baselines
+         only compare like scale with like. *)
+      check_int "baseline skips the full-scale entry" 0 baseline.Obs.Perf.index;
+      let deltas = Obs.Perf.compare_entries ~baseline ~candidate in
+      check_int "both shared experiments compared" 2 (List.length deltas);
+      let flagged threshold =
+        List.map
+          (fun d -> d.Obs.Perf.group)
+          (Obs.Perf.regressions ~threshold_pct:threshold deltas)
+      in
+      check_bool "gate 20 flags the 50% regression" true (flagged 20.0 = [ "fig1" ]);
+      check_bool "gate 60 passes" true (flagged 60.0 = []));
+    (* Trend quantiles over the history exercise the 1-2 sample
+       quantile edge cases without crashing. *)
+    let trend = Obs.Perf.trend entries in
+    check_int "trend covers both experiments" 2 (List.length trend)
+
+let test_perf_gate_empty_and_garbage () =
+  (match Obs.Perf.parse_history "" with
+  | Ok [] -> ()
+  | Ok _ -> Alcotest.fail "empty history should have no entries"
+  | Error e -> Alcotest.failf "empty history should parse: %s" e);
+  check_bool "garbage line reported with its entry number" true
+    (match Obs.Perf.parse_history "{\"ok\":1}\nnot json" with
+    | Error e -> String.length e > 0
+    | Ok _ -> false)
+
 let () =
   Alcotest.run "obs"
     [
@@ -290,12 +543,39 @@ let () =
         ] );
       ( "export",
         [ Alcotest.test_case "jsonl + csv" `Quick test_jsonl_lines_parse_and_roundtrip ] );
+      ( "span",
+        [
+          Alcotest.test_case "disabled no-op" `Quick test_span_disabled_noop;
+          Alcotest.test_case "nesting structure" `Quick test_span_nesting_structure;
+          Alcotest.test_case "exception safety" `Quick test_span_exception_safety;
+          Alcotest.test_case "unobserved" `Quick test_span_unobserved_masks;
+          Alcotest.test_case "lane merge + sort" `Quick test_span_lane_merge_and_sort;
+          Alcotest.test_case "json sanity" `Quick test_span_json_sanity;
+          Alcotest.test_case "attribution >= 90%" `Quick test_span_attribution;
+        ] );
+      ( "manifest",
+        [
+          Alcotest.test_case "fresh manifest validates" `Quick test_manifest_validates;
+          Alcotest.test_case "bad sha rejected" `Quick test_manifest_rejects_bad_sha;
+          Alcotest.test_case "missing key rejected" `Quick
+            test_manifest_rejects_missing_key;
+        ] );
       ( "metrics",
         [
           Alcotest.test_case "counters + gauges" `Quick test_metrics_counters_and_gauges;
           Alcotest.test_case "histogram buckets" `Quick test_metrics_histogram_buckets;
           Alcotest.test_case "merge rules" `Quick test_metrics_merge_rules;
           Alcotest.test_case "re-registration" `Quick test_metrics_reregistration;
+          Alcotest.test_case "quantile: empty" `Quick test_quantile_empty;
+          Alcotest.test_case "quantile: single sample" `Quick
+            test_quantile_single_sample;
+          QCheck_alcotest.to_alcotest quantile_monotone_prop;
+        ] );
+      ( "perf",
+        [
+          Alcotest.test_case "gate fixture" `Quick test_perf_gate_fixture;
+          Alcotest.test_case "empty + garbage history" `Quick
+            test_perf_gate_empty_and_garbage;
         ] );
       ( "json",
         [
