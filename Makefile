@@ -1,4 +1,4 @@
-.PHONY: all check bench trace robustness perfcheck clean
+.PHONY: all check bench trace robustness perfcheck faultcheck clean
 
 all:
 	dune build
@@ -22,6 +22,11 @@ trace:
 # (clean / bursty-loss / reorder / flap / jitter).
 robustness:
 	dune exec bin/experiments.exe -- robust
+
+# Supervision smoke alone: clean / injected-crash / checkpoint-resume
+# harness runs, asserting crash isolation and byte-identical resumes.
+faultcheck:
+	dune build @faultcheck
 
 # CI perf gate: run the quick perf-smoke subset (spans on), append the
 # result to BENCH_history.jsonl, and compare against the most recent

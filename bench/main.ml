@@ -383,6 +383,54 @@ let run_perf_smoke ~scale () =
   let timed = run_groups_timed ?recorder gs in
   append_history ~scale ~subset:(Some perf_smoke_ids) ~timed ~recorder ~groups:gs
 
+(* ------------------------------------------------------------------ *)
+(* Supervisor overhead: the same fixed wired scenario run bare, under
+   Supervisor.protect, and under protect plus a never-expiring
+   deterministic event budget (the per-event [Netsim.Budget.tick] in
+   the simulator loop goes from one atomic load to a live countdown).
+   Tracked in BENCH_results.json ("supervisor_overhead") and as a
+   history entry, so perf_report --gate catches regressions in the
+   supervision fast path. *)
+let run_supervisor_overhead ~scale () =
+  Harness.Table.heading "Supervisor overhead: 10s wired run, cubic";
+  (* Warm-up leg, as in the tracing bench. *)
+  trace_overhead_scenario ();
+  let (), off_s = time_run trace_overhead_scenario in
+  let protected ?deadline_events () =
+    match
+      Exec.Supervisor.protect ?deadline_events ~context:"bench"
+        (fun ~attempt:_ -> trace_overhead_scenario ())
+    with
+    | Ok () -> ()
+    | Error f -> failwith ("bench: protected run failed: " ^ f.Exec.Supervisor.exn)
+  in
+  let (), protect_s = time_run (fun () -> protected ()) in
+  let (), budget_s = time_run (fun () -> protected ~deadline_events:max_int ()) in
+  let pct v = Printf.sprintf "%+.1f%%" ((v -. off_s) /. off_s *. 100.0) in
+  Harness.Table.print
+    ~header:[ "execution"; "wall"; "vs bare" ]
+    [
+      [ "bare"; Printf.sprintf "%.3fs" off_s; "-" ];
+      [ "protect"; Printf.sprintf "%.3fs" protect_s; pct protect_s ];
+      [ "protect + event budget"; Printf.sprintf "%.3fs" budget_s; pct budget_s ];
+    ];
+  patch_bench_json "supervisor_overhead"
+    (Obs.Json.Obj
+       [
+         ("scenario", Obs.Json.Str "wired24-cubic-10s");
+         ("off_s", Obs.Json.Num off_s);
+         ("protect_s", Obs.Json.Num protect_s);
+         ("budget_s", Obs.Json.Num budget_s);
+       ]);
+  append_history ~scale ~subset:(Some [ "supervisor-overhead" ])
+    ~timed:
+      [
+        ("supervisor-off", off_s);
+        ("supervisor-protect", protect_s);
+        ("supervisor-budget", budget_s);
+      ]
+    ~recorder:None ~groups:[||]
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let full = List.mem "--full" args in
@@ -415,6 +463,7 @@ let () =
   | [ "trace-overhead" ] -> run_trace_overhead ()
   | [ "impairment-overhead" ] -> run_impairment_overhead ()
   | [ "perf-smoke" ] -> run_perf_smoke ~scale ()
+  | [ "supervisor-overhead" ] -> run_supervisor_overhead ~scale ()
   | ids ->
     List.iter
       (fun id ->
@@ -422,13 +471,14 @@ let () =
         else if id = "trace-overhead" then run_trace_overhead ()
         else if id = "impairment-overhead" then run_impairment_overhead ()
         else if id = "perf-smoke" then run_perf_smoke ~scale ()
+        else if id = "supervisor-overhead" then run_supervisor_overhead ~scale ()
         else
           match Harness.Registry.find id with
           | Some e -> Harness.Report.print (e.Harness.Registry.run ())
           | None ->
             Printf.eprintf
               "unknown experiment %S (known: %s, micro, trace-overhead, \
-               impairment-overhead, perf-smoke)\n"
+               impairment-overhead, perf-smoke, supervisor-overhead)\n"
               id
               (String.concat ", " (Harness.Registry.ids ())))
       ids);

@@ -87,12 +87,26 @@ let obs_export session ~trace_out ~metrics_out ~profile_out ~lane_name =
         file)
     trace_out
 
-let run_cmd full domains impair trace_out trace_filter metrics_out profile_out ids all =
+let run_cmd full tiny domains impair checkpoint_dir resume inject_crash retries
+    deadline_events wall_deadline trace_out trace_filter metrics_out profile_out
+    ids all =
   (match domains with
   | Some d when d < 1 ->
     Printf.eprintf "invalid --domains %d (want a positive integer)\n" d;
     exit 2
   | _ -> ());
+  if full && tiny then begin
+    prerr_endline "--full and --tiny are mutually exclusive";
+    exit 2
+  end;
+  if retries < 0 then begin
+    Printf.eprintf "invalid --retries %d (want >= 0)\n" retries;
+    exit 2
+  end;
+  if resume && checkpoint_dir = None then begin
+    prerr_endline "--resume requires --checkpoint DIR";
+    exit 2
+  end;
   Option.iter Exec.Pool.set_default_size domains;
   let impair_spec =
     match Faults.Spec.of_string impair with
@@ -103,10 +117,15 @@ let run_cmd full domains impair trace_out trace_filter metrics_out profile_out i
       prerr_endline m;
       exit 2
   in
-  Harness.Scale.set (if full then Harness.Scale.full else Harness.Scale.quick);
+  let scale_name =
+    if full then "full" else if tiny then "tiny" else "quick"
+  in
+  Harness.Scale.set
+    (if full then Harness.Scale.full
+     else if tiny then Harness.Scale.tiny
+     else Harness.Scale.quick);
   let manifest =
-    Obs.Manifest.make
-      ~scale:(if full then "full" else "quick")
+    Obs.Manifest.make ~scale:scale_name
       ~domains:(Exec.Pool.size (Exec.Pool.default ()))
       ~impair:(Faults.Spec.to_string impair_spec)
       ()
@@ -120,49 +139,126 @@ let run_cmd full domains impair trace_out trace_filter metrics_out profile_out i
     match session with Some s -> obs_wrap s lane run | None -> run ()
   in
   let run_all_groups = all || ids = [] in
-  let lane_name =
-    if run_all_groups then begin
-      let gs = Array.of_list (Harness.Registry.groups ()) in
-      fun lane ->
-        if lane < Array.length gs then gs.(lane).Harness.Registry.group
-        else string_of_int lane
-    end
-    else begin
-      let arr = Array.of_list ids in
-      fun lane -> if lane < Array.length arr then arr.(lane) else string_of_int lane
-    end
+  let missing =
+    if run_all_groups then []
+    else List.filter (fun id -> Harness.Registry.find id = None) ids
   in
   let status =
-    if run_all_groups then begin
-      Harness.Registry.run_all ~wrap ();
-      0
+    if missing <> [] then begin
+      Printf.eprintf "unknown experiment(s): %s\nknown: %s\n"
+        (String.concat ", " missing)
+        (String.concat ", " (Harness.Registry.ids ()));
+      1
     end
     else begin
-      let missing =
-        List.filter (fun id -> Harness.Registry.find id = None) ids
+      let entries =
+        if run_all_groups then Harness.Registry.groups ()
+        else List.filter_map Harness.Registry.find ids
       in
-      if missing <> [] then begin
-        Printf.eprintf "unknown experiment(s): %s\nknown: %s\n"
-          (String.concat ", " missing)
-          (String.concat ", " (Harness.Registry.ids ()));
-        1
-      end
-      else begin
-        List.iteri
-          (fun lane id ->
-            match Harness.Registry.find id with
-            | Some e ->
-              Harness.Report.print (wrap lane e.Harness.Registry.run)
-            | None -> ())
-          ids;
-        0
-      end
+      (* --inject-crash appends a fixture entry that always raises, so
+         the crash-isolation path (failure report in order, non-zero
+         exit, siblings untouched) can be exercised end-to-end by CI
+         without corrupting a real experiment. *)
+      let entries =
+        if inject_crash then
+          entries
+          @ [
+              Harness.Registry.e "fixture-crash"
+                "always-raising fixture (--inject-crash)"
+                (fun () -> failwith "injected crash")
+                "fixture-crash";
+            ]
+        else entries
+      in
+      let supervision =
+        {
+          Harness.Registry.retries;
+          deadline_events;
+          wall_s = wall_deadline;
+          checkpoint = Option.map (fun dir -> Exec.Checkpoint.create ~dir) checkpoint_dir;
+          resume;
+        }
+      in
+      let summary = Harness.Registry.run_all ~wrap ~supervision ~entries () in
+      if summary.Harness.Registry.failed > 0 then 3 else 0
     end
+  in
+  let lane_name =
+    let entries =
+      if run_all_groups then Harness.Registry.groups ()
+      else List.filter_map Harness.Registry.find ids
+    in
+    let arr = Array.of_list entries in
+    fun lane ->
+      if lane < Array.length arr then
+        (if run_all_groups then arr.(lane).Harness.Registry.group
+         else arr.(lane).Harness.Registry.id)
+      else if inject_crash && lane = Array.length arr then "fixture-crash"
+      else string_of_int lane
   in
   Option.iter (obs_export ~trace_out ~metrics_out ~profile_out ~lane_name) session;
   status
 
 let full = Arg.(value & flag & info [ "full" ] ~doc:"paper-scale durations")
+
+let tiny =
+  Arg.(
+    value & flag
+    & info [ "tiny" ]
+        ~doc:"smoke-test durations (meaningless numbers, full code paths)")
+
+let checkpoint_dir =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "checkpoint" ] ~docv:"DIR"
+        ~doc:
+          "save each finished experiment's report to a content-addressed \
+           store under $(docv), keyed by (experiment, scale, impair, git \
+           sha); combine with --resume to skip completed cells")
+
+let resume =
+  Arg.(
+    value & flag
+    & info [ "resume" ]
+        ~doc:
+          "serve experiments already present in the --checkpoint store from \
+           their saved reports (byte-identical) instead of re-running them")
+
+let inject_crash =
+  Arg.(
+    value & flag
+    & info [ "inject-crash" ]
+        ~doc:
+          "append an always-raising fixture experiment (crash-isolation \
+           smoke test; the run exits 3 with every real experiment intact)")
+
+let retries =
+  Arg.(
+    value & opt int 0
+    & info [ "retries" ] ~docv:"N"
+        ~doc:
+          "extra attempts per experiment after a failure, with a \
+           deterministic recorded backoff schedule")
+
+let deadline_events =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "deadline-events" ] ~docv:"N"
+        ~doc:
+          "deterministic per-attempt budget: at most $(docv) logical events \
+           (simulator pops / training steps) before the experiment is \
+           failed as 'deadline'")
+
+let wall_deadline =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "wall-deadline" ] ~docv:"SECONDS"
+        ~doc:
+          "nondeterministic wall-clock backstop per attempt (recorded in \
+           the failure report but excluded from its digest)")
 
 let impair =
   Arg.(
@@ -222,7 +318,8 @@ let cmd =
   Cmd.v
     (Cmd.info "experiments" ~doc:"reproduce the paper's tables and figures")
     Term.(
-      const run_cmd $ full $ domains $ impair $ trace_out $ trace_filter
-      $ metrics_out $ profile_out $ ids $ all)
+      const run_cmd $ full $ tiny $ domains $ impair $ checkpoint_dir $ resume
+      $ inject_crash $ retries $ deadline_events $ wall_deadline $ trace_out
+      $ trace_filter $ metrics_out $ profile_out $ ids $ all)
 
 let () = exit (Cmd.eval' cmd)

@@ -57,7 +57,7 @@ let with_observability ~trace_out ~trace_filter ~metrics_out ~manifest f =
     result
 
 let run_cmd cca trace_spec rtt_ms buffer_kb loss duration flows seed impair
-    series trace_out trace_filter metrics_out list_all =
+    deadline_events series trace_out trace_filter metrics_out list_all =
   if list_all then begin
     print_endline "CCAs:";
     List.iter (fun (name, _) -> Printf.printf "  %s\n" name) Harness.Ccas.all;
@@ -96,10 +96,21 @@ let run_cmd cca trace_spec rtt_ms buffer_kb loss duration flows seed impair
       Obs.Manifest.make ~seeds:[ seed ] ~scale:"cli" ~domains:1
         ~impair:(Faults.Spec.to_string impair) ()
     in
+    (* --deadline-events bounds the run by a deterministic number of
+       simulator events — the same logical budget the supervised
+       experiment harness uses. Expiry is a clean failure (exit 4),
+       never a partial result. *)
     let outcome =
-      with_observability ~trace_out ~trace_filter ~metrics_out ~manifest (fun () ->
-          Harness.Scenario.run_uniform ~seed ~n_flows:flows ~factory ~duration
-            spec)
+      try
+        Netsim.Budget.with_budget ?events:deadline_events (fun () ->
+            with_observability ~trace_out ~trace_filter ~metrics_out ~manifest
+              (fun () ->
+                Harness.Scenario.run_uniform ~seed ~n_flows:flows ~factory
+                  ~duration spec))
+      with Netsim.Budget.Exceeded { spent; budget } ->
+        Printf.eprintf "deadline: logical event budget exhausted (%d/%d)\n"
+          spent budget;
+        exit 4
     in
     Printf.printf "cca=%s trace=%s flows=%d duration=%.0fs\n" cca trace_spec flows
       duration;
@@ -156,6 +167,15 @@ let impair =
            jitter (packet channels; accept from=/until= windows) and outage, \
            clamp, flap (link-rate shapers); 'clean' disables")
 
+let deadline_events =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "deadline-events" ] ~docv:"N"
+        ~doc:
+          "fail the run (exit 4) after $(docv) logical simulator events — a \
+           deterministic deadline, reproducible across hosts")
+
 let series = Arg.(value & flag & info [ "series" ] ~doc:"print per-second series")
 
 let trace_out =
@@ -190,6 +210,7 @@ let cmd =
     (Cmd.info "libra_sim" ~doc:"packet-level congestion-control simulator")
     Term.(
       const run_cmd $ cca $ trace $ rtt $ buffer $ loss $ duration $ flows $ seed
-      $ impair $ series $ trace_out $ trace_filter $ metrics_out $ list_all)
+      $ impair $ deadline_events $ series $ trace_out $ trace_filter
+      $ metrics_out $ list_all)
 
 let () = exit (Cmd.eval' cmd)

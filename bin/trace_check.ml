@@ -12,6 +12,12 @@
    RL episode whose clock restarts at 0, so it resets the lane's
    clock), and "fault" events must carry a string "kind".
 
+   "harness" events are supervision records (failures, retries,
+   deadlines, checkpoints, watchdog fallbacks). They must carry a
+   string "id" and a "kind" drawn from the known set, and are exempt
+   from the per-lane monotonicity check: they are structural, emitted
+   by scaffolding outside any simulation clock.
+
    With --require-manifest the first non-empty line must be a valid
    manifest header (the contract of Obs.Trace.to_jsonl). Exits 0 on
    success, 1 with a diagnostic otherwise. *)
@@ -70,13 +76,28 @@ let () =
              (match Option.bind (Obs.Json.member "kind" v) Obs.Json.str with
              | Some _ -> ()
              | None -> fail "%s:%d: fault event missing string \"kind\"" file !lineno);
-           if ev <> "run_start" then
+           if ev = "harness" then begin
+             let harness_kinds =
+               [ "failure"; "retry"; "deadline"; "checkpoint"; "fallback" ]
+             in
+             (match Option.bind (Obs.Json.member "kind" v) Obs.Json.str with
+             | Some k when List.mem k harness_kinds -> ()
+             | Some k ->
+               fail "%s:%d: harness event with unknown kind %S (known: %s)" file
+                 !lineno k
+                 (String.concat ", " harness_kinds)
+             | None -> fail "%s:%d: harness event missing string \"kind\"" file !lineno);
+             match Option.bind (Obs.Json.member "id" v) Obs.Json.str with
+             | Some _ -> ()
+             | None -> fail "%s:%d: harness event missing string \"id\"" file !lineno
+           end;
+           if ev <> "run_start" && ev <> "harness" then
              (match Hashtbl.find_opt last_t lane with
              | Some prev when t < prev ->
                fail "%s:%d: time went backwards in lane %d (%.9g < %.9g)" file
                  !lineno lane t prev
              | _ -> ());
-           Hashtbl.replace last_t lane t;
+           if ev <> "harness" then Hashtbl.replace last_t lane t;
            incr events
        end
      done

@@ -32,8 +32,12 @@ let with_observability ~trace_out ~trace_filter ~metrics_out ~manifest f =
       trace_out;
     result
 
-let run_cmd set_name episodes steps seed randomized delta no_loss trace_out
-    trace_filter metrics_out =
+let run_cmd set_name episodes steps seed randomized delta no_loss checkpoint_dir
+    resume snapshot_every trace_out trace_filter metrics_out =
+  if resume && checkpoint_dir = None then begin
+    prerr_endline "--resume requires --checkpoint DIR";
+    exit 2
+  end;
   match List.assoc_opt set_name sets with
   | None ->
     Printf.eprintf "unknown state set %S (known: %s)\n" set_name
@@ -56,9 +60,41 @@ let run_cmd set_name episodes steps seed randomized delta no_loss trace_out
     in
     let t0 = Sys.time () in
     let manifest = Obs.Manifest.make ~seeds:[ seed ] ~scale:"cli" ~domains:1 () in
+    (* Snapshots live in the same content-addressed store as experiment
+       checkpoints, keyed by the full training configuration: resuming
+       under different flags reads a different cell, never a stale
+       snapshot. *)
+    let store = Option.map (fun dir -> Exec.Checkpoint.create ~dir) checkpoint_dir in
+    let ckpt_key =
+      Exec.Checkpoint.key ~parts:[ "train"; Rlcc.Train.config_key cfg ]
+    in
+    let resume_from =
+      match store with
+      | Some st when resume ->
+        let snap =
+          Option.bind (Exec.Checkpoint.load st ~key:ckpt_key) (fun blob ->
+              match Obs.Json.parse blob with
+              | Ok j -> Rlcc.Train.snapshot_of_json j
+              | Error _ -> None)
+        in
+        (match snap with
+        | Some _ -> Printf.eprintf "[train] resuming from snapshot %s\n%!" ckpt_key
+        | None -> Printf.eprintf "[train] no snapshot for this configuration; starting fresh\n%!");
+        snap
+      | _ -> None
+    in
+    let on_snapshot =
+      Option.map
+        (fun st ~episode snap ->
+          Exec.Checkpoint.save st ~key:ckpt_key
+            (Obs.Json.to_compact (Rlcc.Train.snapshot_to_json snap));
+          Printf.eprintf "[train] snapshot after episode %d\n%!" episode)
+        store
+    in
+    let snapshot_every = if store = None then 0 else snapshot_every in
     let outcome =
       with_observability ~trace_out ~trace_filter ~metrics_out ~manifest (fun () ->
-          Rlcc.Train.run cfg)
+          Rlcc.Train.run ?on_snapshot ~snapshot_every ?resume_from cfg)
     in
     let elapsed = Sys.time () -. t0 in
     let curve = Rlcc.Train.smooth outcome.Rlcc.Train.episode_rewards in
@@ -73,6 +109,9 @@ let run_cmd set_name episodes steps seed randomized delta no_loss trace_out
       (Netsim.Units.bps_to_mbps outcome.Rlcc.Train.final_throughput)
       (outcome.Rlcc.Train.final_rtt *. 1000.0)
       (outcome.Rlcc.Train.final_loss *. 100.0);
+    if outcome.Rlcc.Train.rollbacks > 0 then
+      Printf.printf "divergence guard: rolled back %d update(s)\n"
+        outcome.Rlcc.Train.rollbacks;
     0
 
 let set_name = Arg.(value & opt string "libra" & info [ "set" ] ~doc:"state set")
@@ -82,6 +121,29 @@ let seed = Arg.(value & opt int 23 & info [ "seed" ] ~doc:"seed")
 let randomized = Arg.(value & flag & info [ "randomized" ] ~doc:"randomized envs")
 let delta = Arg.(value & flag & info [ "delta" ] ~doc:"train on delta-r")
 let no_loss = Arg.(value & flag & info [ "no-loss" ] ~doc:"drop the loss term")
+
+let checkpoint_dir =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "checkpoint" ] ~docv:"DIR"
+        ~doc:
+          "save periodic training snapshots (policy, optimiser, rng and env \
+           state) to a store under $(docv), keyed by the full configuration")
+
+let resume =
+  Arg.(
+    value & flag
+    & info [ "resume" ]
+        ~doc:
+          "continue from the latest snapshot in the --checkpoint store \
+           (bit-identical to the uninterrupted run)")
+
+let snapshot_every =
+  Arg.(
+    value & opt int 25
+    & info [ "snapshot-every" ] ~docv:"N"
+        ~doc:"episodes between snapshots (with --checkpoint)")
 
 let trace_out =
   Arg.(
@@ -110,6 +172,7 @@ let cmd =
     (Cmd.info "train" ~doc:"PPO training for the DRL-based CCA")
     Term.(
       const run_cmd $ set_name $ episodes $ steps $ seed $ randomized $ delta
-      $ no_loss $ trace_out $ trace_filter $ metrics_out)
+      $ no_loss $ checkpoint_dir $ resume $ snapshot_every $ trace_out
+      $ trace_filter $ metrics_out)
 
 let () = exit (Cmd.eval' cmd)

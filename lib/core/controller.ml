@@ -53,6 +53,12 @@ type t = {
   mutable explore_sent : int;  (* packets sent in the current exploration *)
   mutable consecutive_timeouts : int;
   mutable decisions_at_cycle_start : int;
+  (* Watchdog: a diverged DRL agent (non-finite rate, collapsed
+     utility) is quarantined for the rest of the cycle — the cycle
+     falls back to the classic arm instead of adopting a poisoned
+     candidate. Cleared when the next exploration stage begins. *)
+  mutable rl_quarantined : bool;
+  mutable rl_fallbacks : int;
 }
 
 let exploration_rtts t =
@@ -106,9 +112,13 @@ let create ?(initial_rate = Netsim.Units.mbps_to_bps 2.0) ~params ~classic ~poli
     explore_sent = 0;
     consecutive_timeouts = 0;
     decisions_at_cycle_start = 0;
+    rl_quarantined = false;
+    rl_fallbacks = 0;
   }
 
 let telemetry t = t.telemetry
+let agent t = t.agent
+let rl_fallbacks t = t.rl_fallbacks
 let base_rate t = t.x_prev
 let stage t = t.stage
 
@@ -136,6 +146,19 @@ let stage_name = function
 
 let m_cycles = Obs.Metrics.counter "libra.cycles"
 let m_skips = Obs.Metrics.counter "libra.skips"
+let m_fallbacks = Obs.Metrics.counter "libra.rl_fallbacks"
+
+(* Quarantine the DRL arm for the rest of this cycle, once. *)
+let quarantine t ~now ~detail ~value =
+  if not t.rl_quarantined then begin
+    t.rl_quarantined <- true;
+    t.rl_fallbacks <- t.rl_fallbacks + 1;
+    Obs.Metrics.incr m_fallbacks;
+    if Obs.Trace.on Obs.Category.Harness then
+      Obs.Trace.emit
+        (Obs.Event.Harness
+           { t = now; kind = "fallback"; id = "controller"; detail; attempt = 0; value })
+  end
 
 let enter_stage t ~now stage =
   t.stage <- stage;
@@ -147,6 +170,7 @@ let enter_stage t ~now stage =
   | Exploration ->
     t.cycle_start <- now;
     t.explore_sent <- 0;
+    t.rl_quarantined <- false;
     t.decisions_at_cycle_start <- Rlcc.Agent.decisions t.agent;
     t.stage_end <-
       now
@@ -195,6 +219,14 @@ let begin_evaluation t ~now =
     | Some c -> c.Classic_cc.Embedded.get_rate ~now
     | None -> clean_slate_probe_gain *. t.x_prev);
   t.x_rl <- Rlcc.Agent.rate t.agent;
+  (* Watchdog: a non-finite or non-positive DRL rate (diverged policy
+     weights, poisoned feature) must not be applied to the network.
+     Substitute the base rate — evaluating it is just re-measuring
+     x_prev — and quarantine the arm so this cycle cannot adopt it. *)
+  if not (Float.is_finite t.x_rl && t.x_rl > 0.0) then begin
+    quarantine t ~now ~detail:"nonfinite-rl-rate" ~value:t.x_rl;
+    t.x_rl <- t.x_prev
+  end;
   let rl_first =
     if t.params.Params.eval_lower_first then t.x_rl <= t.x_cl else t.x_rl > t.x_cl
   in
@@ -358,6 +390,12 @@ let finish_cycle t ~now =
     let u_low = u ~rate_bps:t.eval_low_rate low in
     let u_high = u ~rate_bps:t.eval_high_rate high in
     let u_rl, u_cl = if t.low_is_rl then (u_low, u_high) else (u_high, u_low) in
+    (* Watchdog, scoring side: a collapsed (non-finite) RL utility, or
+       an arm already quarantined this cycle, scores -inf so the argmax
+       below can only pick the classic arm or the base rate. *)
+    if not (Float.is_finite u_rl) then
+      quarantine t ~now ~detail:"nonfinite-utility" ~value:u_rl;
+    let u_rl = if t.rl_quarantined then neg_infinity else u_rl in
     let chosen, x_next =
       if u_rl >= u_cl && u_rl >= u_prev then (Telemetry.Rl, t.x_rl)
       else if u_cl >= u_rl && u_cl >= u_prev then (Telemetry.Cl, t.x_cl)

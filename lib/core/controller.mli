@@ -31,6 +31,14 @@ val create :
 
 val telemetry : t -> Telemetry.t
 
+(** The controller's DRL agent (exposed for the watchdog tests, which
+    inject a non-finite rate directly). *)
+val agent : t -> Rlcc.Agent.t
+
+(** Cycles in which the watchdog quarantined the DRL arm (non-finite
+    rate or collapsed utility) and fell back to the classic arm. *)
+val rl_fallbacks : t -> int
+
 (** The current base sending rate x_prev, bytes/s. *)
 val base_rate : t -> float
 

@@ -1,0 +1,56 @@
+(* Content-addressed checkpoint store.
+
+   A checkpoint is a blob of bytes filed under a key derived from the
+   *identity* of the work it captures — for an experiment cell:
+   (experiment id, scale, impair spec, provenance manifest fields)
+   digested to hex. Any change to the identity changes the key, so a
+   resume can never pick up a checkpoint from a differently-configured
+   run: stale checkpoints are simply never found.
+
+   Writes are atomic (temp file + rename in the same directory), so a
+   run killed mid-save leaves either the previous checkpoint or none —
+   never a torn file. *)
+
+type store = { dir : string }
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "/" && dir <> "." && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let create ~dir =
+  mkdir_p dir;
+  { dir }
+
+let dir s = s.dir
+
+(* Digest the identity parts into the store key. Parts are joined with
+   NUL so ["ab"; "c"] and ["a"; "bc"] can't collide. *)
+let key ~parts = Digest.to_hex (Digest.string (String.concat "\x00" parts))
+
+let path s ~key = Filename.concat s.dir (key ^ ".ckpt")
+
+let load s ~key =
+  let p = path s ~key in
+  match open_in_bin p with
+  | exception Sys_error _ -> None
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> Some (really_input_string ic (in_channel_length ic)))
+
+let save s ~key contents =
+  let final = path s ~key in
+  let tmp = final ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  (try
+     output_string oc contents;
+     close_out oc
+   with e ->
+     close_out_noerr oc;
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Sys.rename tmp final
+
+let mem s ~key = Sys.file_exists (path s ~key)

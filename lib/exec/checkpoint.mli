@@ -1,0 +1,24 @@
+(** Content-addressed checkpoint store.
+
+    Blobs filed under a digest of the identity of the work they capture
+    (experiment id, scale, impair spec, provenance), so a resume can
+    only ever find checkpoints from an identically-configured run.
+    Saves are atomic (temp file + rename). *)
+
+type store
+
+(** Open (creating directories as needed) a store rooted at [dir]. *)
+val create : dir:string -> store
+
+val dir : store -> string
+
+(** Digest identity [parts] into a store key (NUL-joined, so part
+    boundaries can't collide). *)
+val key : parts:string list -> string
+
+(** The file a key maps to (for diagnostics / tests). *)
+val path : store -> key:string -> string
+
+val load : store -> key:string -> string option
+val save : store -> key:string -> string -> unit
+val mem : store -> key:string -> bool

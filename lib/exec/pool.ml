@@ -113,9 +113,17 @@ let rec help_until_done t batch =
       done;
       Mutex.unlock batch.b_lock
 
+(* Every task runs with the caller's ambient [Netsim.Budget] masked:
+   which tasks a waiting caller "helps" with is scheduling-dependent,
+   so letting them tick a supervisor's deadline budget would break the
+   pool-size determinism contract. A budget therefore charges only the
+   work its own thunk performs directly — same in the inline and
+   parallel branches. *)
+let run_task f x = Netsim.Budget.unobserved (fun () -> f x)
+
 let map_impl t f arr =
   let n = Array.length arr in
-  if t.size <= 1 || n <= 1 then Array.map f arr
+  if t.size <= 1 || n <= 1 then Array.map (run_task f) arr
   else begin
     let results : ('b, exn) result option array = Array.make n None in
     let batch =
@@ -123,7 +131,7 @@ let map_impl t f arr =
     in
     for i = 0 to n - 1 do
       push_task t (fun () ->
-          let r = try Ok (f arr.(i)) with e -> Error e in
+          let r = try Ok (run_task f arr.(i)) with e -> Error e in
           results.(i) <- Some r;
           batch_task_finished batch)
     done;

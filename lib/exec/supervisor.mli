@@ -1,0 +1,53 @@
+(** Supervised execution: crash isolation, deterministic deadlines and
+    bounded retries.
+
+    {!protect} turns exceptions from a harness task into structured
+    {!failure} values, optionally bounding the task by a deterministic
+    logical budget ([Netsim.Budget] ticks: sim events / train steps)
+    and retrying with a bit-reproducible recorded backoff schedule. *)
+
+type kind =
+  | Crash  (** the protected thunk raised *)
+  | Deadline of { spent : int; budget : int }
+      (** the logical event budget was exhausted — deterministic *)
+  | Wall of { budget_s : float }
+      (** the optional wall-clock backstop fired — nondeterministic,
+          excluded from {!digest} *)
+
+type failure = {
+  context : string;
+  exn : string;
+  backtrace : string;  (** 16-hex digest of the backtrace, or ["none"] *)
+  attempts : int;
+  backoffs : float list;  (** recorded (never slept) schedule, seconds *)
+  kind : kind;
+}
+
+(** [protect ?retries ?deadline_events ?wall_s ?seed ~context f] runs
+    [f ~attempt:1] (attempts are 1-based) under a fresh budget, retrying
+    up to [retries] more times on any exception. Each retry derives a
+    recorded backoff from [Rng.split_key] on [seed] (default 0) and the
+    attempt number, so the whole schedule — and hence the final report —
+    is a function of [seed] alone. Emits [harness] trace events
+    ([retry], then [failure]/[deadline]) when a tracer is installed. *)
+val protect :
+  ?retries:int ->
+  ?deadline_events:int ->
+  ?wall_s:float ->
+  ?seed:int ->
+  context:string ->
+  (attempt:int -> 'a) ->
+  ('a, failure) result
+
+(** Trace-event kind for a failure: ["failure"] for crashes,
+    ["deadline"] for budget or wall expiry. *)
+val kind_name : kind -> string
+
+(** Deterministic 16-hex digest of a failure. Covers context, kind,
+    exception text, attempts and the backoff schedule — but none of the
+    wall-clock backstop's host-dependent parameters. *)
+val digest : failure -> string
+
+(** Report lines describing the failure (deterministic modulo the
+    exception's own rendering). *)
+val render : failure -> string list

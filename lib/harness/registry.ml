@@ -69,22 +69,167 @@ let groups () =
       end)
     all
 
-(* Run every experiment group, fanned out across [pool]; collect the
-   buffered reports and return them in registry order. Rendering is
-   decoupled from execution, so the concatenated output is identical at
-   any pool size.
+(* ---- supervised execution ----
 
-   [wrap i run] lets the caller install ambient sinks around group [i]
-   (the CLI uses it to give each group a deterministic trace lane). *)
-let run_all_reports ?pool ?(wrap = fun _i run -> run ()) () =
+   Every entry runs under [Exec.Supervisor.protect]: an exception (or a
+   deterministic deadline expiry) becomes a structured failure report
+   rendered in registry order alongside the successes, and the returned
+   summary drives the CLI's exit code. Because entries are independent,
+   a crashing entry leaves its siblings' reports byte-identical to a
+   run without it — enforced in test/test_exec.ml at pool sizes 1
+   and 4. *)
+
+type supervision = {
+  retries : int;  (* extra attempts per entry after the first *)
+  deadline_events : int option;  (* logical Netsim.Budget per attempt *)
+  wall_s : float option;  (* nondeterministic CI backstop *)
+  checkpoint : Exec.Checkpoint.store option;
+  resume : bool;  (* skip cells already present in the store *)
+}
+
+let default_supervision =
+  { retries = 0; deadline_events = None; wall_s = None; checkpoint = None; resume = false }
+
+type outcome = {
+  entry : entry;
+  report : Report.t;
+  failure : Exec.Supervisor.failure option;
+  resumed : bool;
+}
+
+type summary = { total : int; ok : int; failed : int; resumed : int }
+
+(* The checkpoint identity of an entry: everything that changes the
+   cell's output must be in here, so a resume can never serve a report
+   produced under a different configuration. Scale and impair spec are
+   the run-shaping knobs; the manifest contributes code provenance
+   (git sha / dirty). *)
+let cell_context () =
+  let s = Scale.get () in
+  let scale =
+    Printf.sprintf "duration=%g,runs=%d,trials=%d,train=%d,eval=%d" s.Scale.duration
+      s.Scale.runs s.Scale.safety_trials s.Scale.train_episodes s.Scale.eval_episodes
+  in
+  (scale, Faults.Spec.to_string !Scenario.default_impair)
+
+let cell_key e =
+  let scale, impair = cell_context () in
+  let manifest = Obs.Manifest.default () in
+  let mpart key =
+    match Obs.Json.member key manifest with
+    | Some (Obs.Json.Str s) -> s
+    | Some j -> Obs.Json.to_compact j
+    | None -> ""
+  in
+  Exec.Checkpoint.key
+    ~parts:[ e.id; scale; impair; mpart "git_sha"; mpart "dirty" ]
+
+let emit_checkpoint_event ~id ~detail =
+  if Obs.Trace.on Obs.Category.Harness then
+    Obs.Trace.emit
+      (Obs.Event.Harness
+         { t = 0.0; kind = "checkpoint"; id; detail; attempt = 0; value = 0.0 })
+
+(* A failure rendered as a report, in place of the one the entry never
+   produced. Lines come from Supervisor.render (deterministic modulo
+   the exception text); the cell context ties the failure to its
+   configuration, mirroring what the checkpoint key digests. *)
+let failure_report e (f : Exec.Supervisor.failure) =
+  let r = Report.create () in
+  let scale, impair = cell_context () in
+  Report.linef r "== FAILED %s: %s ==" e.id e.what;
+  List.iter (fun l -> Report.line r ("  " ^ l)) (Exec.Supervisor.render f);
+  Report.linef r "  cell:      scale{%s} impair{%s}" scale impair;
+  Report.kv r "failed" (Exec.Supervisor.kind_name f.kind);
+  Report.kv r "failure_digest" (Exec.Supervisor.digest f);
+  r
+
+(* Run [entries] (default: one per group) fanned out across [pool],
+   each under Supervisor.protect, and return outcomes in input order.
+   Rendering is decoupled from execution, so concatenated output is
+   identical at any pool size.
+
+   [wrap i run] lets the caller install ambient sinks around entry [i]
+   (the CLI uses it to give each entry a deterministic trace lane). *)
+let run_entries ?pool ?(wrap = fun _i run -> run ())
+    ?(supervision = default_supervision) ?entries () =
   let pool = match pool with Some p -> p | None -> Exec.Pool.default () in
-  let gs = Array.of_list (groups ()) in
-  let reports =
+  let gs = Array.of_list (match entries with Some es -> es | None -> groups ()) in
+  let sv = supervision in
+  let run_one e =
+    Obs.Span.timed (group_span e) (fun () ->
+        let key = cell_key e in
+        let cached =
+          match sv.checkpoint with
+          | Some store when sv.resume ->
+            Option.bind (Exec.Checkpoint.load store ~key) (fun blob ->
+                match Obs.Json.parse blob with
+                | Ok j -> Report.of_json j
+                | Error _ -> None)
+          | _ -> None
+        in
+        match cached with
+        | Some report ->
+          emit_checkpoint_event ~id:e.id ~detail:"resume";
+          { entry = e; report; failure = None; resumed = true }
+        | None -> (
+          match
+            Exec.Supervisor.protect ~retries:sv.retries
+              ?deadline_events:sv.deadline_events ?wall_s:sv.wall_s ~context:e.id
+              (fun ~attempt:_ -> e.run ())
+          with
+          | Ok report ->
+            (match sv.checkpoint with
+            | Some store ->
+              Exec.Checkpoint.save store ~key
+                (Obs.Json.to_compact (Report.to_json report));
+              emit_checkpoint_event ~id:e.id ~detail:"save"
+            | None -> ());
+            { entry = e; report; failure = None; resumed = false }
+          | Error f -> { entry = e; report = failure_report e f; failure = Some f; resumed = false }))
+  in
+  let outcomes =
     Exec.Pool.map pool
-      (fun (i, e) -> wrap i (fun () -> Obs.Span.timed (group_span e) (fun () -> e.run ())))
+      (fun (i, e) -> wrap i (fun () -> run_one e))
       (Array.mapi (fun i e -> (i, e)) gs)
   in
-  Array.to_list (Array.map2 (fun e r -> (e.group, r)) gs reports)
+  Array.to_list outcomes
 
-let run_all ?pool ?wrap () =
-  List.iter (fun (_, r) -> Report.print r) (run_all_reports ?pool ?wrap ())
+let summarize outcomes =
+  List.fold_left
+    (fun s o ->
+      {
+        total = s.total + 1;
+        ok = (s.ok + if o.failure = None then 1 else 0);
+        failed = (s.failed + if o.failure <> None then 1 else 0);
+        resumed = (s.resumed + if o.resumed then 1 else 0);
+      })
+    { total = 0; ok = 0; failed = 0; resumed = 0 }
+    outcomes
+
+(* Compatibility shape used by tests: (group, report) pairs for the
+   default group list, unsupervised. *)
+let run_all_reports ?pool ?wrap () =
+  List.map
+    (fun o -> (o.entry.group, o.report))
+    (run_entries ?pool ?wrap ())
+
+(* Render everything in input order (stdout stays byte-identical to an
+   unsupervised clean run) and summarize on stderr — the summary line
+   must not disturb report bytes, which checkpoint resumes and the
+   crash-isolation tests compare exactly. *)
+let run_all ?pool ?wrap ?supervision ?entries () =
+  let outcomes = run_entries ?pool ?wrap ?supervision ?entries () in
+  List.iter (fun o -> Report.print o.report) outcomes;
+  let s = summarize outcomes in
+  Printf.eprintf "[registry] %d group(s): %d ok, %d failed, %d resumed\n%!" s.total
+    s.ok s.failed s.resumed;
+  List.iter
+    (fun o ->
+      match o.failure with
+      | Some f ->
+        Printf.eprintf "[registry] FAILED %s: %s (digest %s)\n%!" o.entry.id f.exn
+          (Exec.Supervisor.digest f)
+      | None -> ())
+    outcomes;
+  s

@@ -33,6 +33,47 @@ let results t = List.rev t.kvs
 let render t = Buffer.contents t.buf
 let print t = print_string (render t)
 
+(* ---- checkpoint serialization ----
+
+   Reports round-trip through Obs.Json so `experiments --checkpoint`
+   can persist a finished cell and a resumed run can render it
+   byte-identically. Report text is printable ASCII + \n/\t (Table
+   output), which Obs.Json.escape round-trips exactly. *)
+
+let to_json t =
+  Obs.Json.Obj
+    [
+      ("report", Obs.Json.Num 1.0);
+      ("text", Obs.Json.Str (render t));
+      ( "kvs",
+        Obs.Json.List
+          (List.map
+             (fun (k, v) -> Obs.Json.List [ Obs.Json.Str k; Obs.Json.Str v ])
+             (results t)) );
+    ]
+
+let of_json j =
+  let open Obs.Json in
+  match (member "report" j, member "text" j, member "kvs" j) with
+  | Some (Num 1.0), Some (Str text), Some (List kvs) ->
+    let kv_of = function
+      | List [ Str k; Str v ] -> Some (k, v)
+      | _ -> None
+    in
+    let rec build acc = function
+      | [] -> Some (List.rev acc)
+      | x :: rest -> (
+        match kv_of x with Some kv -> build (kv :: acc) rest | None -> None)
+    in
+    Option.map
+      (fun kvs ->
+        let t = create () in
+        Buffer.add_string t.buf text;
+        List.iter (fun (k, v) -> kv t k v) kvs;
+        t)
+      (build [] kvs)
+  | _ -> None
+
 (* ---- the per-domain sink ---- *)
 
 let sink_key : t option ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref None)

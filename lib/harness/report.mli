@@ -31,6 +31,15 @@ val render : t -> string
 
 val print : t -> unit
 
+(** Serialize a finished report for the checkpoint store. Text and
+    key/value results round-trip exactly through {!of_json}. *)
+val to_json : t -> Obs.Json.t
+
+(** Rebuild a checkpointed report; [None] on any shape mismatch (a
+    checkpoint written by an incompatible version is treated as
+    absent, not an error). *)
+val of_json : Obs.Json.t -> t option
+
 (** Run [f] with a fresh report installed as this domain's sink; returns
     the report. Nested captures save and restore the outer sink. *)
 val capture : (unit -> unit) -> t

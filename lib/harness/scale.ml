@@ -17,6 +17,12 @@ type t = {
 let quick =
   { duration = 20.0; runs = 2; safety_trials = 8; train_episodes = 120; eval_episodes = 400 }
 
+(* Smoke-test scale: numbers are meaningless, but every experiment
+   still exercises its full code path. Used by the faultcheck tier-1
+   gate, which runs the harness three times (clean / crash / resume). *)
+let tiny =
+  { duration = 2.0; runs = 2; safety_trials = 2; train_episodes = 4; eval_episodes = 4 }
+
 let full =
   { duration = 60.0; runs = 5; safety_trials = 20; train_episodes = 600; eval_episodes = 1000 }
 

@@ -60,3 +60,13 @@ let split_key t ~key =
   let z = Int64.add t.seed (Int64.mul golden (Int64.add (Int64.of_int key) 1L)) in
   let z = mix64 (Int64.logxor (mix64 z) 0x6A09E667F3BCC909L) in
   { state = z; seed = z }
+
+(* Snapshot / restore of the full generator state, for checkpointed
+   training runs that must resume bit-identically mid-stream. *)
+let state t = (t.state, t.seed)
+
+let of_state (state, seed) = { state; seed }
+
+let set_state t (state, seed) =
+  if seed <> t.seed then invalid_arg "Rng.set_state: seed mismatch";
+  t.state <- state

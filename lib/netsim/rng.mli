@@ -40,3 +40,15 @@ val split : t -> t
     same no matter how many draws the parent has made, so keyed
     components stay deterministic under any draw interleaving. *)
 val split_key : t -> key:int -> t
+
+(** Full generator state (position, seed) — opaque words for
+    checkpointing; round-trips through {!of_state}/{!set_state}. *)
+val state : t -> int64 * int64
+
+(** Rebuild a generator from a {!state} snapshot. *)
+val of_state : int64 * int64 -> t
+
+(** [set_state t s] rewinds [t] to snapshot [s] in place. Raises
+    [Invalid_argument] if [s] came from a generator with a different
+    seed. *)
+val set_state : t -> int64 * int64 -> unit

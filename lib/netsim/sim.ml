@@ -30,6 +30,8 @@ let run t ~until =
         t.now <- until
       end
       else begin
+        (* One popped event = one unit of deterministic budget. *)
+        Budget.tick ();
         t.now <- e.Event_heap.time;
         e.Event_heap.action ();
         loop ()

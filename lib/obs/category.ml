@@ -18,8 +18,14 @@ type t =
        time 0. Structural markers — every tracer subscribes to them
        regardless of its filter, because consumers (trace_check) need
        them to segment a lane whose sim clock restarts. *)
+  | Harness
+    (* supervision records from the execution harness: experiment
+       failures, retries, deadline expiries, checkpoint saves/resumes
+       and controller fallbacks. Structural like [Run] — always
+       subscribed, and exempt from per-lane monotonicity (they are
+       stamped from outside the sim clock). *)
 
-let all = [ Pkt; Link; Ack; Rate; Monitor; Stage; Cycle; Rl; Fault; Run ]
+let all = [ Pkt; Link; Ack; Rate; Monitor; Stage; Cycle; Rl; Fault; Run; Harness ]
 
 let bit = function
   | Pkt -> 1
@@ -32,6 +38,7 @@ let bit = function
   | Rl -> 128
   | Run -> 256
   | Fault -> 512
+  | Harness -> 1024
 
 let to_string = function
   | Pkt -> "pkt"
@@ -44,6 +51,7 @@ let to_string = function
   | Rl -> "rl"
   | Fault -> "fault"
   | Run -> "run"
+  | Harness -> "harness"
 
 let of_string = function
   | "pkt" -> Some Pkt
@@ -56,6 +64,7 @@ let of_string = function
   | "rl" -> Some Rl
   | "fault" -> Some Fault
   | "run" -> Some Run
+  | "harness" -> Some Harness
   | _ -> None
 
 let mask_of cats = List.fold_left (fun m c -> m lor bit c) 0 cats

@@ -55,6 +55,20 @@ type t =
     (* a fresh simulation / RL episode whose clock restarts at [t]
        (normally 0); within a lane, timestamps are non-decreasing
        *between* consecutive Run_start markers *)
+  | Harness of {
+      t : float;
+      kind : string;
+        (* "failure" | "retry" | "deadline" | "checkpoint" | "fallback" *)
+      id : string;  (* experiment id / supervision context *)
+      detail : string;  (* exn rendering, checkpoint action, ... *)
+      attempt : int;  (* 1-based attempt number; 0 when inapplicable *)
+      value : float;  (* backoff seconds, budget spent, rate, ... *)
+    }
+    (* a supervision record from the execution harness (see
+       lib/exec/supervisor.ml and Libra.Controller's watchdog). Stamped
+       from outside the sim clock, so — like [Run_start] — exempt from
+       per-lane timestamp monotonicity; [t] carries sim time where one
+       exists (controller fallback) and 0 otherwise. *)
 
 (* Placeholder used to initialise event buffers. *)
 let dummy = Link_rate { t = 0.0; rate = 0.0 }
@@ -72,6 +86,7 @@ let time = function
   | Rl_step e -> e.t
   | Fault e -> e.t
   | Run_start e -> e.t
+  | Harness e -> e.t
 
 let category = function
   | Enqueue _ | Dequeue _ | Drop _ -> Category.Pkt
@@ -84,6 +99,7 @@ let category = function
   | Rl_step _ -> Category.Rl
   | Fault _ -> Category.Fault
   | Run_start _ -> Category.Run
+  | Harness _ -> Category.Harness
 
 let name = function
   | Enqueue _ -> "enqueue"
@@ -98,13 +114,14 @@ let name = function
   | Rl_step _ -> "rl_step"
   | Fault _ -> "fault"
   | Run_start _ -> "run_start"
+  | Harness _ -> "harness"
 
 (* Every event name that can appear in an exported trace (trace_check
    validates the "ev" field against this list). *)
 let all_names =
   [
     "enqueue"; "dequeue"; "drop"; "link_rate"; "ack"; "rate"; "mi_snapshot";
-    "stage"; "cycle"; "rl_step"; "fault"; "run_start";
+    "stage"; "cycle"; "rl_step"; "fault"; "run_start"; "harness";
   ]
 
 let reason_name = function Tail -> "tail" | Codel -> "codel" | Random -> "random"
@@ -188,7 +205,13 @@ let to_json_line ~lane buf ev =
     field_i b "seq" e.seq;
     field_s b "kind" e.kind;
     field_f b "value" e.value
-  | Run_start e -> field_s b "label" e.label);
+  | Run_start e -> field_s b "label" e.label
+  | Harness e ->
+    field_s b "kind" e.kind;
+    field_s b "id" e.id;
+    field_s b "detail" e.detail;
+    field_i b "attempt" e.attempt;
+    field_f b "value" e.value);
   Buffer.add_string b "}\n"
 
 (* ---- CSV ---- *)
@@ -196,9 +219,9 @@ let to_json_line ~lane buf ev =
 (* One wide row per event: inapplicable columns are left empty, which
    keeps the file trivially loadable for offline plotting. *)
 let csv_header =
-  "t,lane,ev,flow,seq,size,backlog,reason,rate,pacing,cwnd,rtt,newly_lost,duration,throughput,avg_rtt,loss_rate,rtt_gradient,acked,lost,stage,chosen,u_prev,u_rl,u_cl,x_next,episode,step,reward,action,label,kind,value"
+  "t,lane,ev,flow,seq,size,backlog,reason,rate,pacing,cwnd,rtt,newly_lost,duration,throughput,avg_rtt,loss_rate,rtt_gradient,acked,lost,stage,chosen,u_prev,u_rl,u_cl,x_next,episode,step,reward,action,label,kind,value,detail,attempt"
 
-let csv_columns = 33
+let csv_columns = 35
 
 let fcell v = if Float.is_finite v then Printf.sprintf "%.9g" v else ""
 
@@ -261,6 +284,12 @@ let to_csv_row ~lane buf ev =
     cells.(4) <- string_of_int e.seq;
     cells.(31) <- e.kind;
     cells.(32) <- fcell e.value
-  | Run_start e -> cells.(30) <- e.label);
+  | Run_start e -> cells.(30) <- e.label
+  | Harness e ->
+    cells.(30) <- e.id;
+    cells.(31) <- e.kind;
+    cells.(32) <- fcell e.value;
+    cells.(33) <- e.detail;
+    cells.(34) <- string_of_int e.attempt);
   Buffer.add_string buf (String.concat "," (Array.to_list cells));
   Buffer.add_char buf '\n'

@@ -45,10 +45,14 @@ let create ?ring_capacity ?manifest ?(categories = Category.all) () =
   | _ -> ());
   let manifest = match manifest with Some m -> m | None -> Manifest.default () in
   {
-    (* Run boundaries are structural (they segment a lane whose sim
-       clock restarts), so every tracer subscribes to them no matter
+    (* Run boundaries and harness supervision records are structural
+       (they segment a lane whose sim clock restarts / record failures
+       and checkpoints), so every tracer subscribes to them no matter
        what filter it was given. *)
-    mask = Category.mask_of categories lor Category.bit Category.Run;
+    mask =
+      Category.mask_of categories
+      lor Category.bit Category.Run
+      lor Category.bit Category.Harness;
     ring_capacity;
     lock = Mutex.create ();
     lanes = [];

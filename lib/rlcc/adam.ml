@@ -13,6 +13,19 @@ type t = {
 let create ?(lr = 3e-4) ?(beta1 = 0.9) ?(beta2 = 0.999) ?(eps = 1e-8) n =
   { lr; beta1; beta2; eps; m = Array.make n 0.0; v = Array.make n 0.0; steps = 0 }
 
+(* Moment-vector snapshot for checkpoint/rollback: hyperparameters are
+   immutable, so (m, v, steps) is the whole mutable state. *)
+type state = { s_m : float array; s_v : float array; s_steps : int }
+
+let export t = { s_m = Array.copy t.m; s_v = Array.copy t.v; s_steps = t.steps }
+
+let import t s =
+  if Array.length s.s_m <> Array.length t.m then
+    invalid_arg "Adam.import: parameter count mismatch";
+  Array.blit s.s_m 0 t.m 0 (Array.length t.m);
+  Array.blit s.s_v 0 t.v 0 (Array.length t.v);
+  t.steps <- s.s_steps
+
 (* One update: params <- params - lr * m_hat / (sqrt v_hat + eps). *)
 let step t ~params ~grads =
   assert (Array.length params = Array.length t.m);

@@ -7,3 +7,15 @@ val create : ?lr:float -> ?beta1:float -> ?beta2:float -> ?eps:float -> int -> t
 
 (** One bias-corrected update step; [params] is modified in place. *)
 val step : t -> params:float array -> grads:float array -> unit
+
+(** The optimiser's mutable state (first/second moments + step count),
+    for checkpointing and NaN-rollback. Hyperparameters are immutable
+    and not captured. *)
+type state = { s_m : float array; s_v : float array; s_steps : int }
+
+(** A deep copy of the current state. *)
+val export : t -> state
+
+(** Overwrite [t]'s state in place. Raises [Invalid_argument] when the
+    parameter counts differ. *)
+val import : t -> state -> unit

@@ -88,6 +88,45 @@ let reset t cfg =
   t.prev_rtt <- cfg.min_rtt;
   t.time <- 0.0
 
+(* Full-state snapshot for checkpointed training: the env's rng
+   persists across episodes (reset does not touch it), so resuming
+   mid-training bit-identically requires capturing it too. *)
+type snapshot = {
+  s_rng : int64 * int64;
+  s_cfg : cfg;
+  s_queue : float;
+  s_rate_norm : float;
+  s_min_rtt_seen : float;
+  s_ack_gap : float;
+  s_send_gap : float;
+  s_prev_rtt : float;
+  s_time : float;
+}
+
+let snapshot t =
+  {
+    s_rng = Netsim.Rng.state t.rng;
+    s_cfg = t.cfg;
+    s_queue = t.queue;
+    s_rate_norm = t.rate_norm;
+    s_min_rtt_seen = t.min_rtt_seen;
+    s_ack_gap = t.ack_gap;
+    s_send_gap = t.send_gap;
+    s_prev_rtt = t.prev_rtt;
+    s_time = t.time;
+  }
+
+let restore t s =
+  Netsim.Rng.set_state t.rng s.s_rng;
+  t.cfg <- s.s_cfg;
+  t.queue <- s.s_queue;
+  t.rate_norm <- s.s_rate_norm;
+  t.min_rtt_seen <- s.s_min_rtt_seen;
+  t.ack_gap <- s.s_ack_gap;
+  t.send_gap <- s.s_send_gap;
+  t.prev_rtt <- s.s_prev_rtt;
+  t.time <- s.s_time
+
 let mi_duration t = t.cfg.mi_of_rtt *. t.cfg.min_rtt
 
 let capacity t = t.cfg.capacity

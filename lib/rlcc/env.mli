@@ -31,6 +31,27 @@ val create : ?seed:int -> cfg -> t
     resets (see the implementation comment). *)
 val reset : t -> cfg -> unit
 
+(** Full mutable state, including the generator position (the env's rng
+    persists across episodes, so a bit-identical training resume must
+    capture it). *)
+type snapshot = {
+  s_rng : int64 * int64;
+  s_cfg : cfg;
+  s_queue : float;
+  s_rate_norm : float;
+  s_min_rtt_seen : float;
+  s_ack_gap : float;
+  s_send_gap : float;
+  s_prev_rtt : float;
+  s_time : float;
+}
+
+val snapshot : t -> snapshot
+
+(** Restore in place. Raises [Invalid_argument] if the snapshot's rng
+    came from a different seed than [t] was created with. *)
+val restore : t -> snapshot -> unit
+
 val mi_duration : t -> float
 val capacity : t -> float
 

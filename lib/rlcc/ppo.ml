@@ -79,6 +79,56 @@ let create cfg =
     lam = cfg.lam;
   }
 
+(* ---- snapshot / restore ----
+
+   The learnable state of a policy is the two flat parameter vectors,
+   the log-std scalar and the three optimisers' moments. A snapshot is
+   a deep copy of exactly that, used by the trainer both for periodic
+   checkpoints and to roll back a diverged (NaN/Inf) update. *)
+
+type snapshot = {
+  s_actor : float array;
+  s_critic : float array;
+  s_log_std : float;
+  s_actor_opt : Adam.state;
+  s_critic_opt : Adam.state;
+  s_log_std_opt : Adam.state;
+}
+
+let snapshot (t : t) =
+  {
+    s_actor = Array.copy t.actor.Nn.params;
+    s_critic = Array.copy t.critic.Nn.params;
+    s_log_std = t.log_std.(0);
+    s_actor_opt = Adam.export t.actor_opt;
+    s_critic_opt = Adam.export t.critic_opt;
+    s_log_std_opt = Adam.export t.log_std_opt;
+  }
+
+let restore (t : t) s =
+  if
+    Array.length s.s_actor <> Array.length t.actor.Nn.params
+    || Array.length s.s_critic <> Array.length t.critic.Nn.params
+  then invalid_arg "Ppo.restore: parameter count mismatch";
+  Array.blit s.s_actor 0 t.actor.Nn.params 0 (Array.length s.s_actor);
+  Array.blit s.s_critic 0 t.critic.Nn.params 0 (Array.length s.s_critic);
+  t.log_std.(0) <- s.s_log_std;
+  Adam.import t.actor_opt s.s_actor_opt;
+  Adam.import t.critic_opt s.s_critic_opt;
+  Adam.import t.log_std_opt s.s_log_std_opt
+
+let arr_finite a =
+  let ok = ref true in
+  Array.iter (fun v -> if not (Float.is_finite v) then ok := false) a;
+  !ok
+
+(* A diverged update leaves NaN/Inf in the parameters; every later
+   forward pass then silently poisons results, so the trainer checks
+   this after each update and rolls back. *)
+let all_finite (t : t) =
+  arr_finite t.actor.Nn.params && arr_finite t.critic.Nn.params
+  && Float.is_finite t.log_std.(0)
+
 let log_2pi = log (2.0 *. Float.pi)
 
 let log_prob (t : t) ~mean ~action =

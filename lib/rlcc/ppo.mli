@@ -39,6 +39,28 @@ val default_config : state_dim:int -> config
 
 val create : config -> t
 
+(** Deep copy of the learnable state: parameter vectors, log-std and
+    the three optimisers' moments. *)
+type snapshot = {
+  s_actor : float array;
+  s_critic : float array;
+  s_log_std : float;
+  s_actor_opt : Adam.state;
+  s_critic_opt : Adam.state;
+  s_log_std_opt : Adam.state;
+}
+
+val snapshot : t -> snapshot
+
+(** Overwrite the policy's learnable state in place. Raises
+    [Invalid_argument] when shapes differ (snapshot from another
+    architecture). *)
+val restore : t -> snapshot -> unit
+
+(** False iff any parameter (or the log-std) went NaN/Inf — the
+    trainer's divergence guard. *)
+val all_finite : t -> bool
+
 (** Log-density of [action] under the current Gaussian at [mean]. *)
 val log_prob : t -> mean:float -> action:float -> float
 

@@ -19,24 +19,7 @@ type cell = { lock : Mutex.t; mutable outcome : Train.outcome option }
 let table_lock = Mutex.create ()
 let cache : (string, cell) Hashtbl.t = Hashtbl.create 8
 
-let key (cfg : Train.config) =
-  let form =
-    match cfg.reward.Reward.form with
-    | Reward.Weighted -> "weighted"
-    | Reward.Utility_eq1 { t; alpha; beta; gamma } ->
-      Printf.sprintf "eq1(%g,%g,%g,%g)" t alpha beta gamma
-  in
-  Printf.sprintf "%s/%s/w=%g,%g,%g/loss=%b/delta=%b/%s/ep=%d/st=%d/seed=%d/%s"
-    cfg.state_set.Features.set_name
-    (Actions.name cfg.action)
-    cfg.reward.Reward.w1 cfg.reward.Reward.w2 cfg.reward.Reward.w3
-    cfg.reward.Reward.include_loss cfg.reward.Reward.use_delta form cfg.episodes
-    cfg.steps_per_episode cfg.seed
-    (match cfg.env_mode with
-    | `Fixed e ->
-      Printf.sprintf "fixed(%g,%g,%g,%g)" e.Env.capacity e.Env.min_rtt e.Env.buffer
-        e.Env.loss_p
-    | `Randomized -> "rand")
+let key = Train.config_key
 
 let get cfg =
   let k = key cfg in
@@ -73,6 +56,17 @@ let get cfg =
       Mutex.unlock cell.lock;
       outcome
     | exception e ->
+      (* A failed fill must not poison the cache: drop the in-flight
+         cell (it is still empty) before re-raising, so the next caller
+         for this configuration retrains instead of finding a cell that
+         will never be populated. A waiter already blocked on this cell
+         retrains into the orphaned cell itself — same deterministic
+         outcome, just unshared. *)
+      Mutex.lock table_lock;
+      (match Hashtbl.find_opt cache k with
+      | Some c when c == cell -> Hashtbl.remove cache k
+      | _ -> ());
+      Mutex.unlock table_lock;
       Mutex.unlock cell.lock;
       raise e)
 

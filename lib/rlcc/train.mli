@@ -24,10 +24,44 @@ type outcome = {
   final_throughput : float;  (** mean over the last training quarter *)
   final_rtt : float;
   final_loss : float;
+  rollbacks : int;  (** diverged (NaN/Inf) updates rolled back *)
   config : config;
 }
 
-val run : config -> outcome
+(** A string identifying everything that shapes a run's output: the
+    policy-cache key, and the identity a resume snapshot is checked
+    against. *)
+val config_key : config -> string
+
+(** Every mutable piece of the training loop at an episode boundary:
+    policy + optimiser moments, both generator positions, the fluid env
+    and the accumulators. Resuming from a snapshot continues
+    bit-identically to the uninterrupted run. *)
+type snapshot
+
+(** Exact round trip (floats serialized as hex literals). *)
+val snapshot_to_json : snapshot -> Obs.Json.t
+
+(** [None] on shape mismatch (incompatible or torn snapshot). *)
+val snapshot_of_json : Obs.Json.t -> snapshot option
+
+(** [run cfg] trains a policy. Each PPO update is followed by a
+    divergence guard that rolls NaN/Inf parameters back to the last
+    finite state (counted in [outcome.rollbacks], emitting a [harness]
+    trace event); [after_update ~ep policy] runs before the guard —
+    tests use it to inject faults. With [snapshot_every = n > 0],
+    [on_snapshot ~episode s] fires after every [n]-th episode;
+    [resume_from] continues from a snapshot (raising [Invalid_argument]
+    if its {!config_key} disagrees with [cfg]). Each training step
+    charges one [Netsim.Budget] tick, so supervised runs can impose
+    deterministic deadlines. *)
+val run :
+  ?after_update:(ep:int -> Ppo.t -> unit) ->
+  ?snapshot_every:int ->
+  ?on_snapshot:(episode:int -> snapshot -> unit) ->
+  ?resume_from:snapshot ->
+  config ->
+  outcome
 
 type eval = {
   episodes_run : int;

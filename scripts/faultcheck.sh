@@ -1,0 +1,64 @@
+#!/bin/sh
+# Faultcheck: crash-isolation and checkpoint/resume smoke for the
+# supervised experiment harness (tier-1; `make faultcheck`).
+#
+#   faultcheck.sh EXPERIMENTS_EXE [WORKDIR]
+#
+# Three runs of the same tiny-scale experiment subset:
+#   1. clean          — the byte-for-byte reference output
+#   2. --inject-crash — an always-raising fixture entry must fail the
+#                       run (exit 3) and render a structured failure
+#                       report, while every real experiment's bytes
+#                       stay identical to the clean run
+#   3. --resume       — completed cells are served from the checkpoint
+#                       store written by run 2, byte-identical, and
+#                       nothing re-executes
+set -eu
+
+EXE="$1"
+WORK="${2:-$(mktemp -d "${TMPDIR:-/tmp}/libra-faultcheck.XXXXXX")}"
+CK="$WORK/ckpt"
+mkdir -p "$WORK"
+
+# robust-mini pins its own duration and fig17 is among the fastest
+# figure groups at --tiny scale; together they cover the pool fan-out
+# and the learned-CCA pretraining path.
+IDS="robust-mini fig17"
+
+fail() {
+  echo "faultcheck: $1" >&2
+  exit 1
+}
+
+# 1. Clean reference run.
+"$EXE" --tiny $IDS >"$WORK/clean.out" 2>"$WORK/clean.err" \
+  || fail "clean run failed (exit $?)"
+
+# 2. Crash run.
+status=0
+"$EXE" --tiny --checkpoint "$CK" --inject-crash $IDS \
+  >"$WORK/crash.out" 2>"$WORK/crash.err" || status=$?
+[ "$status" -eq 3 ] || fail "crash run exited $status, want 3"
+n=$(wc -l <"$WORK/clean.out")
+head -n "$n" "$WORK/crash.out" >"$WORK/crash.head"
+if ! cmp -s "$WORK/clean.out" "$WORK/crash.head"; then
+  diff "$WORK/clean.out" "$WORK/crash.head" >&2 || true
+  fail "sibling reports differ from the clean run"
+fi
+grep -q "FAILED fixture-crash" "$WORK/crash.out" \
+  || fail "crash run did not render the fixture failure report"
+grep -q "1 failed" "$WORK/crash.err" \
+  || fail "crash run summary missing the failure count"
+
+# 3. Resume run.
+"$EXE" --tiny --checkpoint "$CK" --resume $IDS \
+  >"$WORK/resume.out" 2>"$WORK/resume.err" \
+  || fail "resume run failed (exit $?)"
+if ! cmp -s "$WORK/clean.out" "$WORK/resume.out"; then
+  diff "$WORK/clean.out" "$WORK/resume.out" >&2 || true
+  fail "resumed reports differ from the clean run"
+fi
+grep -q "2 resumed" "$WORK/resume.err" \
+  || fail "resume run did not skip the completed cells"
+
+echo "faultcheck: ok (crash isolated, siblings byte-identical, resume skipped 2 cells)"

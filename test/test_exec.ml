@@ -259,6 +259,145 @@ let test_span_structure_pool_independent () =
   check_bool "all three lanes exported" true
     (List.for_all (fun l -> contains l seq) [ "lane 0"; "lane 1"; "lane 2" ])
 
+(* ------------------------------------------------------------------ *)
+(* Supervised registry runs: crash isolation and checkpoint/resume *)
+
+let mk_entry id body = Harness.Registry.e id ("test entry " ^ id) body id
+
+let ok_a () =
+  mk_entry "ok-a" (fun () ->
+      Harness.Report.printf "alpha line\n";
+      Harness.Report.result "alpha" "1")
+
+let ok_b () = mk_entry "ok-b" (fun () -> Harness.Report.printf "beta line\n")
+let crash () = mk_entry "crash" (fun () -> failwith "injected")
+
+let renders outcomes =
+  List.map
+    (fun o -> (o.Harness.Registry.entry.Harness.Registry.id,
+               Harness.Report.render o.Harness.Registry.report))
+    outcomes
+
+(* A crashing entry must not perturb its siblings: their reports are
+   byte-identical to a run without the crasher, at any pool size, and
+   the failure surfaces as a structured outcome in input order. *)
+let test_crashing_sibling_isolated () =
+  List.iter
+    (fun size ->
+      with_pool size (fun pool ->
+          let with_crash =
+            Harness.Registry.run_entries ~pool
+              ~entries:[ ok_a (); crash (); ok_b () ] ()
+          in
+          let without =
+            Harness.Registry.run_entries ~pool ~entries:[ ok_a (); ok_b () ] ()
+          in
+          (match with_crash with
+          | [ a; c; b ] ->
+            check_bool "a ok" true (a.Harness.Registry.failure = None);
+            check_bool "b ok" true (b.Harness.Registry.failure = None);
+            (match c.Harness.Registry.failure with
+            | Some f ->
+              check_bool "crash kind" true
+                (f.Exec.Supervisor.kind = Exec.Supervisor.Crash)
+            | None -> Alcotest.fail "crasher reported success")
+          | _ -> Alcotest.fail "outcome order/length wrong");
+          let pick id l = List.assoc id (renders l) in
+          Alcotest.(check string)
+            (Printf.sprintf "ok-a bytes (pool %d)" size)
+            (pick "ok-a" without) (pick "ok-a" with_crash);
+          Alcotest.(check string)
+            (Printf.sprintf "ok-b bytes (pool %d)" size)
+            (pick "ok-b" without) (pick "ok-b" with_crash);
+          let s = Harness.Registry.summarize with_crash in
+          check_int "total" 3 s.Harness.Registry.total;
+          check_int "ok" 2 s.Harness.Registry.ok;
+          check_int "failed" 1 s.Harness.Registry.failed))
+    [ 1; 4 ]
+
+let temp_ckpt_store =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    let dir =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "libra-exec-ckpt-%d-%d" (Unix.getpid ()) !n)
+    in
+    Exec.Checkpoint.create ~dir
+
+(* Kill-and-resume: a first run that loses an entry to a crash leaves
+   its finished siblings checkpointed; the resume run serves those
+   byte-identically and re-executes only the unfinished cell. *)
+let test_checkpoint_resume_skips_completed () =
+  let store = temp_ckpt_store () in
+  let sv resume =
+    {
+      Harness.Registry.default_supervision with
+      Harness.Registry.checkpoint = Some store;
+      resume;
+    }
+  in
+  let first =
+    Harness.Registry.run_entries ~pool:Exec.Pool.sequential
+      ~supervision:(sv false)
+      ~entries:[ ok_a (); crash (); ok_b () ]
+      ()
+  in
+  check_bool "nothing resumed on first run" true
+    (List.for_all
+       (fun (o : Harness.Registry.outcome) -> not o.Harness.Registry.resumed)
+       first);
+  (* Second run: the crasher is replaced by a now-working entry (the
+     "restart after fixing the fault" scenario). Completed cells are
+     served from the store; only the fixed cell executes. *)
+  let executed = ref [] in
+  let fixed =
+    Harness.Registry.e "crash" "test entry crash (fixed)"
+      (fun () ->
+        executed := "crash" :: !executed;
+        Harness.Report.printf "recovered\n")
+      "crash"
+  in
+  let logged id body () =
+    executed := id :: !executed;
+    body ()
+  in
+  let ok_a' =
+    Harness.Registry.e "ok-a" "test entry ok-a"
+      (logged "ok-a" (fun () ->
+           Harness.Report.printf "alpha line\n";
+           Harness.Report.result "alpha" "1"))
+      "ok-a"
+  in
+  let ok_b' =
+    Harness.Registry.e "ok-b" "test entry ok-b"
+      (logged "ok-b" (fun () -> Harness.Report.printf "beta line\n"))
+      "ok-b"
+  in
+  let second =
+    Harness.Registry.run_entries ~pool:Exec.Pool.sequential
+      ~supervision:(sv true) ~entries:[ ok_a'; fixed; ok_b' ] ()
+  in
+  (match second with
+  | [ a; c; b ] ->
+    check_bool "ok-a resumed" true a.Harness.Registry.resumed;
+    check_bool "ok-b resumed" true b.Harness.Registry.resumed;
+    check_bool "crash cell re-executed" true (not c.Harness.Registry.resumed);
+    check_bool "crash cell now ok" true (c.Harness.Registry.failure = None)
+  | _ -> Alcotest.fail "outcome order/length wrong");
+  Alcotest.(check (list string)) "only the unfinished cell ran" [ "crash" ]
+    !executed;
+  (* Resumed reports are byte-identical to the originals. *)
+  let pick id l = List.assoc id (renders l) in
+  Alcotest.(check string) "ok-a bytes across resume" (pick "ok-a" first)
+    (pick "ok-a" second);
+  Alcotest.(check string) "ok-b bytes across resume" (pick "ok-b" first)
+    (pick "ok-b" second);
+  let s = Harness.Registry.summarize second in
+  check_int "resumed count" 2 s.Harness.Registry.resumed;
+  check_int "failed count" 0 s.Harness.Registry.failed
+
 let () =
   Alcotest.run "exec"
     [
@@ -288,5 +427,11 @@ let () =
             test_exp_trace_artifacts_byte_identical;
           Alcotest.test_case "span structure" `Slow
             test_span_structure_pool_independent;
+        ] );
+      ( "supervised",
+        [
+          Alcotest.test_case "crash isolation" `Quick test_crashing_sibling_isolated;
+          Alcotest.test_case "checkpoint resume" `Quick
+            test_checkpoint_resume_skips_completed;
         ] );
     ]

@@ -182,6 +182,50 @@ let test_controller_timeout_halves_base () =
   Alcotest.(check (float 1.0)) "halved after two" (before /. 2.0)
     (Libra.Controller.base_rate c)
 
+(* Watchdog: a diverged DRL agent (non-finite rate) must be quarantined
+   — the poisoned rate is never applied, the cycle falls back to the
+   classic arm, and the fallback is visible in the counter and as a
+   harness trace event. The controller itself keeps cycling. *)
+let test_controller_watchdog_quarantines_nan_rl () =
+  let c = mk_controller () in
+  let tracer = Obs.Trace.create () in
+  Obs.Trace.run tracer ~lane:0 (fun () ->
+      let seq = ref 0 and now = ref 0.0 in
+      for _ = 1 to 2000 do
+        incr seq;
+        now := !now +. 0.004;
+        Libra.Controller.on_send c (send ~now:!now ~seq:!seq);
+        Libra.Controller.on_ack c (ack ~now:!now ~seq:(max 0 (!seq - 12)) ());
+        (* The controller re-imposes the base rate on the agent at each
+           exploration entry, so keep re-poisoning while exploring —
+           as a policy whose every decision diverges would. *)
+        if Libra.Controller.stage c = Libra.Controller.Exploration then
+          Rlcc.Agent.set_rate (Libra.Controller.agent c) Float.nan
+      done);
+  check_bool "watchdog fired" true (Libra.Controller.rl_fallbacks c > 0);
+  check_bool "base rate never poisoned" true
+    (Float.is_finite (Libra.Controller.base_rate c)
+    && Libra.Controller.base_rate c > 0.0);
+  let cycles = Libra.Telemetry.cycles (Libra.Controller.telemetry c) in
+  check_bool "controller kept cycling" true (cycles <> []);
+  (* Quarantined cycles score the RL arm at -inf; none of them may have
+     adopted it. *)
+  check_bool "quarantined cycles avoid the RL arm" true
+    (List.for_all
+       (fun cy ->
+         cy.Libra.Telemetry.u_rl > neg_infinity
+         || cy.Libra.Telemetry.chosen <> Libra.Telemetry.Rl)
+       cycles);
+  check_bool "at least one quarantined cycle" true
+    (List.exists (fun cy -> cy.Libra.Telemetry.u_rl = neg_infinity) cycles);
+  let contains sub s =
+    let n = String.length sub and m = String.length s in
+    let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+    go 0
+  in
+  check_bool "fallback harness event traced" true
+    (contains "\"fallback\"" (Obs.Trace.to_jsonl tracer))
+
 (* End-to-end: C-Libra on the simulator beats CUBIC on delay while
    keeping most of the utilization (the Fig. 7 story). *)
 let run_cca cca =
@@ -327,6 +371,8 @@ let () =
           Alcotest.test_case "cycles stages" `Slow test_controller_cycles_through_stages;
           Alcotest.test_case "argmax decision" `Slow test_controller_decision_is_argmax;
           Alcotest.test_case "timeout halves" `Slow test_controller_timeout_halves_base;
+          Alcotest.test_case "watchdog quarantine" `Slow
+            test_controller_watchdog_quarantines_nan_rl;
         ] );
       ( "end-to-end",
         [

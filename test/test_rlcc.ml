@@ -312,6 +312,111 @@ let test_training_improves_reward () =
     (Printf.sprintf "reward improved (%.0f -> %.0f)" early late)
     true (late > early)
 
+(* ------------------------------------------------------------------ *)
+(* Supervised training: divergence guard, snapshot/resume, cache
+   poisoning *)
+
+(* A poisoned update (all-NaN actor) must be rolled back to the last
+   finite state and training must continue — and the rollback must be
+   visible both in the outcome and as a harness trace event. *)
+let test_train_nan_rollback_recovers () =
+  let cfg =
+    { Rlcc.Train.default_config with Rlcc.Train.episodes = 5; steps_per_episode = 30; seed = 91 }
+  in
+  let tracer = Obs.Trace.create () in
+  let outcome =
+    Obs.Trace.run tracer ~lane:0 (fun () ->
+        Rlcc.Train.run
+          ~after_update:(fun ~ep policy ->
+            if ep = 2 then begin
+              let snap = Rlcc.Ppo.snapshot policy in
+              Array.fill snap.Rlcc.Ppo.s_actor 0
+                (Array.length snap.Rlcc.Ppo.s_actor)
+                Float.nan;
+              Rlcc.Ppo.restore policy snap
+            end)
+          cfg)
+  in
+  check_int "exactly one rollback" 1 outcome.Rlcc.Train.rollbacks;
+  check_bool "policy finite after recovery" true
+    (Rlcc.Ppo.all_finite outcome.Rlcc.Train.policy);
+  check_int "all episodes ran" 5 (Array.length outcome.Rlcc.Train.episode_rewards);
+  let jsonl = Obs.Trace.to_jsonl tracer in
+  let contains sub s =
+    let n = String.length sub and m = String.length s in
+    let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+    go 0
+  in
+  check_bool "nan-rollback harness event traced" true
+    (contains "nan-rollback" jsonl)
+
+(* Interrupt/resume is bit-exact: training to a snapshot, serializing it
+   through JSON, and resuming must reproduce the uninterrupted run's
+   rewards and final parameters exactly. *)
+let test_train_snapshot_resume_bit_identical () =
+  let cfg =
+    { Rlcc.Train.default_config with Rlcc.Train.episodes = 6; steps_per_episode = 30; seed = 93 }
+  in
+  let whole = Rlcc.Train.run cfg in
+  let snap = ref None in
+  ignore
+    (Rlcc.Train.run ~snapshot_every:3
+       ~on_snapshot:(fun ~episode s -> if episode = 3 then snap := Some s)
+       cfg);
+  let snap = Option.get !snap in
+  (* Round-trip the snapshot through its JSON serialization (hex-float
+     fields), as bin/train's checkpoint store does. *)
+  let blob = Obs.Json.to_compact (Rlcc.Train.snapshot_to_json snap) in
+  let snap =
+    match Obs.Json.parse blob with
+    | Ok j -> Option.get (Rlcc.Train.snapshot_of_json j)
+    | Error m -> Alcotest.fail ("snapshot reparse failed: " ^ m)
+  in
+  let resumed = Rlcc.Train.run ~resume_from:snap cfg in
+  check_bool "episode rewards bit-identical" true
+    (whole.Rlcc.Train.episode_rewards = resumed.Rlcc.Train.episode_rewards);
+  check_bool "final parameters bit-identical" true
+    (Rlcc.Ppo.snapshot whole.Rlcc.Train.policy
+    = Rlcc.Ppo.snapshot resumed.Rlcc.Train.policy);
+  check_bool "tail stats bit-identical" true
+    (whole.Rlcc.Train.final_throughput = resumed.Rlcc.Train.final_throughput
+    && whole.Rlcc.Train.final_rtt = resumed.Rlcc.Train.final_rtt
+    && whole.Rlcc.Train.final_loss = resumed.Rlcc.Train.final_loss)
+
+let test_resume_rejects_other_config () =
+  let cfg =
+    { Rlcc.Train.default_config with Rlcc.Train.episodes = 4; steps_per_episode = 20; seed = 95 }
+  in
+  let snap = ref None in
+  ignore
+    (Rlcc.Train.run ~snapshot_every:2
+       ~on_snapshot:(fun ~episode:_ s -> snap := Some s)
+       cfg);
+  check_bool "config mismatch rejected" true
+    (try
+       ignore
+         (Rlcc.Train.run ~resume_from:(Option.get !snap)
+            { cfg with Rlcc.Train.seed = 96 });
+       false
+     with Invalid_argument _ -> true)
+
+(* A training run killed mid-fill (here: by a deterministic budget
+   deadline) must not leave a poisoned cache cell behind: the next call
+   for the same configuration retrains cleanly. *)
+let test_pretrained_failed_fill_retries () =
+  let cfg =
+    { Rlcc.Train.default_config with Rlcc.Train.episodes = 2; steps_per_episode = 20; seed = 977 }
+  in
+  check_bool "first fill dies on deadline" true
+    (try
+       ignore
+         (Netsim.Budget.with_budget ~events:5 (fun () -> Rlcc.Pretrained.get cfg));
+       false
+     with Netsim.Budget.Exceeded _ -> true);
+  let outcome = Rlcc.Pretrained.get cfg in
+  check_int "second call retrained cleanly" 2
+    (Array.length outcome.Rlcc.Train.episode_rewards)
+
 let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
 
 let () =
@@ -360,4 +465,14 @@ let () =
         ] );
       ("tagger", [ Alcotest.test_case "routes by seq" `Quick test_tagger_routes_by_seq ]);
       ("train", [ Alcotest.test_case "improves" `Slow test_training_improves_reward ]);
+      ( "supervised",
+        [
+          Alcotest.test_case "nan rollback" `Quick test_train_nan_rollback_recovers;
+          Alcotest.test_case "snapshot resume" `Quick
+            test_train_snapshot_resume_bit_identical;
+          Alcotest.test_case "resume config guard" `Quick
+            test_resume_rejects_other_config;
+          Alcotest.test_case "cache not poisoned" `Quick
+            test_pretrained_failed_fill_retries;
+        ] );
     ]
