@@ -87,7 +87,7 @@ let obs_export session ~trace_out ~metrics_out ~profile_out ~lane_name =
         file)
     trace_out
 
-let run_cmd full tiny domains impair checkpoint_dir resume inject_crash retries
+let run_cmd full tiny stress domains impair checkpoint_dir resume inject_crash retries
     deadline_events wall_deadline trace_out trace_filter metrics_out profile_out
     ids all =
   (match domains with
@@ -95,8 +95,9 @@ let run_cmd full tiny domains impair checkpoint_dir resume inject_crash retries
     Printf.eprintf "invalid --domains %d (want a positive integer)\n" d;
     exit 2
   | _ -> ());
-  if full && tiny then begin
-    prerr_endline "--full and --tiny are mutually exclusive";
+  if (if full then 1 else 0) + (if tiny then 1 else 0) + (if stress then 1 else 0) > 1
+  then begin
+    prerr_endline "--full, --tiny and --stress are mutually exclusive";
     exit 2
   end;
   if retries < 0 then begin
@@ -118,11 +119,15 @@ let run_cmd full tiny domains impair checkpoint_dir resume inject_crash retries
       exit 2
   in
   let scale_name =
-    if full then "full" else if tiny then "tiny" else "quick"
+    if full then "full"
+    else if tiny then "tiny"
+    else if stress then "stress"
+    else "quick"
   in
   Harness.Scale.set
     (if full then Harness.Scale.full
      else if tiny then Harness.Scale.tiny
+     else if stress then Harness.Scale.stress
      else Harness.Scale.quick);
   let manifest =
     Obs.Manifest.make ~scale:scale_name
@@ -206,6 +211,14 @@ let tiny =
     value & flag
     & info [ "tiny" ]
         ~doc:"smoke-test durations (meaningless numbers, full code paths)")
+
+let stress =
+  Arg.(
+    value & flag
+    & info [ "stress" ]
+        ~doc:
+          "many-flow stress durations (long single runs for the population / \
+           scale-out experiments)")
 
 let checkpoint_dir =
   Arg.(
@@ -318,7 +331,7 @@ let cmd =
   Cmd.v
     (Cmd.info "experiments" ~doc:"reproduce the paper's tables and figures")
     Term.(
-      const run_cmd $ full $ tiny $ domains $ impair $ checkpoint_dir $ resume
+      const run_cmd $ full $ tiny $ stress $ domains $ impair $ checkpoint_dir $ resume
       $ inject_crash $ retries $ deadline_events $ wall_deadline $ trace_out
       $ trace_filter $ metrics_out $ profile_out $ ids $ all)
 

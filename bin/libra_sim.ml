@@ -56,8 +56,8 @@ let with_observability ~trace_out ~trace_filter ~metrics_out ~manifest f =
       trace_out;
     result
 
-let run_cmd cca trace_spec rtt_ms buffer_kb loss duration flows seed impair
-    deadline_events series trace_out trace_filter metrics_out list_all =
+let run_cmd cca trace_spec rtt_ms buffer_kb loss duration flows seed engine
+    impair deadline_events series trace_out trace_filter metrics_out list_all =
   if list_all then begin
     print_endline "CCAs:";
     List.iter (fun (name, _) -> Printf.printf "  %s\n" name) Harness.Ccas.all;
@@ -69,6 +69,14 @@ let run_cmd cca trace_spec rtt_ms buffer_kb loss duration flows seed impair
   end
   else begin
     let factory = Harness.Ccas.find cca in
+    let engine =
+      match engine with
+      | "legacy" -> `Legacy
+      | "arena" -> `Arena
+      | other ->
+        Printf.eprintf "unknown --engine %S (want arena or legacy)\n" other;
+        exit 2
+    in
     let impair =
       match Faults.Spec.of_string impair with
       | Ok s -> s
@@ -105,8 +113,8 @@ let run_cmd cca trace_spec rtt_ms buffer_kb loss duration flows seed impair
         Netsim.Budget.with_budget ?events:deadline_events (fun () ->
             with_observability ~trace_out ~trace_filter ~metrics_out ~manifest
               (fun () ->
-                Harness.Scenario.run_uniform ~seed ~n_flows:flows ~factory
-                  ~duration spec))
+                Harness.Scenario.run_uniform ~seed ~n_flows:flows ~engine
+                  ~factory ~duration spec))
       with Netsim.Budget.Exceeded { spent; budget } ->
         Printf.eprintf "deadline: logical event budget exhausted (%d/%d)\n"
           spent budget;
@@ -155,6 +163,16 @@ let loss = Arg.(value & opt float 0.0 & info [ "loss" ] ~doc:"stochastic loss pr
 let duration = Arg.(value & opt float 20.0 & info [ "duration" ] ~doc:"seconds")
 let flows = Arg.(value & opt int 1 & info [ "flows" ] ~doc:"number of flows")
 let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"random seed")
+
+let engine =
+  Arg.(
+    value
+    & opt string "legacy"
+    & info [ "engine" ] ~docv:"arena|legacy"
+        ~doc:
+          "flow engine: the closure-based engine (legacy, default) or the \
+           struct-of-arrays arena engine (arena). Summaries are \
+           byte-identical; arena scales to many flows.")
 
 let impair =
   Arg.(
@@ -210,7 +228,7 @@ let cmd =
     (Cmd.info "libra_sim" ~doc:"packet-level congestion-control simulator")
     Term.(
       const run_cmd $ cca $ trace $ rtt $ buffer $ loss $ duration $ flows $ seed
-      $ impair $ deadline_events $ series $ trace_out $ trace_filter
+      $ engine $ impair $ deadline_events $ series $ trace_out $ trace_filter
       $ metrics_out $ list_all)
 
 let () = exit (Cmd.eval' cmd)

@@ -57,6 +57,28 @@ let make_clean_slate ?params ?initial_rate () =
 let make_r_libra ?params ?initial_rate () =
   (make_r_libra_instrumented ?params ?initial_rate ()).cca
 
+(* Arena interop: a bank of independent Libra long flows in a
+   Flow_table (the population experiment's elephants). Each flow gets
+   its own controller with a distinct seed offset so the DRL agents
+   draw independent streams, and the handles stay paired with their
+   controllers for telemetry. Controllers are closure-based, so these
+   flows ride the arena's [Generic] compatibility path -- the point of
+   the bank is mixing a few stateful long flows into a table that
+   carries thousands of allocation-free short flows. *)
+let arena_bank ?(params = Params.default) ?initial_rate
+    ?(make = make_c_libra_instrumented) ~table ~return_delay ~start_at ~stop_at
+    n =
+  List.init n (fun i ->
+      let params = { params with Params.seed = params.Params.seed + i } in
+      let inst = make ~params ?initial_rate () in
+      let h =
+        Netsim.Flow_table.add_flow table
+          ~cca:(Netsim.Flow_table.Generic inst.cca) ~return_delay ~start_at
+          ~stop_at ()
+      in
+      Netsim.Flow_table.start table h;
+      (h, inst.controller))
+
 (* Convenience: C-Libra with one of the Fig. 11 preference presets. *)
 let with_preference ~preset ?(base = Params.default)
     (make : ?params:Params.t -> ?initial_rate:float -> unit -> Netsim.Cca.t) =

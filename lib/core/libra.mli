@@ -51,6 +51,23 @@ val make_b_libra : ?params:Params.t -> ?initial_rate:float -> unit -> Netsim.Cca
 val make_clean_slate : ?params:Params.t -> ?initial_rate:float -> unit -> Netsim.Cca.t
 val make_r_libra : ?params:Params.t -> ?initial_rate:float -> unit -> Netsim.Cca.t
 
+(** [arena_bank ~table ~return_delay ~start_at ~stop_at n] adds [n]
+    long-running Libra flows to an arena {!Netsim.Flow_table} and
+    starts them, one independent controller per flow (seeds offset
+    from [params.seed] by the flow index). Returns each arena handle
+    paired with its controller for telemetry. [make] picks the variant
+    (default {!make_c_libra_instrumented}). *)
+val arena_bank :
+  ?params:Params.t ->
+  ?initial_rate:float ->
+  ?make:(?params:Params.t -> ?initial_rate:float -> unit -> instrumented) ->
+  table:Netsim.Flow_table.t ->
+  return_delay:float ->
+  start_at:float ->
+  stop_at:float ->
+  int ->
+  (int * Controller.t) list
+
 (** [with_preference ~preset make] builds a Libra variant with one of
     the Fig. 11 utility presets ("default", "Th-1", "Th-2", "La-1",
     "La-2"). Raises [Invalid_argument] on unknown presets. *)

@@ -1,0 +1,122 @@
+(* Population scale-out experiment: thousands of short flows arriving
+   as an open-loop (optionally diurnal) process share one wired
+   bottleneck with a few Libra long flows. The closed-loop experiments
+   ask "how do n persistent sources split a link"; this one asks the
+   operational questions that need the arena engine's flow density —
+   flow completion times for the mice, elephant throughput under churn,
+   and link utilization with realistic arrival dynamics.
+
+   Everything reported here is a function of simulated time only
+   (counts, FCTs, logical event totals), never wall time: checkpoint
+   resume and the pool-size determinism tests compare these report
+   bytes exactly. Wall-clock events/sec lives in the bench lane. *)
+
+let fct_percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then nan
+  else begin
+    let i = int_of_float (p *. float_of_int (n - 1)) in
+    sorted.(max 0 (min (n - 1) i))
+  end
+
+(* One population run: [long_flows] Libra elephants from t=0 plus
+   Poisson mice at [rate] flows/s with Pareto sizes, on a 48 Mbit/s
+   wired link. Returns nothing; prints the deterministic summary. *)
+let run_population ~duration ~rate ~long_flows ~seed () =
+  let sim = Netsim.Sim.create () in
+  let table = Netsim.Flow_table.create ~capacity:4096 ~lite:true ~sim () in
+  let rng = Netsim.Rng.create seed in
+  let rate_bps = Netsim.Units.mbps_to_bps 48.0 in
+  let link =
+    Netsim.Link.create ~const_rate:rate_bps ~sim
+      ~rate_fn:(fun _ -> rate_bps)
+      ~grain:0.01
+      ~buffer_bytes:(Netsim.Units.kb 300)
+      ~loss_p:0.0 ~rng
+      ~deliver:(Netsim.Flow_table.on_pkt_delivered table)
+      ()
+  in
+  Netsim.Flow_table.attach table link;
+  let params = { Libra.Params.default with Libra.Params.seed = 1000 + seed } in
+  let longs =
+    Libra.arena_bank ~params ~table ~return_delay:0.04 ~start_at:0.0
+      ~stop_at:duration long_flows
+  in
+  let base = Netsim.Flow_table.flow_count table in
+  let cfg =
+    {
+      (Netsim.Population.default ~rate ())
+      with
+      Netsim.Population.diurnal =
+        Some { Netsim.Population.amp = 0.5; period = duration };
+    }
+  in
+  Netsim.Population.spawn ~table ~rng ~cfg ~until:duration;
+  Netsim.Sim.run sim ~until:duration;
+  let n = Netsim.Flow_table.flow_count table in
+  for h = 0 to n - 1 do
+    Netsim.Flow_table.finish table h
+  done;
+  let spawned = n - base in
+  let fcts = ref [] in
+  let short_bytes = ref 0 in
+  for h = base to n - 1 do
+    short_bytes := !short_bytes + Netsim.Flow_table.delivered_bytes table h;
+    let ct = Netsim.Flow_table.completion_time table h in
+    if Float.is_finite ct then
+      fcts := (ct -. Netsim.Flow_table.start_time table h) :: !fcts
+  done;
+  let fct = Array.of_list !fcts in
+  Array.sort compare fct;
+  let completed = Array.length fct in
+  let fct_mean =
+    if completed = 0 then nan
+    else Array.fold_left ( +. ) 0.0 fct /. float_of_int completed
+  in
+  let long_tput =
+    if long_flows = 0 then 0.0
+    else
+      List.fold_left
+        (fun acc (h, _) ->
+          acc +. (float_of_int (Netsim.Flow_table.delivered_bytes table h) /. duration))
+        0.0 longs
+      /. float_of_int long_flows
+  in
+  let utilization =
+    float_of_int (Netsim.Link.delivered_bytes link) /. (rate_bps *. duration)
+  in
+  let fms v = if Float.is_nan v then "-" else Table.ms v in
+  Table.subheading
+    (Printf.sprintf "%d short flows over %gs (+%d Libra long)" spawned duration
+       long_flows);
+  Table.print
+    ~header:[ "metric"; "value" ]
+    [
+      [ "short flows spawned"; string_of_int spawned ];
+      [ "short flows completed"; string_of_int completed ];
+      [
+        "completion rate";
+        (if spawned = 0 then "-"
+         else Table.pct (float_of_int completed /. float_of_int spawned));
+      ];
+      [ "FCT mean (ms)"; fms fct_mean ];
+      [ "FCT p50 (ms)"; fms (fct_percentile fct 0.50) ];
+      [ "FCT p95 (ms)"; fms (fct_percentile fct 0.95) ];
+      [ "FCT p99 (ms)"; fms (fct_percentile fct 0.99) ];
+      [ "long-flow mean tput"; Table.mbps long_tput ];
+      [ "link utilization"; Table.pct utilization ];
+      [ "logical events"; string_of_int (Netsim.Sim.events sim) ];
+    ]
+
+let run () =
+  let scale = Scale.get () in
+  Table.heading "Population: open-loop short flows vs Libra long flows (arena)";
+  run_population ~duration:scale.Scale.duration ~rate:120.0 ~long_flows:4
+    ~seed:101 ()
+
+(* Tier-1 smoke: a couple of seconds of light churn, one elephant —
+   exercises arena add/start/complete, Population sampling, and the
+   Libra arena bank on every `dune runtest`. *)
+let run_mini () =
+  Table.heading "Population (mini): short-flow churn on the arena engine";
+  run_population ~duration:2.0 ~rate:40.0 ~long_flows:1 ~seed:101 ()

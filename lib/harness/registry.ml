@@ -50,6 +50,8 @@ let all =
     e "trace" "deterministic sim-time trace export (JSONL/CSV)" Exp_trace.run "trace";
     e "robust" "CCA suite x fault-injection robustness matrix" Exp_robustness.run "robust";
     e "robust-mini" "2x2 corner of the robustness matrix (smoke)" Exp_robustness.run_mini "robust-mini";
+    e "population" "open-loop flow population vs Libra long flows (arena engine)" Exp_population.run "population";
+    e "population-mini" "light population churn on the arena engine (smoke)" Exp_population.run_mini "population-mini";
   ]
 
 let find id = List.find_opt (fun e -> e.id = id) all

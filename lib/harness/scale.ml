@@ -26,6 +26,12 @@ let tiny =
 let full =
   { duration = 60.0; runs = 5; safety_trials = 20; train_episodes = 600; eval_episodes = 1000 }
 
+(* Many-flow stress scale: longer single runs for the population /
+   scale-out experiments (flow churn needs time to reach steady state),
+   but single repetitions — the point is event volume, not averaging. *)
+let stress =
+  { duration = 30.0; runs = 1; safety_trials = 8; train_episodes = 120; eval_episodes = 400 }
+
 let current = ref quick
 
 let set scale =

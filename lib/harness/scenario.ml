@@ -62,8 +62,11 @@ type outcome = {
   summary : Netsim.Network.summary;
 }
 
-(* Run [n_flows] copies of one CCA for [duration]; all flows start at 0. *)
-let run_uniform ?(seed = 1) ?(n_flows = 1) ~factory ~duration spec =
+(* Run [n_flows] copies of one CCA for [duration]; all flows start at 0.
+   [engine] selects the closure engine (default) or the arena
+   [Flow_table] engine — the two produce byte-identical summaries. *)
+let run_uniform ?(seed = 1) ?(n_flows = 1) ?(engine = `Legacy) ~factory
+    ~duration spec =
   let flows =
     List.init n_flows (fun i ->
         {
@@ -73,9 +76,14 @@ let run_uniform ?(seed = 1) ?(n_flows = 1) ~factory ~duration spec =
           rtt = spec.rtt;
         })
   in
+  let runner =
+    match engine with
+    | `Legacy -> Netsim.Network.run
+    | `Arena -> Netsim.Network.run_arena
+  in
   let summary =
-    Netsim.Network.run ~seed ~dup_thresh:spec.dup_thresh
-      ?faults:(faults_of spec) ~link:(link_of spec) ~flows ~duration ()
+    runner ~seed ~dup_thresh:spec.dup_thresh ?faults:(faults_of spec)
+      ~link:(link_of spec) ~flows ~duration ()
   in
   let stats = List.map (fun f -> f.Netsim.Network.stats) summary.Netsim.Network.flows in
   let delays = List.filter_map (fun s ->

@@ -42,3 +42,12 @@ let dequeue t =
   | Some pkt ->
     t.bytes <- t.bytes - pkt.Packet.size;
     Some pkt
+
+(* Non-option variants for the link's service loop: guarded by
+   [is_empty], they keep the egress path allocation-free. *)
+let peek_exn t = Queue.peek t.items
+
+let dequeue_exn t =
+  let pkt = Queue.pop t.items in
+  t.bytes <- t.bytes - pkt.Packet.size;
+  pkt

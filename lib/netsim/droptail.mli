@@ -28,3 +28,10 @@ val enqueue : t -> Packet.t -> bool
 val peek : t -> Packet.t option
 
 val dequeue : t -> Packet.t option
+
+(** Non-option variants (raise [Queue.Empty] on an empty queue); the
+    link's service loop uses them behind [is_empty] guards so egress
+    stays allocation-free. *)
+val peek_exn : t -> Packet.t
+
+val dequeue_exn : t -> Packet.t

@@ -4,50 +4,146 @@
    sequence number enforces; this keeps simulations deterministic.
 
    This is the simulator's hottest structure (every packet send, ACK and
-   timer is one push/pop), so the sift loops are top-level recursive
-   functions — no per-operation closure or ref-cell allocation — and the
-   event-loop path pops the pushed entry record itself rather than
-   building a fresh option-of-tuple. *)
+   timer is one push/pop), so it is laid out struct-of-arrays: the
+   timestamps live in a flat [float array] (unboxed loads and stores),
+   the tie-break sequence numbers and the int-coded event payloads in
+   plain int arrays, and the closure slot in its own array. An entry is
+   either a *closure* event (kind 0, the historical API) or a *coded*
+   event (kind > 0) carrying two int operands -- typically a flow handle
+   and a version or sequence number -- dispatched by [Sim.run] through a
+   single match, so the many-flow hot path schedules no closures at all.
+
+   Pushes go through a one-slot staging cell filled by [@inline]
+   wrappers, so the timestamp never crosses a function boundary as a
+   (boxed) float argument; pops land in a scratch slot read back through
+   [@inline] accessors. With spans disabled, neither operation touches
+   the minor heap. *)
 
 type entry = { time : float; seq : int; action : unit -> unit }
 
+let no_action = ignore
+
 type t = {
-  mutable entries : entry array;
+  (* parallel slots 0 .. size-1 *)
+  mutable times : float array;
+  mutable seqs : int array;
+  mutable kinds : int array;
+  mutable pa : int array;  (* coded operand a *)
+  mutable pb : int array;  (* coded operand b *)
+  mutable actions : (unit -> unit) array;
   mutable size : int;
   mutable next_seq : int;
+  (* staging cell for the entry being pushed (or sifted down) *)
+  st_time : float array;  (* one cell; flat store keeps the time unboxed *)
+  mutable st_kind : int;
+  mutable st_a : int;
+  mutable st_b : int;
+  mutable st_action : unit -> unit;
+  (* scratch slot holding the most recently popped entry *)
+  sc_time : float array;
+  mutable sc_seq : int;
+  mutable sc_kind : int;
+  mutable sc_a : int;
+  mutable sc_b : int;
+  mutable sc_action : unit -> unit;
 }
 
-let dummy = { time = 0.0; seq = 0; action = (fun () -> ()) }
-
-let create () = { entries = Array.make 256 dummy; size = 0; next_seq = 0 }
+let create () =
+  {
+    times = Array.make 256 0.0;
+    seqs = Array.make 256 0;
+    kinds = Array.make 256 0;
+    pa = Array.make 256 0;
+    pb = Array.make 256 0;
+    actions = Array.make 256 no_action;
+    size = 0;
+    next_seq = 0;
+    st_time = [| 0.0 |];
+    st_kind = 0;
+    st_a = 0;
+    st_b = 0;
+    st_action = no_action;
+    sc_time = [| 0.0 |];
+    sc_seq = 0;
+    sc_kind = 0;
+    sc_a = 0;
+    sc_b = 0;
+    sc_action = no_action;
+  }
 
 let size t = t.size
 
 let is_empty t = t.size = 0
 
-let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+let reserve t n =
+  let cap = Array.length t.times in
+  if n > cap then begin
+    let ncap =
+      let c = ref cap in
+      while !c < n do
+        c := 2 * !c
+      done;
+      !c
+    in
+    let blit_f a =
+      let b = Array.make ncap 0.0 in
+      Array.blit a 0 b 0 t.size;
+      b
+    in
+    let blit_i a =
+      let b = Array.make ncap 0 in
+      Array.blit a 0 b 0 t.size;
+      b
+    in
+    let b = Array.make ncap no_action in
+    Array.blit t.actions 0 b 0 t.size;
+    t.times <- blit_f t.times;
+    t.seqs <- blit_i t.seqs;
+    t.kinds <- blit_i t.kinds;
+    t.pa <- blit_i t.pa;
+    t.pb <- blit_i t.pb;
+    t.actions <- b
+  end
 
-let grow t =
-  let entries = Array.make (2 * Array.length t.entries) dummy in
-  Array.blit t.entries 0 entries 0 t.size;
-  t.entries <- entries
+let grow t = reserve t (2 * Array.length t.times)
 
-(* Move [entry] up from hole [i] until its parent is not later. *)
-let rec sift_up t entry i =
-  if i = 0 then t.entries.(0) <- entry
-  else
-    let parent = (i - 1) / 2 in
-    if before entry t.entries.(parent) then begin
-      t.entries.(i) <- t.entries.(parent);
-      sift_up t entry parent
+(* Copy slot [src] over slot [dst]. *)
+let[@inline] copy_slot t src dst =
+  t.times.(dst) <- t.times.(src);
+  t.seqs.(dst) <- t.seqs.(src);
+  t.kinds.(dst) <- t.kinds.(src);
+  t.pa.(dst) <- t.pa.(src);
+  t.pb.(dst) <- t.pb.(src);
+  t.actions.(dst) <- t.actions.(src)
+
+(* Write the staged entry (sequence number [seq]) into slot [i]. *)
+let[@inline] write_staged t i seq =
+  t.times.(i) <- t.st_time.(0);
+  t.seqs.(i) <- seq;
+  t.kinds.(i) <- t.st_kind;
+  t.pa.(i) <- t.st_a;
+  t.pb.(i) <- t.st_b;
+  t.actions.(i) <- t.st_action
+
+(* Move the staged entry up from hole [i] until its parent is not later. *)
+let rec sift_up t seq i =
+  if i = 0 then write_staged t 0 seq
+  else begin
+    let p = (i - 1) / 2 in
+    let st = t.st_time.(0) in
+    let pt = t.times.(p) in
+    if st < pt || (st = pt && seq < t.seqs.(p)) then begin
+      copy_slot t p i;
+      sift_up t seq p
     end
-    else t.entries.(i) <- entry
+    else write_staged t i seq
+  end
 
-let push_impl t ~time action =
-  if t.size = Array.length t.entries then grow t;
-  let entry = { time; seq = t.next_seq; action } in
-  t.next_seq <- t.next_seq + 1;
-  sift_up t entry t.size;
+let push_staged_impl t =
+  if t.size = Array.length t.times then grow t;
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  sift_up t seq t.size;
   t.size <- t.size + 1
 
 let span_push = Obs.Span.probe "heap.push"
@@ -55,44 +151,97 @@ let span_push = Obs.Span.probe "heap.push"
 (* Span probes on the hottest structure are gated on [Span.enabled] so
    the disabled path keeps PR 1's no-closure discipline: one atomic
    load + branch, no allocation. *)
-let push t ~time action =
-  if Obs.Span.enabled () then Obs.Span.timed span_push (fun () -> push_impl t ~time action)
-  else push_impl t ~time action
+let push_staged t =
+  if Obs.Span.enabled () then Obs.Span.timed span_push (fun () -> push_staged_impl t)
+  else push_staged_impl t
 
-let peek_time t = if t.size = 0 then None else Some t.entries.(0).time
+let[@inline] push t ~time action =
+  t.st_time.(0) <- time;
+  t.st_kind <- 0;
+  t.st_a <- 0;
+  t.st_b <- 0;
+  t.st_action <- action;
+  push_staged t
 
-(* Move [item] down from hole [i], pulling the earlier child up. *)
-let rec sift_down t item i =
+let[@inline] push_coded t ~time ~kind ~a ~b =
+  t.st_time.(0) <- time;
+  t.st_kind <- kind;
+  t.st_a <- a;
+  t.st_b <- b;
+  t.st_action <- no_action;
+  push_staged t
+
+let peek_time t = if t.size = 0 then None else Some t.times.(0)
+
+(* Move the staged entry down from hole [i], pulling the earlier child
+   up. *)
+let rec sift_down t seq i =
   let l = (2 * i) + 1 in
-  if l >= t.size then t.entries.(i) <- item
+  if l >= t.size then write_staged t i seq
   else begin
     let r = l + 1 in
-    let c = if r < t.size && before t.entries.(r) t.entries.(l) then r else l in
-    if before t.entries.(c) item then begin
-      t.entries.(i) <- t.entries.(c);
-      sift_down t item c
+    let c =
+      if
+        r < t.size
+        && (t.times.(r) < t.times.(l)
+           || (t.times.(r) = t.times.(l) && t.seqs.(r) < t.seqs.(l)))
+      then r
+      else l
+    in
+    let st = t.st_time.(0) in
+    let ct = t.times.(c) in
+    if ct < st || (ct = st && t.seqs.(c) < seq) then begin
+      copy_slot t c i;
+      sift_down t seq c
     end
-    else t.entries.(i) <- item
+    else write_staged t i seq
   end
 
 exception Empty
 
-(* The entry record allocated at push time is returned as-is; guarded
-   callers (see [Sim.run]) pay no allocation per pop. *)
-let pop_entry_impl t =
+(* Pop the root into the scratch slot; no allocation. *)
+let pop_into_impl t =
   if t.size = 0 then raise Empty;
-  let top = t.entries.(0) in
+  t.sc_time.(0) <- t.times.(0);
+  t.sc_seq <- t.seqs.(0);
+  t.sc_kind <- t.kinds.(0);
+  t.sc_a <- t.pa.(0);
+  t.sc_b <- t.pb.(0);
+  t.sc_action <- t.actions.(0);
   t.size <- t.size - 1;
-  let last = t.entries.(t.size) in
-  t.entries.(t.size) <- dummy;
-  if t.size > 0 then sift_down t last 0;
-  top
+  let n = t.size in
+  if n > 0 then begin
+    (* Stage the last entry and sift it down from the root. *)
+    t.st_time.(0) <- t.times.(n);
+    t.st_kind <- t.kinds.(n);
+    t.st_a <- t.pa.(n);
+    t.st_b <- t.pb.(n);
+    t.st_action <- t.actions.(n);
+    let seq = t.seqs.(n) in
+    t.actions.(n) <- no_action;
+    sift_down t seq 0
+  end
+  else t.actions.(0) <- no_action
 
 let span_pop = Obs.Span.probe "heap.pop"
 
+let pop_into t =
+  if Obs.Span.enabled () then Obs.Span.timed span_pop (fun () -> pop_into_impl t)
+  else pop_into_impl t
+
+let[@inline] scratch_time t = t.sc_time.(0)
+let[@inline] scratch_seq t = t.sc_seq
+let[@inline] scratch_kind t = t.sc_kind
+let[@inline] scratch_a t = t.sc_a
+let[@inline] scratch_b t = t.sc_b
+let[@inline] scratch_action t = t.sc_action
+
+(* Compatibility pop for cold callers and tests: materialise the scratch
+   slot as a record (this path allocates; the event loop uses
+   [pop_into] + the scratch accessors instead). *)
 let pop_entry_exn t =
-  if Obs.Span.enabled () then Obs.Span.timed span_pop (fun () -> pop_entry_impl t)
-  else pop_entry_impl t
+  pop_into t;
+  { time = t.sc_time.(0); seq = t.sc_seq; action = t.sc_action }
 
 let pop t =
   if t.size = 0 then None

@@ -1,7 +1,14 @@
 (** Binary min-heap of timed events with FIFO tie-breaking.
 
     Events scheduled for the same instant fire in insertion order, which
-    keeps simulations deterministic. *)
+    keeps simulations deterministic.
+
+    The heap is struct-of-arrays and supports two entry shapes: closure
+    events (the historical API, kind 0) and {e coded} events — an int
+    [kind > 0] plus two int operands — which the simulator dispatches
+    through a single match without scheduling any closure. The hot
+    push/pop paths ([push], [push_coded], [pop_into]) allocate nothing
+    when span profiling is disabled. *)
 
 type entry = private { time : float; seq : int; action : unit -> unit }
 
@@ -14,17 +21,37 @@ val size : t -> int
 
 val is_empty : t -> bool
 
-(** [push t ~time action] schedules [action] at [time]. *)
+(** Pre-size the arrays to hold at least [n] entries (benchmarks use
+    this to keep growth out of measured windows). *)
+val reserve : t -> int -> unit
+
+(** [push t ~time action] schedules closure [action] at [time]. *)
 val push : t -> time:float -> (unit -> unit) -> unit
+
+(** [push_coded t ~time ~kind ~a ~b] schedules a coded event; [kind]
+    must be positive (0 is reserved for closure entries). Allocation-
+    free. *)
+val push_coded : t -> time:float -> kind:int -> a:int -> b:int -> unit
 
 (** Earliest scheduled time, if any. *)
 val peek_time : t -> float option
 
 exception Empty
 
-(** Remove and return the earliest event's entry without allocating;
-    raises [Empty] on an empty heap. The hot path ([Sim.run]) uses this
-    behind an [is_empty] guard. *)
+(** Remove the earliest event into the scratch slot (read it back with
+    the [scratch_*] accessors before the next pop); raises [Empty] on an
+    empty heap. Allocation-free. *)
+val pop_into : t -> unit
+
+val scratch_time : t -> float
+val scratch_seq : t -> int
+val scratch_kind : t -> int
+val scratch_a : t -> int
+val scratch_b : t -> int
+val scratch_action : t -> unit -> unit
+
+(** Remove and return the earliest event's entry; raises [Empty] on an
+    empty heap. Compatibility path: allocates the returned record. *)
 val pop_entry_exn : t -> entry
 
 (** Remove and return the earliest event. *)

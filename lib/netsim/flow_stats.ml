@@ -4,7 +4,22 @@
    that a 60-second, 100 Mbit/s flow stays small in memory while all the
    paper's time-series plots (throughput vs. time, per-interval
    utilization CDFs) can still be regenerated. Aggregate counters and
-   RTT moments are kept exactly. *)
+   RTT moments are kept exactly.
+
+   The record sits on the simulator's ACK path, which carries a
+   zero-allocation contract (see Flow_table): all float scalars live in
+   one flat accumulator array — a mutable float field in this mixed
+   record would box on every write — and a bin update is a constant
+   number of unboxed array stores once the grid has grown to cover the
+   current time. *)
+
+(* Slots of the float accumulator array. *)
+let a_rtt_sum = 0
+let a_rtt_min = 1
+let a_rtt_max = 2
+let a_first_delivery = 3
+let a_last_delivery = 4
+let acc_slots = 5
 
 type t = {
   bin : float;
@@ -18,32 +33,28 @@ type t = {
   mutable total_sent : int;  (* bytes *)
   mutable total_lost : int;  (* packets *)
   mutable total_acked_pkts : int;
-  mutable rtt_sum : float;
-  mutable rtt_min : float;
-  mutable rtt_max : float;
-  mutable first_delivery : float;
-  mutable last_delivery : float;
+  acc : float array;  (* see the a_* slots above *)
 }
 
-let create ?(bin = 0.01) () =
-  assert (bin > 0.0);
+let create ?(bin = 0.01) ?(initial_bins = 1024) () =
+  assert (bin > 0.0 && initial_bins > 0);
+  let acc = Array.make acc_slots 0.0 in
+  acc.(a_rtt_min) <- infinity;
+  acc.(a_first_delivery) <- nan;
+  acc.(a_last_delivery) <- nan;
   {
     bin;
-    delivered_bins = Array.make 1024 0.0;
-    rtt_sum_bins = Array.make 1024 0.0;
-    rtt_cnt_bins = Array.make 1024 0;
-    lost_bins = Array.make 1024 0;
-    sent_bins = Array.make 1024 0.0;
+    delivered_bins = Array.make initial_bins 0.0;
+    rtt_sum_bins = Array.make initial_bins 0.0;
+    rtt_cnt_bins = Array.make initial_bins 0;
+    lost_bins = Array.make initial_bins 0;
+    sent_bins = Array.make initial_bins 0.0;
     used = 0;
     total_delivered = 0;
     total_sent = 0;
     total_lost = 0;
     total_acked_pkts = 0;
-    rtt_sum = 0.0;
-    rtt_min = infinity;
-    rtt_max = 0.0;
-    first_delivery = nan;
-    last_delivery = nan;
+    acc;
   }
 
 let bin_width t = t.bin
@@ -63,32 +74,32 @@ let rec ensure t idx =
     ensure t idx
   end
 
-let index t now =
+let[@inline] index t now =
   let idx = int_of_float (now /. t.bin) in
-  let idx = max 0 idx in
+  let idx = if idx < 0 then 0 else idx in
   ensure t idx;
   if idx + 1 > t.used then t.used <- idx + 1;
   idx
 
-let record_delivery t ~now ~bytes ~rtt =
+let[@inline] record_delivery t ~now ~bytes ~rtt =
   let idx = index t now in
   t.delivered_bins.(idx) <- t.delivered_bins.(idx) +. float_of_int bytes;
   t.rtt_sum_bins.(idx) <- t.rtt_sum_bins.(idx) +. rtt;
   t.rtt_cnt_bins.(idx) <- t.rtt_cnt_bins.(idx) + 1;
   t.total_delivered <- t.total_delivered + bytes;
   t.total_acked_pkts <- t.total_acked_pkts + 1;
-  t.rtt_sum <- t.rtt_sum +. rtt;
-  if rtt < t.rtt_min then t.rtt_min <- rtt;
-  if rtt > t.rtt_max then t.rtt_max <- rtt;
-  if Float.is_nan t.first_delivery then t.first_delivery <- now;
-  t.last_delivery <- now
+  t.acc.(a_rtt_sum) <- t.acc.(a_rtt_sum) +. rtt;
+  if rtt < t.acc.(a_rtt_min) then t.acc.(a_rtt_min) <- rtt;
+  if rtt > t.acc.(a_rtt_max) then t.acc.(a_rtt_max) <- rtt;
+  if Float.is_nan t.acc.(a_first_delivery) then t.acc.(a_first_delivery) <- now;
+  t.acc.(a_last_delivery) <- now
 
-let record_loss t ~now ~pkts =
+let[@inline] record_loss t ~now ~pkts =
   let idx = index t now in
   t.lost_bins.(idx) <- t.lost_bins.(idx) + pkts;
   t.total_lost <- t.total_lost + pkts
 
-let record_send t ~now ~bytes =
+let[@inline] record_send t ~now ~bytes =
   let idx = index t now in
   t.sent_bins.(idx) <- t.sent_bins.(idx) +. float_of_int bytes;
   t.total_sent <- t.total_sent + bytes
@@ -100,10 +111,14 @@ let total_acked_pkts t = t.total_acked_pkts
 
 let mean_rtt t =
   if t.total_acked_pkts = 0 then nan
-  else t.rtt_sum /. float_of_int t.total_acked_pkts
+  else t.acc.(a_rtt_sum) /. float_of_int t.total_acked_pkts
 
-let min_rtt t = t.rtt_min
-let max_rtt t = t.rtt_max
+let min_rtt t = t.acc.(a_rtt_min)
+let max_rtt t = t.acc.(a_rtt_max)
+
+(* First/last delivery instants; [nan] before any delivery. *)
+let first_delivery t = t.acc.(a_first_delivery)
+let last_delivery t = t.acc.(a_last_delivery)
 
 (* Loss rate = lost / (lost + delivered packets). *)
 let loss_rate t =

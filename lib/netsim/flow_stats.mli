@@ -2,8 +2,10 @@
 
 type t
 
-(** [create ?bin ()] uses a time grid of [bin] seconds (default 10 ms). *)
-val create : ?bin:float -> unit -> t
+(** [create ?bin ?initial_bins ()] uses a time grid of [bin] seconds
+    (default 10 ms), preallocating [initial_bins] grid slots so the
+    common case never grows mid-run. *)
+val create : ?bin:float -> ?initial_bins:int -> unit -> t
 
 val bin_width : t -> float
 
@@ -21,6 +23,11 @@ val mean_rtt : t -> float
 
 val min_rtt : t -> float
 val max_rtt : t -> float
+
+(** First/last delivery instants; [nan] before any delivery. *)
+val first_delivery : t -> float
+
+val last_delivery : t -> float
 
 (** lost / (lost + acked) packets. *)
 val loss_rate : t -> float

@@ -1,0 +1,98 @@
+(** Arena flow engine: flows as int handles into struct-of-arrays
+    state, scheduled entirely through coded events.
+
+    The behavioral twin of {!Flow} — same pacing, dup-ACK loss
+    detection, RTO and RTT estimator, event for event — but flows cost
+    a few array slots instead of records and closures, ACK handling
+    resolves packets in O(1) instead of O(inflight), and the
+    steady-state ACK path allocates nothing on the minor heap when
+    tracing is off. Use it for many-flow runs (the population traffic
+    model); the closure engine remains for single-flow studies.
+
+    A table installs the simulation's coded-event handler at {!create};
+    run at most one table per {!Sim.t}. *)
+
+type t
+
+(** Congestion control for an arena flow. [Aimd] (slow start +
+    additive-increase / halve-on-loss) and [Rate] (unresponsive CBR)
+    run natively on the arrays with no per-ACK allocation; [Generic]
+    delegates to closure-based {!Cca.t} callbacks (allocates per ACK —
+    the compatibility path, and what the arena-vs-legacy equivalence
+    test runs). *)
+type cca = Aimd | Rate of float | Generic of Cca.t
+
+(** [create ?capacity ?stats_bin ?lite ~sim ()] — [capacity] presizes
+    the arena (it grows by doubling); [lite] skips per-flow
+    {!Flow_stats} time series and keeps only scalar aggregates, the
+    right mode for thousands of short flows. *)
+val create : ?capacity:int -> ?stats_bin:float -> ?lite:bool -> sim:Sim.t -> unit -> t
+
+(** Attach the bottleneck link all flows send into. *)
+val attach : t -> Link.t -> unit
+
+(** Add a flow; returns its handle. [size_bytes] bounds the transfer
+    (the flow completes once that many bytes are delivered, recording
+    its completion time); omitted means an unbounded source. *)
+val add_flow :
+  t ->
+  cca:cca ->
+  return_delay:float ->
+  start_at:float ->
+  stop_at:float ->
+  ?pkt_size:int ->
+  ?dup_thresh:int ->
+  ?size_bytes:int ->
+  unit ->
+  int
+
+(** Schedule the flow's first send at its [start_at]. *)
+val start : t -> int -> unit
+
+(** Mark a flow finished (stops sending and ACK processing). *)
+val finish : t -> int -> unit
+
+val flow_count : t -> int
+val sim : t -> Sim.t
+
+(** Link-delivery callback: pass as the link's [deliver] to route
+    egress packets back as coded ACK events after each flow's return
+    delay (corrupt packets are discarded — no ACK). *)
+val on_pkt_delivered : t -> Packet.t -> unit
+
+(** {2 Per-flow accessors} *)
+
+val cca_name : t -> int -> string
+val return_delay : t -> int -> float
+
+(** Full-mode per-flow time series; raises in [lite] mode. *)
+val stats : t -> int -> Flow_stats.t
+
+val delivered_bytes : t -> int -> int
+val acked_pkts : t -> int -> int
+val lost_pkts : t -> int -> int
+val sent_pkts : t -> int -> int
+val inflight : t -> int -> int
+
+(** Mean/min RTT over acknowledged packets; [nan]/[inf] when none. *)
+val mean_rtt : t -> int -> float
+
+val min_rtt : t -> int -> float
+val finished : t -> int -> bool
+
+(** The flow's configured [start_at] (FCT = completion - start). *)
+val start_time : t -> int -> float
+
+(** Completion instant of a bounded flow; [nan] while running. *)
+val completion_time : t -> int -> float
+
+(** {2 Bench/test hooks} *)
+
+(** Process the ACK for [(flow, seq)] at the current sim time — exactly
+    the coded-ACK event body. The allocation-contract bench drives the
+    ACK path through this without spinning the event loop. *)
+val deliver_ack : t -> int -> int -> unit
+
+(** Emit one packet immediately, bypassing pacing and window (preloads
+    inflight state for the allocation bench). *)
+val bench_send : t -> int -> unit

@@ -36,6 +36,9 @@ type t = {
   rng : Rng.t;
   hooks : hooks option;
   deliver : Packet.t -> unit;  (* invoked when a packet finishes service *)
+  fast_rate : float;  (* constant unshaped service rate, or nan *)
+  mutable finish_thunk : unit -> unit;  (* preallocated service events: *)
+  mutable retry_thunk : unit -> unit;  (* no per-packet closures *)
   mutable busy : bool;
   mutable delivered_bytes : int;
   mutable delivered_pkts : int;
@@ -53,29 +56,6 @@ let m_delivered = Obs.Metrics.counter "netsim.link.delivered_pkts"
 let m_tail_drops = Obs.Metrics.counter "netsim.link.tail_drops"
 let m_random_drops = Obs.Metrics.counter "netsim.link.random_drops"
 let m_queue_bytes = Obs.Metrics.gauge "netsim.link.queue_bytes"
-
-let create ?(aqm = `Fifo) ?hooks ~sim ~rate_fn ~grain ~buffer_bytes ~loss_p ~rng
-    ~deliver () =
-  {
-    sim;
-    rate_fn;
-    grain;
-    hooks;
-    queue =
-      (match aqm with
-      | `Fifo -> Fifo (Droptail.create ~capacity:buffer_bytes)
-      | `Codel -> Codel_q (Codel.create ~capacity:buffer_bytes ()));
-    loss_p;
-    rng;
-    deliver;
-    busy = false;
-    delivered_bytes = 0;
-    delivered_pkts = 0;
-    random_drops = 0;
-    queue_delay_sum = 0.0;
-    queue_delay_samples = 0;
-    traced_rate = nan;
-  }
 
 let queue_bytes t =
   match t.queue with Fifo q -> Droptail.bytes q | Codel_q q -> Codel.bytes q
@@ -101,49 +81,106 @@ let mean_queue_delay t =
   if t.queue_delay_samples = 0 then 0.0
   else t.queue_delay_sum /. float_of_int t.queue_delay_samples
 
-let peek t =
-  match t.queue with Fifo q -> Droptail.peek q | Codel_q q -> Codel.peek q
-
-let dequeue t ~now =
-  match t.queue with
-  | Fifo q -> Droptail.dequeue q
-  | Codel_q q -> Codel.dequeue q ~now
-
+(* The egress path (start_service / finish_service) is a zero-allocation
+   contract when tracing is off: service events reuse the link's two
+   preallocated thunks, the droptail branch pops without options, and a
+   constant-rate unshaped link skips the (boxing) rate-closure call.
+   The events-per-sec bench asserts the contract with Gc.counters. *)
 let rec start_service t =
-  match peek t with
-  | None -> t.busy <- false
-  | Some pkt ->
+  if queue_is_empty t then t.busy <- false
+  else begin
     t.busy <- true;
     let now = Sim.now t.sim in
-    let rate = rate_at t now in
+    let rate =
+      if Float.is_nan t.fast_rate then rate_at t now else t.fast_rate
+    in
     if Obs.Trace.on Obs.Category.Link && rate <> t.traced_rate then begin
       t.traced_rate <- rate;
       Obs.Trace.emit (Obs.Event.Link_rate { t = now; rate })
     end;
     if rate < min_rate then
       (* Outage: look again one grain later. *)
-      Sim.after t.sim t.grain (fun () -> start_service t)
+      Sim.after t.sim t.grain t.retry_thunk
     else begin
-      let tx_time = float_of_int pkt.Packet.size /. rate in
-      Sim.after t.sim tx_time (fun () -> finish_service t)
+      let size =
+        match t.queue with
+        | Fifo q -> (Droptail.peek_exn q).Packet.size
+        | Codel_q q -> (
+          match Codel.peek q with Some p -> p.Packet.size | None -> 0)
+      in
+      let tx_time = float_of_int size /. rate in
+      Sim.after t.sim tx_time t.finish_thunk
     end
+  end
 
 and finish_service t =
-  let now = Sim.now t.sim in
-  match dequeue t ~now with
-  | None -> t.busy <- false
-  | Some pkt ->
-    t.delivered_bytes <- t.delivered_bytes + pkt.Packet.size;
-    t.delivered_pkts <- t.delivered_pkts + 1;
-    Obs.Metrics.incr m_delivered;
-    Obs.Metrics.set m_queue_bytes (float_of_int (queue_bytes t));
-    if Obs.Trace.on Obs.Category.Pkt then
-      Obs.Trace.emit
-        (Obs.Event.Dequeue
-           { t = now; flow = pkt.Packet.flow; seq = pkt.Packet.seq;
-             size = pkt.Packet.size; backlog = queue_bytes t });
-    t.deliver pkt;
-    start_service t
+  match t.queue with
+  | Fifo q ->
+    if Droptail.is_empty q then t.busy <- false
+    else deliver_finished t (Droptail.dequeue_exn q)
+  | Codel_q q -> (
+    (* CoDel may drop its way to an empty queue at dequeue time. *)
+    match Codel.dequeue q ~now:(Sim.now t.sim) with
+    | None -> t.busy <- false
+    | Some pkt -> deliver_finished t pkt)
+
+(* [now] is re-read from the clock inside the gated branch rather than
+   passed in: a float argument to a call within this recursive group
+   cannot be inlined away and would box on every delivery. *)
+and deliver_finished t pkt =
+  t.delivered_bytes <- t.delivered_bytes + pkt.Packet.size;
+  t.delivered_pkts <- t.delivered_pkts + 1;
+  Obs.Metrics.incr m_delivered;
+  Obs.Metrics.set m_queue_bytes (float_of_int (queue_bytes t));
+  if Obs.Trace.on Obs.Category.Pkt then
+    Obs.Trace.emit
+      (Obs.Event.Dequeue
+         { t = Sim.now t.sim; flow = pkt.Packet.flow; seq = pkt.Packet.seq;
+           size = pkt.Packet.size; backlog = queue_bytes t });
+  t.deliver pkt;
+  start_service t
+
+(* Bench/test hook: run one service completion directly (exactly the
+   event the link schedules for itself); the allocation-contract bench
+   drives egress through this without spinning the event loop. *)
+let drain_one t = finish_service t
+
+let create ?(aqm = `Fifo) ?hooks ?const_rate ~sim ~rate_fn ~grain ~buffer_bytes
+    ~loss_p ~rng ~deliver () =
+  (* The fast service path reads a stored constant instead of calling
+     the (boxing) rate closure — valid only when no shaper can rewrite
+     the rate. *)
+  let fast_rate =
+    match (hooks, const_rate) with None, Some r -> r | _ -> nan
+  in
+  let t =
+    {
+      sim;
+      rate_fn;
+      grain;
+      hooks;
+      queue =
+        (match aqm with
+        | `Fifo -> Fifo (Droptail.create ~capacity:buffer_bytes)
+        | `Codel -> Codel_q (Codel.create ~capacity:buffer_bytes ()));
+      loss_p;
+      rng;
+      deliver;
+      fast_rate;
+      finish_thunk = ignore;
+      retry_thunk = ignore;
+      busy = false;
+      delivered_bytes = 0;
+      delivered_pkts = 0;
+      random_drops = 0;
+      queue_delay_sum = 0.0;
+      queue_delay_samples = 0;
+      traced_rate = nan;
+    }
+  in
+  t.finish_thunk <- (fun () -> finish_service t);
+  t.retry_thunk <- (fun () -> start_service t);
+  t
 
 (* Admit a packet: Bernoulli stochastic loss first, then droptail. *)
 let admit t pkt =

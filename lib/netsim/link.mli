@@ -22,6 +22,7 @@ type hooks = {
 val create :
   ?aqm:[ `Fifo | `Codel ] ->
   ?hooks:hooks ->
+  ?const_rate:float ->
   sim:Sim.t ->
   rate_fn:(float -> float) ->
   grain:float ->
@@ -57,3 +58,8 @@ val rate_at : t -> float -> float
 
 (** Mean queueing delay experienced at admission, seconds. *)
 val mean_queue_delay : t -> float
+
+(** Bench/test hook: run one service completion directly — exactly the
+    event the link schedules for itself — without spinning the event
+    loop. The allocation-contract bench drives egress through this. *)
+val drain_one : t -> unit

@@ -29,23 +29,74 @@ type summary = {
   queue_drops : int;
   random_drops : int;
   duration : float;
+  events : int;  (* simulator events executed during the run *)
 }
 
 (* Integral of the (piecewise-constant) rate function over [0, duration],
    sampled at the trace grain. Constant-rate links (the whole wired trace
    set) short-circuit to rate * duration instead of walking the steps. *)
+
+(* Steps whose upper edge [t0 +. grain] (computed exactly as the walk
+   does, so classification and summation agree in floating point) lies
+   at or below [duration]; everything past them is one partial step. *)
+let full_steps ~grain duration =
+  let k = ref (int_of_float (duration /. grain)) in
+  if !k < 0 then k := 0;
+  while !k > 0 && (float_of_int (!k - 1) *. grain) +. grain > duration do
+    decr k
+  done;
+  while (float_of_int !k *. grain) +. grain <= duration do
+    incr k
+  done;
+  !k
+
+(* One query from a cold start: full steps in order, then the partial
+   tail. The incremental integrator reproduces exactly these partial
+   sums, so all query paths agree bit for bit. *)
+let walk ~rate_fn ~grain duration =
+  let full = full_steps ~grain duration in
+  let acc = ref 0.0 in
+  for i = 0 to full - 1 do
+    let t0 = float_of_int i *. grain in
+    acc := !acc +. (rate_fn t0 *. ((t0 +. grain) -. t0))
+  done;
+  let t0 = float_of_int full *. grain in
+  if t0 < duration then !acc +. (rate_fn t0 *. (duration -. t0)) else !acc
+
+(* [capacity_integrator ?const_rate ~rate_fn ~grain ()] returns
+   [query : duration -> bytes]. Monotonically increasing queries are
+   incremental: completed full steps are cached, so a sequence of m
+   queries over n steps costs O(n + m) rate_fn samples instead of
+   O(n * m). A backward query falls back to a cold walk (the cache
+   keeps the forward frontier). *)
+let capacity_integrator ?const_rate ~rate_fn ~grain () =
+  match const_rate with
+  | Some rate -> fun duration -> rate *. duration
+  | None ->
+    let steps_done = ref 0 in
+    (* sum over full steps [0, steps_done) *)
+    let acc = ref 0.0 in
+    fun duration ->
+      if duration <= 0.0 then 0.0
+      else begin
+        let full = full_steps ~grain duration in
+        if full < !steps_done then walk ~rate_fn ~grain duration
+        else begin
+          for i = !steps_done to full - 1 do
+            let t0 = float_of_int i *. grain in
+            acc := !acc +. (rate_fn t0 *. ((t0 +. grain) -. t0))
+          done;
+          steps_done := full;
+          let t0 = float_of_int full *. grain in
+          if t0 < duration then !acc +. (rate_fn t0 *. (duration -. t0))
+          else !acc
+        end
+      end
+
 let capacity_integral ?const_rate ~rate_fn ~grain ~duration () =
   match const_rate with
   | Some rate -> rate *. duration
-  | None ->
-    let steps = int_of_float (ceil (duration /. grain)) in
-    let acc = ref 0.0 in
-    for i = 0 to steps - 1 do
-      let t0 = float_of_int i *. grain in
-      let t1 = Float.min duration (t0 +. grain) in
-      acc := !acc +. (rate_fn t0 *. (t1 -. t0))
-    done;
-    !acc
+  | None -> if duration <= 0.0 then 0.0 else walk ~rate_fn ~grain duration
 
 let span_run = Obs.Span.probe "netsim.run"
 
@@ -82,8 +133,9 @@ let run ?(seed = 42) ?(stats_bin = 0.01) ?(dup_thresh = 1) ?faults ~link ~flows
       Sim.after sim rtts.(pkt.Packet.flow) (fun () -> Flow.handle_ack flow pkt)
   in
   let the_link =
-    Link.create ~aqm:link.aqm ?hooks ~sim ~rate_fn:link.rate_fn ~grain:link.grain
-      ~buffer_bytes:link.buffer_bytes ~loss_p:link.loss_p ~rng ~deliver ()
+    Link.create ~aqm:link.aqm ?hooks ?const_rate:link.const_rate ~sim
+      ~rate_fn:link.rate_fn ~grain:link.grain ~buffer_bytes:link.buffer_bytes
+      ~loss_p:link.loss_p ~rng ~deliver ()
   in
   Array.iter
     (fun f ->
@@ -110,6 +162,69 @@ let run ?(seed = 42) ?(stats_bin = 0.01) ?(dup_thresh = 1) ?faults ~link ~flows
     queue_drops = Link.queue_drops the_link;
     random_drops = Link.random_drops the_link;
     duration;
+    events = Sim.events sim;
+  }
+
+let span_run_arena = Obs.Span.probe "netsim.run_arena"
+
+(* The same scenario on the arena engine (Flow_table). Configured CCAs
+   run as [Generic] flows, so under the same seed the run is
+   byte-identical to [run] -- the equivalence test in test_population
+   holds that line; native arena CCAs and lite mode are for callers
+   that build their own tables (the population runner). *)
+let run_arena ?(seed = 42) ?(stats_bin = 0.01) ?(dup_thresh = 1) ?faults ~link
+    ~flows ~duration () =
+ Obs.Span.timed span_run_arena @@ fun () ->
+  let sim = Sim.create () in
+  if Obs.Trace.on Obs.Category.Run then
+    Obs.Trace.emit (Obs.Event.Run_start { t = Sim.now sim; label = "sim" });
+  let rng = Rng.create seed in
+  let hooks =
+    Option.map (fun mk -> mk (Rng.split_key rng ~key:0xFA)) faults
+  in
+  let table =
+    Flow_table.create ~capacity:(max 64 (List.length flows)) ~stats_bin ~sim ()
+  in
+  List.iter
+    (fun (cfg : flow_cfg) ->
+      ignore
+        (Flow_table.add_flow table ~cca:(Flow_table.Generic cfg.cca)
+           ~return_delay:cfg.rtt ~start_at:cfg.start_at ~stop_at:cfg.stop_at
+           ~dup_thresh ()))
+    flows;
+  let the_link =
+    Link.create ~aqm:link.aqm ?hooks ?const_rate:link.const_rate ~sim
+      ~rate_fn:link.rate_fn ~grain:link.grain ~buffer_bytes:link.buffer_bytes
+      ~loss_p:link.loss_p ~rng
+      ~deliver:(Flow_table.on_pkt_delivered table)
+      ()
+  in
+  Flow_table.attach table the_link;
+  for h = 0 to Flow_table.flow_count table - 1 do
+    Flow_table.start table h
+  done;
+  Sim.run sim ~until:duration;
+  for h = 0 to Flow_table.flow_count table - 1 do
+    Flow_table.finish table h
+  done;
+  let results =
+    List.init (Flow_table.flow_count table) (fun h ->
+        {
+          flow_id = h;
+          cca_name = Flow_table.cca_name table h;
+          stats = Flow_table.stats table h;
+        })
+  in
+  {
+    flows = results;
+    link_delivered_bytes = Link.delivered_bytes the_link;
+    capacity_bytes =
+      capacity_integral ?const_rate:link.const_rate ~rate_fn:link.rate_fn
+        ~grain:link.grain ~duration ();
+    queue_drops = Link.queue_drops the_link;
+    random_drops = Link.random_drops the_link;
+    duration;
+    events = Sim.events sim;
   }
 
 (* Overall link utilization: bytes that crossed the bottleneck divided by

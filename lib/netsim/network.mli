@@ -28,6 +28,7 @@ type summary = {
   queue_drops : int;
   random_drops : int;
   duration : float;
+  events : int;  (** simulator events executed during the run *)
 }
 
 (** Integral of the rate function over [0, duration] (bytes).
@@ -40,6 +41,19 @@ val capacity_integral :
   unit ->
   float
 
+(** Incremental form: the returned [query : duration -> bytes] agrees
+    with {!capacity_integral} bit for bit, and caches completed trace
+    steps so monotonically increasing queries cost O(steps + queries)
+    rate samples in total instead of O(steps * queries). Backward
+    queries recompute from zero. *)
+val capacity_integrator :
+  ?const_rate:float ->
+  rate_fn:(float -> float) ->
+  grain:float ->
+  unit ->
+  float ->
+  float
+
 (** Run the scenario to completion and return per-flow and link
     aggregates. [seed] drives the stochastic loss process.
     [dup_thresh] (default 1) is the senders' dup-ACK loss threshold;
@@ -48,6 +62,22 @@ val capacity_integral :
     does not perturb the link's own loss stream, and corrupted packets
     are discarded at the receiver (no ACK). *)
 val run :
+  ?seed:int ->
+  ?stats_bin:float ->
+  ?dup_thresh:int ->
+  ?faults:(Rng.t -> Link.hooks) ->
+  link:link_cfg ->
+  flows:flow_cfg list ->
+  duration:float ->
+  unit ->
+  summary
+
+(** [run] on the arena engine ({!Flow_table}): configured CCAs become
+    [Generic] arena flows, so the result is byte-identical to {!run}
+    under the same seed while exercising the coded-event path end to
+    end. Many-flow workloads that want native arena CCAs or lite stats
+    build a {!Flow_table} directly (see {!Population}). *)
+val run_arena :
   ?seed:int ->
   ?stats_bin:float ->
   ?dup_thresh:int ->

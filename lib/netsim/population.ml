@@ -1,0 +1,108 @@
+(* Open-loop population traffic: flows arrive over time and carry
+   finite, heavy-tailed transfers, instead of the closed-loop "n
+   long-running sources" setup the headline experiments use. This is
+   the workload that motivates the arena engine (Flow_table): most real
+   traffic is short flows arriving at a shared bottleneck while a few
+   long transfers persist, and congestion-control behavior under that
+   churn (flow completion times, long-flow throughput under churn) is a
+   different question than steady-state fairness.
+
+   Determinism: the arrival and size processes draw from keyed streams
+   derived with [Rng.split_key], which depends on the parent's seed and
+   the key alone -- not on its draw position. A population run is
+   therefore bit-identical regardless of what else draws from the
+   parent rng, and regardless of worker-pool size when the harness fans
+   runs out (test_exec holds that line). *)
+
+type arrivals =
+  | Poisson of float  (* rate, flows/s: exponential inter-arrivals *)
+  | Lognormal_iat of { mu : float; sigma : float }  (* ln-space params *)
+
+type sizes =
+  | Pareto of { xm : float; alpha : float }  (* heavy tail; bytes *)
+  | Lognormal_size of { mu : float; sigma : float }  (* ln-space, bytes *)
+  | Fixed of int
+
+type diurnal = { amp : float; period : float }
+
+type cfg = {
+  arrivals : arrivals;
+  sizes : sizes;
+  diurnal : diurnal option;
+  rtt : float;  (* two-way propagation delay for every arrival *)
+  cca : Flow_table.cca;
+  pkt_size : int;
+  max_flows : int;  (* hard cap on spawned flows (memory guard) *)
+}
+
+let default ?(rate = 50.0) () =
+  {
+    arrivals = Poisson rate;
+    (* ~24 KB median, heavy tail (alpha < 2: infinite variance), the
+       classic mice-and-elephants mix of measured flow-size data. *)
+    sizes = Pareto { xm = 6_000.0; alpha = 1.2 };
+    diurnal = None;
+    rtt = 0.04;
+    cca = Flow_table.Aimd;
+    pkt_size = Units.mtu;
+    max_flows = 100_000;
+  }
+
+(* Arrival-rate modulation at time [now]: 1 without a diurnal profile,
+   else 1 + amp*sin(2*pi*now/period), floored so the process never
+   stalls entirely. *)
+let modulation diurnal ~now =
+  match diurnal with
+  | None -> 1.0
+  | Some { amp; period } ->
+    Float.max 0.05 (1.0 +. (amp *. sin (2.0 *. Float.pi *. now /. period)))
+
+(* Next inter-arrival gap, seconds. Diurnal modulation scales the
+   instantaneous rate (so gaps shrink at the peak); with exponential
+   gaps this is the standard piecewise approximation of an
+   inhomogeneous Poisson process. *)
+let sample_iat rng arrivals diurnal ~now =
+  let m = modulation diurnal ~now in
+  match arrivals with
+  | Poisson rate -> Rng.exponential rng ~mean:(1.0 /. (rate *. m))
+  | Lognormal_iat { mu; sigma } -> exp (Rng.gaussian rng ~mu ~sigma) /. m
+
+(* Flow size in bytes (at least 1). *)
+let sample_size rng sizes =
+  match sizes with
+  | Pareto { xm; alpha } ->
+    (* Inverse-CDF: xm * (1-u)^(-1/alpha), u uniform in [0,1). *)
+    let u = Rng.float rng in
+    max 1 (int_of_float (xm /. ((1.0 -. u) ** (1.0 /. alpha))))
+  | Lognormal_size { mu; sigma } ->
+    max 1 (int_of_float (exp (Rng.gaussian rng ~mu ~sigma)))
+  | Fixed b -> max 1 b
+
+(* Schedule the arrival process on the table's simulation. Flows spawn
+   as bounded transfers starting at their arrival instant; handles are
+   [flow_count table] before the call up to [flow_count table] after
+   the run. The arrival chain itself is a cold path (one closure per
+   arrival) -- per-flow work still runs on the allocation-free coded
+   paths. *)
+let spawn ~table ~rng ~cfg ~until =
+  let arr_rng = Rng.split_key rng ~key:0xA11 in
+  let size_rng = Rng.split_key rng ~key:0x512E in
+  let sim = Flow_table.sim table in
+  let spawned = ref 0 in
+  let rec arrive () =
+    if !spawned < cfg.max_flows then begin
+      let now = Sim.now sim in
+      let size = sample_size size_rng cfg.sizes in
+      let h =
+        Flow_table.add_flow table ~cca:cfg.cca ~return_delay:cfg.rtt
+          ~start_at:now ~stop_at:infinity ~pkt_size:cfg.pkt_size
+          ~size_bytes:size ()
+      in
+      Flow_table.start table h;
+      incr spawned;
+      let gap = sample_iat arr_rng cfg.arrivals cfg.diurnal ~now in
+      if now +. gap < until then Sim.at sim (now +. gap) arrive
+    end
+  in
+  let first = sample_iat arr_rng cfg.arrivals cfg.diurnal ~now:0.0 in
+  if first < until then Sim.at sim first arrive

@@ -1,0 +1,56 @@
+(** Open-loop population traffic for the arena engine: flows arrive as
+    a (optionally diurnally modulated) point process and carry finite,
+    heavy-tailed transfer sizes — the mice-and-elephants workload the
+    closed-loop fairness setups cannot express.
+
+    All randomness comes from [Rng.split_key]-derived streams keyed on
+    the parent seed alone, so runs are bit-deterministic at any
+    worker-pool size. *)
+
+(** Arrival process for new flows. *)
+type arrivals =
+  | Poisson of float  (** rate in flows/s; exponential inter-arrivals *)
+  | Lognormal_iat of { mu : float; sigma : float }
+      (** log-normal inter-arrival gaps, ln-space parameters *)
+
+(** Transfer-size distribution, bytes. *)
+type sizes =
+  | Pareto of { xm : float; alpha : float }
+      (** heavy tail: scale [xm], shape [alpha] (< 2 gives the classic
+          infinite-variance elephant tail) *)
+  | Lognormal_size of { mu : float; sigma : float }
+  | Fixed of int
+
+(** Sinusoidal arrival-rate modulation:
+    [rate *. (1 + amp*sin(2*pi*t/period))], floored at 5%. *)
+type diurnal = { amp : float; period : float }
+
+type cfg = {
+  arrivals : arrivals;
+  sizes : sizes;
+  diurnal : diurnal option;
+  rtt : float;  (** two-way propagation delay for every arrival *)
+  cca : Flow_table.cca;
+  pkt_size : int;
+  max_flows : int;  (** hard cap on spawned flows (memory guard) *)
+}
+
+(** Web-like defaults: Poisson arrivals at [rate] (default 50 flows/s),
+    Pareto sizes (~6 KB scale, alpha 1.2), 40 ms RTT, native AIMD. *)
+val default : ?rate:float -> unit -> cfg
+
+(** [sample_iat rng arrivals diurnal ~now] — next inter-arrival gap in
+    seconds (exposed for property tests). *)
+val sample_iat : Rng.t -> arrivals -> diurnal option -> now:float -> float
+
+(** [sample_size rng sizes] — one transfer size in bytes, at least 1
+    (exposed for property tests). *)
+val sample_size : Rng.t -> sizes -> int
+
+(** [spawn ~table ~rng ~cfg ~until] schedules the arrival process on
+    the table's simulation: each arrival before [until] adds and starts
+    one bounded flow. New handles occupy [flow_count] before the call
+    up to [flow_count] once the run completes. The arrival streams come
+    from [Rng.split_key rng] (keys 0xA11, 0x512E) and are insensitive
+    to the parent's draw position. *)
+val spawn : table:Flow_table.t -> rng:Rng.t -> cfg:cfg -> until:float -> unit

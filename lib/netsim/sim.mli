@@ -1,6 +1,16 @@
-(** Discrete-event simulation clock and scheduler. *)
+(** Discrete-event simulation clock and scheduler.
+
+    Two event shapes share one time-ordered heap: closure events (the
+    historical API, for cold paths) and {e coded} events — an int kind
+    plus two int operands, dispatched through a single match in {!run}
+    to the handler installed with {!set_handler}. Scheduling and
+    executing coded events allocates nothing, which is what lets one
+    simulation carry thousands of flows (see {!Flow_table}). *)
 
 type t
+
+(** [kind -> a -> b -> unit]: the coded-event dispatcher. *)
+type handler = int -> int -> int -> unit
 
 val create : unit -> t
 
@@ -13,6 +23,21 @@ val at : t -> float -> (unit -> unit) -> unit
 
 (** [after t delay action] schedules [action] at [now t +. delay]. *)
 val after : t -> float -> (unit -> unit) -> unit
+
+(** [at_coded t time ~kind ~a ~b] schedules a coded event ([kind > 0])
+    at absolute [time]. Requires [time >= now t]. Allocation-free. *)
+val at_coded : t -> float -> kind:int -> a:int -> b:int -> unit
+
+(** Install the coded-event dispatcher. At most one is active; a coded
+    event fired with no handler installed raises. *)
+val set_handler : t -> handler -> unit
+
+(** Events executed so far across all {!run} calls — the logical
+    work metric the events-per-sec bench lane reports. *)
+val events : t -> int
+
+(** Pre-size the event heap (keeps growth out of benchmark windows). *)
+val reserve : t -> int -> unit
 
 (** Abort the event loop after the current event. *)
 val stop : t -> unit

@@ -185,7 +185,10 @@ let test_registry_reports_byte_identical () =
   Fun.protect
     ~finally:(fun () -> Harness.Scale.set Harness.Scale.quick)
     (fun () ->
-      let groups = [ "tab6"; "fig2b" ] in
+      (* population-mini rides along: its report (spawn counts, FCT
+         percentiles, logical event count — no wall-clock numbers) must
+         not move with the worker-pool size either. *)
+      let groups = [ "tab6"; "fig2b"; "population-mini" ] in
       (* The experiments take their pool from [Exec.Pool.default]; size
          it explicitly for each pass. *)
       let render_with domains =

@@ -183,6 +183,47 @@ let test_sim_horizon_stops_events () =
   Netsim.Sim.run sim ~until:1.0;
   check_bool "event beyond horizon suppressed" false !fired
 
+(* Coded events interleave with closure events in timestamp order and
+   reach the installed handler with kind and both operands intact. *)
+let test_sim_coded_events_dispatch () =
+  let sim = Netsim.Sim.create () in
+  let log = ref [] in
+  Netsim.Sim.set_handler sim (fun kind a b ->
+      log := (Printf.sprintf "k%d:%d:%d" kind a b, Netsim.Sim.now sim) :: !log);
+  Netsim.Sim.at_coded sim 0.5 ~kind:3 ~a:7 ~b:9;
+  Netsim.Sim.at sim 0.2 (fun () -> log := ("closure", Netsim.Sim.now sim) :: !log);
+  Netsim.Sim.at_coded sim 0.8 ~kind:1 ~a:0 ~b:42;
+  Netsim.Sim.run sim ~until:1.0;
+  let got = List.rev !log in
+  Alcotest.(check (list (pair string (float 1e-9))))
+    "order and payloads"
+    [ ("closure", 0.2); ("k3:7:9", 0.5); ("k1:0:42", 0.8) ]
+    got
+
+(* [Sim.events] counts every executed event, closure or coded; an event
+   popped past the horizon is suppressed and never counts. The counter
+   accumulates across [run] calls. *)
+let test_sim_event_counter () =
+  let sim = Netsim.Sim.create () in
+  Netsim.Sim.set_handler sim (fun _ _ _ -> ());
+  Netsim.Sim.at sim 0.1 ignore;
+  Netsim.Sim.at_coded sim 0.2 ~kind:1 ~a:0 ~b:0;
+  Netsim.Sim.at sim 5.0 ignore;
+  Netsim.Sim.run sim ~until:1.0;
+  check_int "two events inside the horizon" 2 (Netsim.Sim.events sim);
+  Netsim.Sim.at_coded sim 2.0 ~kind:1 ~a:0 ~b:0;
+  Netsim.Sim.run sim ~until:10.0;
+  check_int "counter accumulates across runs" 3 (Netsim.Sim.events sim)
+
+(* A coded event with no handler installed is a programming error, not
+   a silent no-op. *)
+let test_sim_coded_event_needs_handler () =
+  let sim = Netsim.Sim.create () in
+  Netsim.Sim.at_coded sim 0.1 ~kind:2 ~a:1 ~b:1;
+  Alcotest.check_raises "no handler"
+    (Invalid_argument "Sim: coded event (kind 2) but no handler installed")
+    (fun () -> Netsim.Sim.run sim ~until:1.0)
+
 (* ------------------------------------------------------------------ *)
 (* Droptail *)
 
@@ -556,6 +597,11 @@ let () =
         [
           Alcotest.test_case "runs in order" `Quick test_sim_runs_in_order;
           Alcotest.test_case "horizon" `Quick test_sim_horizon_stops_events;
+          Alcotest.test_case "coded events dispatch" `Quick
+            test_sim_coded_events_dispatch;
+          Alcotest.test_case "event counter" `Quick test_sim_event_counter;
+          Alcotest.test_case "coded event needs handler" `Quick
+            test_sim_coded_event_needs_handler;
         ] );
       ( "droptail",
         [

@@ -1,0 +1,195 @@
+(* Population traffic model: sampler properties, spawn determinism, and
+   the arena-vs-legacy engine equivalence line. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Sampler properties *)
+
+(* Poisson arrivals: the empirical mean inter-arrival gap converges on
+   1/rate. Tolerance is loose (35%) because 400 exponential draws have
+   heavy relative spread; the property is about the rate parameter
+   actually steering the process, not about tight convergence. *)
+let prop_poisson_iat_mean =
+  QCheck.Test.make ~name:"poisson iat mean ~ 1/rate" ~count:20
+    QCheck.(pair (int_range 1 1000) (float_range 5.0 200.0))
+    (fun (seed, rate) ->
+      let rng = Netsim.Rng.create seed in
+      let n = 400 in
+      let sum = ref 0.0 in
+      for _ = 1 to n do
+        sum :=
+          !sum
+          +. Netsim.Population.sample_iat rng (Netsim.Population.Poisson rate)
+               None ~now:0.0
+      done;
+      let mean = !sum /. float_of_int n in
+      Float.abs (mean -. (1.0 /. rate)) < 0.35 /. rate)
+
+(* Size samplers respect their floors: Pareto never goes below its
+   scale xm, and every distribution yields at least one byte. *)
+let prop_sizes_floored =
+  QCheck.Test.make ~name:"size samples respect distribution floors" ~count:50
+    QCheck.(pair (int_range 1 1000) (float_range 100.0 20000.0))
+    (fun (seed, xm) ->
+      let rng = Netsim.Rng.create seed in
+      let ok = ref true in
+      for _ = 1 to 200 do
+        let p =
+          Netsim.Population.sample_size rng
+            (Netsim.Population.Pareto { xm; alpha = 1.2 })
+        in
+        if float_of_int p < xm then ok := false;
+        let l =
+          Netsim.Population.sample_size rng
+            (Netsim.Population.Lognormal_size { mu = 8.0; sigma = 1.5 })
+        in
+        if l < 1 then ok := false
+      done;
+      !ok
+      && Netsim.Population.sample_size rng (Netsim.Population.Fixed 777) = 777)
+
+(* Diurnal modulation never stalls the process: the gap stays finite
+   and positive even at the trough of a full-amplitude swing (the
+   implementation floors the modulated rate at 5%). *)
+let prop_diurnal_gap_finite =
+  QCheck.Test.make ~name:"diurnal gaps stay finite and positive" ~count:50
+    QCheck.(pair (int_range 1 1000) (float_range 0.0 50.0))
+    (fun (seed, now) ->
+      let rng = Netsim.Rng.create seed in
+      let gap =
+        Netsim.Population.sample_iat rng (Netsim.Population.Poisson 30.0)
+          (Some { Netsim.Population.amp = 1.0; period = 10.0 })
+          ~now
+      in
+      Float.is_finite gap && gap > 0.0)
+
+(* ------------------------------------------------------------------ *)
+(* Spawn determinism *)
+
+(* One bounded mini population run; returns a fingerprint that is
+   sensitive to every arrival instant, transfer size and completion. *)
+let population_fingerprint ~predraws () =
+  let sim = Netsim.Sim.create () in
+  let table = Netsim.Flow_table.create ~capacity:64 ~lite:true ~sim () in
+  let rate = Netsim.Units.mbps_to_bps 24.0 in
+  let link =
+    Netsim.Link.create ~const_rate:rate ~sim
+      ~rate_fn:(fun _ -> rate)
+      ~grain:0.01
+      ~buffer_bytes:(Netsim.Units.kb 150)
+      ~loss_p:0.0 ~rng:(Netsim.Rng.create 3)
+      ~deliver:(Netsim.Flow_table.on_pkt_delivered table)
+      ()
+  in
+  Netsim.Flow_table.attach table link;
+  let rng = Netsim.Rng.create 42 in
+  (* Advancing the parent stream must not move the spawned process:
+     Population draws from [Rng.split_key] streams keyed on the parent
+     seed alone. *)
+  for _ = 1 to predraws do
+    ignore (Netsim.Rng.float rng)
+  done;
+  let cfg = Netsim.Population.default ~rate:60.0 () in
+  Netsim.Population.spawn ~table ~rng ~cfg ~until:1.5;
+  Netsim.Sim.run sim ~until:3.0;
+  let n = Netsim.Flow_table.flow_count table in
+  let acc = ref [] in
+  for h = 0 to n - 1 do
+    acc :=
+      ( Netsim.Flow_table.start_time table h,
+        Netsim.Flow_table.delivered_bytes table h,
+        Netsim.Flow_table.completion_time table h )
+      :: !acc
+  done;
+  (n, Netsim.Sim.events sim, !acc)
+
+(* Structural [compare] rather than [=]: unfinished flows fingerprint
+   as [nan] completion times, and [nan = nan] is false. *)
+let test_spawn_deterministic () =
+  let a = population_fingerprint ~predraws:0 () in
+  let b = population_fingerprint ~predraws:0 () in
+  check_bool "identical runs are bit-identical" true (compare a b = 0)
+
+let test_spawn_insensitive_to_parent_draws () =
+  let a = population_fingerprint ~predraws:0 () in
+  let b = population_fingerprint ~predraws:13 () in
+  check_bool "parent draw position does not move the population" true
+    (compare a b = 0)
+
+let test_spawn_produces_flows () =
+  let n, events, flows = population_fingerprint ~predraws:0 () in
+  check_bool "spawned a plausible count" true (n > 30 && n < 200);
+  check_bool "simulation did work" true (events > 1000);
+  check_bool "some flow completed" true
+    (List.exists (fun (_, _, c) -> not (Float.is_nan c)) flows);
+  check_int "fingerprint covers all flows" n (List.length flows)
+
+(* ------------------------------------------------------------------ *)
+(* Arena-vs-legacy engine equivalence *)
+
+(* Under the same seed, running a scenario's configured CCAs through
+   the arena engine ([Generic] flows over Flow_table) must reproduce
+   the closure engine bit for bit: same utilization, delay, loss and
+   throughput. This is the line that lets the arena replace the legacy
+   engine for many-flow runs without re-validating every experiment. *)
+let outcome_quad o =
+  ( o.Harness.Scenario.utilization,
+    o.Harness.Scenario.mean_delay,
+    o.Harness.Scenario.loss_rate,
+    o.Harness.Scenario.throughput )
+
+let check_engines_agree label spec ~n_flows ~duration =
+  let run engine =
+    Harness.Scenario.run_uniform ~seed:5 ~n_flows ~engine
+      ~factory:Harness.Ccas.cubic ~duration spec
+  in
+  let l = run `Legacy and a = run `Arena in
+  check_bool (label ^ ": outcome bit-identical") true
+    (outcome_quad l = outcome_quad a);
+  let delivered o =
+    List.map
+      (fun f -> Netsim.Flow_stats.total_acked_pkts f.Netsim.Network.stats)
+      o.Harness.Scenario.summary.Netsim.Network.flows
+  in
+  Alcotest.(check (list int))
+    (label ^ ": per-flow acked pkts") (delivered l) (delivered a);
+  check_int
+    (label ^ ": same logical event count")
+    l.Harness.Scenario.summary.Netsim.Network.events
+    a.Harness.Scenario.summary.Netsim.Network.events
+
+let test_engines_agree_wired () =
+  let spec = Harness.Scenario.make_spec (Traces.Rate.constant 24.0) in
+  check_engines_agree "wired" spec ~n_flows:3 ~duration:4.0
+
+let test_engines_agree_lte () =
+  let trace = Traces.Lte.generate ~seed:11 ~duration:4.0 Traces.Lte.Walking in
+  let spec = Harness.Scenario.make_spec ~loss_p:0.01 trace in
+  check_engines_agree "lte" spec ~n_flows:2 ~duration:4.0
+
+(* ------------------------------------------------------------------ *)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "population"
+    [
+      ( "samplers",
+        qsuite
+          [ prop_poisson_iat_mean; prop_sizes_floored; prop_diurnal_gap_finite ]
+      );
+      ( "spawn",
+        [
+          Alcotest.test_case "deterministic" `Quick test_spawn_deterministic;
+          Alcotest.test_case "insensitive to parent draws" `Quick
+            test_spawn_insensitive_to_parent_draws;
+          Alcotest.test_case "produces flows" `Quick test_spawn_produces_flows;
+        ] );
+      ( "engine-equivalence",
+        [
+          Alcotest.test_case "wired" `Quick test_engines_agree_wired;
+          Alcotest.test_case "lte" `Quick test_engines_agree_lte;
+        ] );
+    ]
