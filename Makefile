@@ -1,4 +1,4 @@
-.PHONY: all check bench trace robustness perfcheck faultcheck clean
+.PHONY: all check bench trace robustness perfcheck faultcheck invariants clean
 
 all:
 	dune build
@@ -28,6 +28,12 @@ robustness:
 faultcheck:
 	dune build @faultcheck
 
+# Invariant smoke alone: default pack clean on robust-mini, violated
+# specs fail structurally (exit 3 / exit 5), diverge certifies pool
+# 1 vs 4 byte-identical and pinpoints an injected perturbation.
+invariants:
+	dune build @invariants
+
 # CI perf gate: run the quick perf-smoke subset (spans on), append the
 # result to BENCH_history.jsonl, and compare against the most recent
 # comparable entry — non-zero exit if any experiment regressed > 20%.
@@ -42,6 +48,7 @@ faultcheck:
 perfcheck:
 	dune build bench/main.exe bin/perf_report.exe
 	dune exec bench/main.exe -- perf-smoke
+	dune exec bench/main.exe -- invariant-overhead
 	dune build --profile release bench/main.exe
 	dune exec --profile release bench/main.exe -- events-per-sec
 	dune exec bin/perf_report.exe -- --gate 20

@@ -432,6 +432,77 @@ let run_supervisor_overhead ~scale () =
     ~recorder:None ~groups:[||]
 
 (* ------------------------------------------------------------------ *)
+(* Invariant-checker overhead: the same fixed wired scenario run with
+   tracing off, with a ring-buffer tracer alone, and with the tracer
+   plus the default invariant pack evaluated online (lib/check wired in
+   as a [Trace.run ~observer]). The ring-only leg isolates the checker
+   cost from the tracing cost; the checked leg must come back clean —
+   a violation here means the default pack regressed. Tracked in
+   BENCH_results.json ("invariant_overhead") and as a history entry
+   under `make perfcheck`. *)
+let run_invariant_overhead ~scale () =
+  Harness.Table.heading
+    "Invariant overhead: 10s wired run, cubic, default pack";
+  (* Warm-up leg, as in the tracing bench. *)
+  trace_overhead_scenario ();
+  let (), off_s = time_run trace_overhead_scenario in
+  let ring = Obs.Trace.create ~ring_capacity:4096 () in
+  let (), ring_s =
+    time_run (fun () -> Obs.Trace.run ring trace_overhead_scenario)
+  in
+  let spec = Harness.Scenario.make_spec (Traces.Rate.constant 24.0) in
+  let pack =
+    Check.Spec.default_pack ~buffer_bytes:spec.Harness.Scenario.buffer_bytes ()
+  in
+  let checker = Check.Checker.create ~rtt:spec.Harness.Scenario.rtt pack in
+  let checked = Obs.Trace.create ~ring_capacity:4096 () in
+  let (), pack_s =
+    time_run (fun () ->
+        Obs.Trace.run checked
+          ~observer:(Check.Checker.on_event checker)
+          trace_overhead_scenario)
+  in
+  if Check.Checker.total checker > 0 then begin
+    prerr_string (Check.Checker.report checker);
+    failwith "bench: default invariant pack violated on the clean bench run"
+  end;
+  let pct v = Printf.sprintf "%+.1f%%" ((v -. off_s) /. off_s *. 100.0) in
+  Harness.Table.print
+    ~header:[ "execution"; "wall"; "vs off"; "events checked" ]
+    [
+      [ "off"; Printf.sprintf "%.3fs" off_s; "-"; "0" ];
+      [ "ring-4096"; Printf.sprintf "%.3fs" ring_s; pct ring_s; "0" ];
+      [
+        "ring-4096 + default pack";
+        Printf.sprintf "%.3fs" pack_s;
+        pct pack_s;
+        string_of_int (Check.Checker.events_seen checker);
+      ];
+    ];
+  Printf.printf "\n%d spec(s) clean over %d event(s)\n" (List.length pack)
+    (Check.Checker.events_seen checker);
+  patch_bench_json "invariant_overhead"
+    (Obs.Json.Obj
+       [
+         ("scenario", Obs.Json.Str "wired24-cubic-10s");
+         ("off_s", Obs.Json.Num off_s);
+         ("ring_s", Obs.Json.Num ring_s);
+         ("pack_s", Obs.Json.Num pack_s);
+         ("specs", Obs.Json.Num (float_of_int (List.length pack)));
+         ( "events",
+           Obs.Json.Num (float_of_int (Check.Checker.events_seen checker)) );
+         ("violations", Obs.Json.Num (float_of_int (Check.Checker.total checker)));
+       ]);
+  append_history ~scale ~subset:(Some [ "invariant-overhead" ])
+    ~timed:
+      [
+        ("invariant-off", off_s);
+        ("invariant-ring", ring_s);
+        ("invariant-pack", pack_s);
+      ]
+    ~recorder:None ~groups:[||]
+
+(* ------------------------------------------------------------------ *)
 (* Many-flow scale-out lane: logical events per wall second on the
    closure engine vs the arena engine (Flow_table), over the same
    deep-buffered wired scenario. The buffer is sized so each flow
@@ -743,6 +814,7 @@ let () =
   | [ "impairment-overhead" ] -> run_impairment_overhead ()
   | [ "perf-smoke" ] -> run_perf_smoke ~scale ()
   | [ "supervisor-overhead" ] -> run_supervisor_overhead ~scale ()
+  | [ "invariant-overhead" ] -> run_invariant_overhead ~scale ()
   | [ "events-per-sec" ] -> run_events_per_sec ~scale ()
   | [ "alloc-contract" ] -> run_alloc_contract ()
   | ids ->
@@ -753,6 +825,7 @@ let () =
         else if id = "impairment-overhead" then run_impairment_overhead ()
         else if id = "perf-smoke" then run_perf_smoke ~scale ()
         else if id = "supervisor-overhead" then run_supervisor_overhead ~scale ()
+        else if id = "invariant-overhead" then run_invariant_overhead ~scale ()
         else if id = "events-per-sec" then run_events_per_sec ~scale ()
         else if id = "alloc-contract" then run_alloc_contract ()
         else
@@ -762,7 +835,7 @@ let () =
             Printf.eprintf
               "unknown experiment %S (known: %s, micro, trace-overhead, \
                impairment-overhead, perf-smoke, supervisor-overhead, \
-               events-per-sec, alloc-contract)\n"
+               invariant-overhead, events-per-sec, alloc-contract)\n"
               id
               (String.concat ", " (Harness.Registry.ids ())))
       ids);

@@ -16,20 +16,36 @@ type obs_session = {
   regs_lock : Mutex.t;
   spans : Obs.Span.t option;
   manifest : Obs.Json.t;
+  invariant_specs : Check.Spec.t list;  (* [] = no checking *)
+  checkers : (int, Check.Checker.t) Hashtbl.t;  (* lane -> its checker *)
 }
 
-let obs_session_of ~trace_filter ~profile ~manifest =
+let obs_session_of ~trace_filter ~profile ~manifest ~invariant_specs ~retain =
   let categories =
     match trace_filter with
     | None -> Obs.Category.all
     | Some spec -> Obs.Category.parse_filter spec
   in
+  (* --invariant widens the subscription to whatever its specs need. *)
+  let categories =
+    match invariant_specs with
+    | [] -> categories
+    | specs -> (
+      match Check.Spec.categories_of_pack specs with
+      | None -> Obs.Category.all
+      | Some needed -> List.sort_uniq compare (categories @ needed))
+  in
+  (* A checker-only session retains nothing: the checker consumes
+     events online, so a small ring bounds memory on --all runs. *)
+  let ring_capacity = if retain then None else Some 4096 in
   {
-    tracer = Obs.Trace.create ~categories ~manifest ();
+    tracer = Obs.Trace.create ?ring_capacity ~categories ~manifest ();
     regs = Hashtbl.create 8;
     regs_lock = Mutex.create ();
     spans = (if profile then Some (Obs.Span.create ()) else None);
     manifest;
+    invariant_specs;
+    checkers = Hashtbl.create 8;
   }
 
 let obs_wrap session lane run =
@@ -37,12 +53,30 @@ let obs_wrap session lane run =
   Mutex.lock session.regs_lock;
   Hashtbl.replace session.regs lane reg;
   Mutex.unlock session.regs_lock;
+  let checker =
+    match session.invariant_specs with
+    | [] -> None
+    | specs ->
+      (* One state-machine set per lane, keyed like the tracer's lanes,
+         so violations are pool-size-deterministic. *)
+      let c = Check.Checker.create specs in
+      Mutex.lock session.regs_lock;
+      Hashtbl.replace session.checkers lane c;
+      Mutex.unlock session.regs_lock;
+      Some c
+  in
+  let run =
+    match checker with
+    | Some c -> fun () -> Check.Runtime.with_checker c run
+    | None -> run
+  in
   let run =
     match session.spans with
     | Some sp -> fun () -> Obs.Span.run sp ~lane (fun () -> Obs.Metrics.run reg run)
     | None -> fun () -> Obs.Metrics.run reg run
   in
-  Obs.Trace.run session.tracer ~lane run
+  let observer = Option.map Check.Checker.on_event checker in
+  Obs.Trace.run session.tracer ~lane ?observer run
 
 (* [lane_name lane] labels span-profile groups; lanes are registry
    group indices (run_all) or positions in the id list. *)
@@ -87,9 +121,43 @@ let obs_export session ~trace_out ~metrics_out ~profile_out ~lane_name =
         file)
     trace_out
 
+(* --invariant SPECs ("default" expands to the default pack; the
+   scenario-independent form, without a global queue bound) plus
+   --invariant-file lines, compiled in argument order. *)
+let collect_invariants ~invariants ~invariant_file =
+  let from_file =
+    match invariant_file with
+    | None -> []
+    | Some path ->
+      let ic =
+        try open_in path
+        with Sys_error e ->
+          Printf.eprintf "--invariant-file: %s\n" e;
+          exit 2
+      in
+      let lines = ref [] in
+      (try
+         while true do
+           lines := input_line ic :: !lines
+         done
+       with End_of_file -> ());
+      close_in ic;
+      List.rev !lines
+  in
+  try
+    List.concat_map
+      (fun spec ->
+        if String.trim spec = "default" then Check.Spec.default_pack ()
+        else [ Check.Spec.parse spec ])
+      invariants
+    @ Check.Spec.parse_lines from_file
+  with Check.Spec.Parse_error m ->
+    Printf.eprintf "--invariant: %s\n" m;
+    exit 2
+
 let run_cmd full tiny stress domains impair checkpoint_dir resume inject_crash retries
-    deadline_events wall_deadline trace_out trace_filter metrics_out profile_out
-    ids all =
+    deadline_events wall_deadline invariants invariant_file trace_out trace_filter
+    metrics_out profile_out ids all =
   (match domains with
   | Some d when d < 1 ->
     Printf.eprintf "invalid --domains %d (want a positive integer)\n" d;
@@ -135,10 +203,14 @@ let run_cmd full tiny stress domains impair checkpoint_dir resume inject_crash r
       ~impair:(Faults.Spec.to_string impair_spec)
       ()
   in
+  let invariant_specs = collect_invariants ~invariants ~invariant_file in
   let session =
-    match (trace_out, metrics_out, profile_out) with
-    | None, None, None -> None
-    | _ -> Some (obs_session_of ~trace_filter ~profile:(profile_out <> None) ~manifest)
+    match (trace_out, metrics_out, profile_out, invariant_specs) with
+    | None, None, None, [] -> None
+    | _ ->
+      Some
+        (obs_session_of ~trace_filter ~profile:(profile_out <> None) ~manifest
+           ~invariant_specs ~retain:(trace_out <> None))
   in
   let wrap lane run =
     match session with Some s -> obs_wrap s lane run | None -> run ()
@@ -202,6 +274,32 @@ let run_cmd full tiny stress domains impair checkpoint_dir resume inject_crash r
       else string_of_int lane
   in
   Option.iter (obs_export ~trace_out ~metrics_out ~profile_out ~lane_name) session;
+  (* Invariant summary: lane-ordered (= entry-ordered), so the output
+     is byte-identical at any pool size. Violations already failed
+     their entries through the supervisor; this is the detail. *)
+  (match session with
+  | Some s when s.invariant_specs <> [] ->
+    let lanes =
+      List.sort compare (Hashtbl.fold (fun l _ acc -> l :: acc) s.checkers [])
+    in
+    let events, viols =
+      List.fold_left
+        (fun (e, v) lane ->
+          let c = Hashtbl.find s.checkers lane in
+          (e + Check.Checker.events_seen c, v + Check.Checker.total c))
+        (0, 0) lanes
+    in
+    Printf.eprintf "[invariants] %d spec(s) over %d lane(s): %d violation(s) in %d event(s)\n%!"
+      (List.length s.invariant_specs) (List.length lanes) viols events;
+    List.iter
+      (fun lane ->
+        let c = Hashtbl.find s.checkers lane in
+        if Check.Checker.total c > 0 then begin
+          Printf.eprintf "[invariants] lane %s:\n" (lane_name lane);
+          prerr_string (Check.Checker.report c)
+        end)
+      lanes
+  | _ -> ());
   status
 
 let full = Arg.(value & flag & info [ "full" ] ~doc:"paper-scale durations")
@@ -283,6 +381,27 @@ let impair =
            ('+'-joined name[:k=v,..] items; see libra_sim --list); 'clean' \
            disables. Scenarios that set their own impairment keep it.")
 
+let invariants =
+  Arg.(
+    value
+    & opt_all string []
+    & info [ "invariant" ] ~docv:"SPEC"
+        ~doc:
+          "check an invariant online over every experiment's event stream \
+           (repeatable; the word $(b,default) loads the default pack). A \
+           violation fails its experiment through the supervisor — the run \
+           exits 3 with a structured report naming the predicate and event \
+           index. See libra_sim --help for the grammar.")
+
+let invariant_file =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "invariant-file" ] ~docv:"FILE"
+        ~doc:
+          "read invariant specs from $(docv), one per line ('#' comments); \
+           combined with any --invariant flags")
+
 let trace_out =
   Arg.(
     value
@@ -300,7 +419,9 @@ let trace_filter =
     & info [ "trace-filter" ] ~docv:"CAT,.."
         ~doc:
           "comma-separated event categories \
-           (pkt,link,ack,rate,monitor,stage,cycle,rl,fault); default all")
+           (pkt,link,ack,rate,monitor,stage,cycle,rl,fault,invariant); \
+           default all. --invariant widens the filter to what its specs \
+           need.")
 
 let metrics_out =
   Arg.(
@@ -332,7 +453,8 @@ let cmd =
     (Cmd.info "experiments" ~doc:"reproduce the paper's tables and figures")
     Term.(
       const run_cmd $ full $ tiny $ stress $ domains $ impair $ checkpoint_dir $ resume
-      $ inject_crash $ retries $ deadline_events $ wall_deadline $ trace_out
-      $ trace_filter $ metrics_out $ profile_out $ ids $ all)
+      $ inject_crash $ retries $ deadline_events $ wall_deadline $ invariants
+      $ invariant_file $ trace_out $ trace_filter $ metrics_out $ profile_out
+      $ ids $ all)
 
 let () = exit (Cmd.eval' cmd)

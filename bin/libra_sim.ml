@@ -10,43 +10,76 @@
 
 open Cmdliner
 
-let parse_trace ~duration ~seed spec =
-  match String.split_on_char ':' spec with
-  | [ "wired"; mbps ] -> `Trace (Traces.Rate.constant (float_of_string mbps))
-  | [ "lte"; scenario ] ->
-    let s =
-      match scenario with
-      | "stationary" -> Traces.Lte.Stationary
-      | "walking" -> Traces.Lte.Walking
-      | "driving" -> Traces.Lte.Driving
-      | "moving" -> Traces.Lte.Moving
-      | other -> invalid_arg (Printf.sprintf "unknown LTE scenario %S" other)
-    in
-    `Trace (Traces.Lte.generate ~seed ~duration s)
-  | [ "step"; levels ] ->
-    let levels = List.map float_of_string (String.split_on_char ',' levels) in
-    `Trace (Traces.Rate.step ~period:10.0 levels)
-  | [ "wan"; "inter" ] -> `Wan (Traces.Wan.inter_continental ~duration ())
-  | [ "wan"; "intra" ] -> `Wan (Traces.Wan.intra_continental ~duration ())
-  | _ -> invalid_arg (Printf.sprintf "bad trace spec %S" spec)
+(* Collect --invariant SPECs (the word "default" expands to the default
+   pack, bounded by this run's buffer) and --invariant-file lines into
+   one compiled spec list, in argument order. *)
+let collect_invariants ~buffer_bytes ~invariants ~invariant_file =
+  let from_file =
+    match invariant_file with
+    | None -> []
+    | Some path ->
+      let ic =
+        try open_in path
+        with Sys_error e ->
+          Printf.eprintf "--invariant-file: %s\n" e;
+          exit 2
+      in
+      let lines = ref [] in
+      (try
+         while true do
+           lines := input_line ic :: !lines
+         done
+       with End_of_file -> ());
+      close_in ic;
+      List.rev !lines
+  in
+  try
+    List.concat_map
+      (fun spec ->
+        if String.trim spec = "default" then Check.Spec.default_pack ~buffer_bytes ()
+        else [ Check.Spec.parse spec ])
+      invariants
+    @ Check.Spec.parse_lines from_file
+  with Check.Spec.Parse_error m ->
+    Printf.eprintf "--invariant: %s\n" m;
+    exit 2
 
-(* Observability plumbing: when --trace-out / --metrics is given, run
-   the simulation with a tracer (and a metrics registry) installed as
-   this domain's ambient sink, then export. Lane 0: single run. The
-   manifest (seed + impair provenance) heads the JSONL export. *)
-let with_observability ~trace_out ~trace_filter ~metrics_out ~manifest f =
+(* Observability plumbing: when --trace-out / --metrics / --invariant
+   is given, run the simulation with a tracer (and a metrics registry)
+   installed as this domain's ambient sink, then export. Lane 0: single
+   run. The manifest (seed + impair provenance) heads the JSONL export.
+
+   An invariant checker rides the tracer as its online observer; when
+   only --invariant asks for a session the tracer is a small ring (the
+   checker consumes events as they are emitted, so nothing needs to be
+   retained), and its categories are widened from --trace-filter to
+   whatever the specs need. *)
+let with_observability ~trace_out ~trace_filter ~metrics_out ~manifest ~checker f =
   let categories =
     match trace_filter with
     | None -> Obs.Category.all
     | Some spec -> Obs.Category.parse_filter spec
   in
-  match (trace_out, metrics_out) with
-  | None, None -> f ()
+  let categories =
+    match checker with
+    | None -> categories
+    | Some c -> (
+      match Check.Spec.categories_of_pack (Check.Checker.specs c) with
+      | None -> Obs.Category.all
+      | Some needed -> List.sort_uniq compare (categories @ needed))
+  in
+  match (trace_out, metrics_out, checker) with
+  | None, None, None -> f ()
   | _ ->
-    let tracer = Obs.Trace.create ~categories ~manifest () in
+    let ring_capacity =
+      (* checker-only session: no export retains events *)
+      match (trace_out, metrics_out) with None, None -> Some 4096 | _ -> None
+    in
+    let tracer = Obs.Trace.create ?ring_capacity ~categories ~manifest () in
     let reg = Obs.Metrics.create_registry () in
+    let observer = Option.map Check.Checker.on_event checker in
     let result =
-      Obs.Trace.run tracer ~lane:0 (fun () -> Obs.Metrics.run reg f)
+      Obs.Trace.run tracer ~lane:0 ?observer (fun () -> Obs.Metrics.run reg f)
     in
     Option.iter (Obs.Trace.write tracer) trace_out;
     Option.iter (Obs.Metrics.write_csv reg) metrics_out;
@@ -57,7 +90,8 @@ let with_observability ~trace_out ~trace_filter ~metrics_out ~manifest f =
     result
 
 let run_cmd cca trace_spec rtt_ms buffer_kb loss duration flows seed engine
-    impair deadline_events series trace_out trace_filter metrics_out list_all =
+    impair deadline_events invariants invariant_file series trace_out trace_filter
+    metrics_out list_all =
   if list_all then begin
     print_endline "CCAs:";
     List.iter (fun (name, _) -> Printf.printf "  %s\n" name) Harness.Ccas.all;
@@ -85,20 +119,17 @@ let run_cmd cca trace_spec rtt_ms buffer_kb loss duration flows seed engine
         exit 2
     in
     let spec =
-      match parse_trace ~duration ~seed trace_spec with
-      | `Trace trace ->
-        Harness.Scenario.make_spec ~rtt:(rtt_ms /. 1000.0) ~buffer_kb
-          ~loss_p:loss ~impair trace
-      | `Wan path ->
-        {
-          Harness.Scenario.trace = path.Traces.Wan.rate;
-          rtt = path.Traces.Wan.rtt;
-          buffer_bytes = path.Traces.Wan.buffer_bytes;
-          loss_p = path.Traces.Wan.loss_p;
-          aqm = `Fifo;
-          impair;
-          dup_thresh = (if Faults.Spec.may_reorder impair then 3 else 1);
-        }
+      Harness.Scenario.spec_of_cli ~rtt:(rtt_ms /. 1000.0) ~buffer_kb ~loss_p:loss
+        ~impair ~duration ~seed trace_spec
+    in
+    let checker =
+      match
+        collect_invariants ~buffer_bytes:spec.Harness.Scenario.buffer_bytes
+          ~invariants ~invariant_file
+      with
+      | [] -> None
+      | specs ->
+        Some (Check.Checker.create ~rtt:spec.Harness.Scenario.rtt specs)
     in
     let manifest =
       Obs.Manifest.make ~seeds:[ seed ] ~scale:"cli" ~domains:1
@@ -112,7 +143,7 @@ let run_cmd cca trace_spec rtt_ms buffer_kb loss duration flows seed engine
       try
         Netsim.Budget.with_budget ?events:deadline_events (fun () ->
             with_observability ~trace_out ~trace_filter ~metrics_out ~manifest
-              (fun () ->
+              ~checker (fun () ->
                 Harness.Scenario.run_uniform ~seed ~n_flows:flows ~engine
                   ~factory ~duration spec))
       with Netsim.Budget.Exceeded { spent; budget } ->
@@ -120,6 +151,13 @@ let run_cmd cca trace_spec rtt_ms buffer_kb loss duration flows seed engine
           spent budget;
         exit 4
     in
+    (* Invariant verdicts: the per-violation report on stderr, exit 5
+       when any predicate failed online. *)
+    (match checker with
+    | Some c ->
+      prerr_string (Check.Checker.report c);
+      if Check.Checker.total c > 0 then exit 5
+    | None -> ());
     Printf.printf "cca=%s trace=%s flows=%d duration=%.0fs\n" cca trace_spec flows
       duration;
     Printf.printf "utilization   %.3f\n" outcome.Harness.Scenario.utilization;
@@ -194,6 +232,29 @@ let deadline_events =
           "fail the run (exit 4) after $(docv) logical simulator events — a \
            deterministic deadline, reproducible across hosts")
 
+let invariants =
+  Arg.(
+    value
+    & opt_all string []
+    & info [ "invariant" ] ~docv:"SPEC"
+        ~doc:
+          "check an invariant online while the simulation runs (repeatable). \
+           $(docv) is \"NAME: always COND\", \"NAME: never COND\", \"NAME: \
+           after COND eventually COND within N events|N s|N rtt\" or \"NAME: \
+           after COND until COND expect COND\"; COND is '&'-joined clauses \
+           like ev=enqueue, backlog<=150000, kind=link_up. The word \
+           $(b,default) loads the default invariant pack. Violations print a \
+           report and exit 5.")
+
+let invariant_file =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "invariant-file" ] ~docv:"FILE"
+        ~doc:
+          "read invariant specs from $(docv), one per line ('#' comments); \
+           combined with any --invariant flags")
+
 let series = Arg.(value & flag & info [ "series" ] ~doc:"print per-second series")
 
 let trace_out =
@@ -213,7 +274,9 @@ let trace_filter =
     & info [ "trace-filter" ] ~docv:"CAT,.."
         ~doc:
           "comma-separated event categories to record \
-           (pkt,link,ack,rate,monitor,stage,cycle,rl,fault); default all")
+           (pkt,link,ack,rate,monitor,stage,cycle,rl,fault,invariant); \
+           default all. --invariant widens the filter to whatever its specs \
+           need.")
 
 let metrics_out =
   Arg.(
@@ -228,7 +291,7 @@ let cmd =
     (Cmd.info "libra_sim" ~doc:"packet-level congestion-control simulator")
     Term.(
       const run_cmd $ cca $ trace $ rtt $ buffer $ loss $ duration $ flows $ seed
-      $ engine $ impair $ deadline_events $ series $ trace_out $ trace_filter
-      $ metrics_out $ list_all)
+      $ engine $ impair $ deadline_events $ invariants $ invariant_file $ series
+      $ trace_out $ trace_filter $ metrics_out $ list_all)
 
 let () = exit (Cmd.eval' cmd)

@@ -13,10 +13,16 @@
    clock), and "fault" events must carry a string "kind".
 
    "harness" events are supervision records (failures, retries,
-   deadlines, checkpoints, watchdog fallbacks). They must carry a
-   string "id" and a "kind" drawn from the known set, and are exempt
-   from the per-lane monotonicity check: they are structural, emitted
-   by scaffolding outside any simulation clock.
+   deadlines, checkpoints, watchdog fallbacks, invariant violations).
+   They must carry a string "id" and a "kind" drawn from the known set,
+   and are exempt from the per-lane monotonicity check: they are
+   structural, emitted by scaffolding outside any simulation clock.
+
+   "violation" events are online invariant-checker verdicts
+   (lib/check): they must carry a string "name", a "kind" naming the
+   temporal combinator that failed, and a numeric event "index". They
+   are stamped with the sim time of the offending event, so they stay
+   inside the monotonicity check.
 
    With --require-manifest the first non-empty line must be a valid
    manifest header (the contract of Obs.Trace.to_jsonl). Exits 0 on
@@ -76,9 +82,25 @@ let () =
              (match Option.bind (Obs.Json.member "kind" v) Obs.Json.str with
              | Some _ -> ()
              | None -> fail "%s:%d: fault event missing string \"kind\"" file !lineno);
+           if ev = "violation" then begin
+             let violation_kinds = [ "always"; "never"; "leads_to"; "after_until" ] in
+             (match Option.bind (Obs.Json.member "name" v) Obs.Json.str with
+             | Some _ -> ()
+             | None -> fail "%s:%d: violation event missing string \"name\"" file !lineno);
+             (match Option.bind (Obs.Json.member "kind" v) Obs.Json.str with
+             | Some k when List.mem k violation_kinds -> ()
+             | Some k ->
+               fail "%s:%d: violation event with unknown kind %S (known: %s)" file
+                 !lineno k
+                 (String.concat ", " violation_kinds)
+             | None -> fail "%s:%d: violation event missing string \"kind\"" file !lineno);
+             match Option.bind (Obs.Json.member "index" v) Obs.Json.num with
+             | Some _ -> ()
+             | None -> fail "%s:%d: violation event missing numeric \"index\"" file !lineno
+           end;
            if ev = "harness" then begin
              let harness_kinds =
-               [ "failure"; "retry"; "deadline"; "checkpoint"; "fallback" ]
+               [ "failure"; "retry"; "deadline"; "checkpoint"; "fallback"; "violation" ]
              in
              (match Option.bind (Obs.Json.member "kind" v) Obs.Json.str with
              | Some k when List.mem k harness_kinds -> ()

@@ -21,6 +21,9 @@ type kind =
   | Crash  (* the protected thunk raised *)
   | Deadline of { spent : int; budget : int }  (* logical budget exhausted *)
   | Wall of { budget_s : float }  (* wall-clock backstop fired (CI only) *)
+  | Invariant of { spec : string; index : int; count : int }
+    (* the online invariant checker recorded violations (lib/check):
+       [spec] and [index] identify the first, [count] the total *)
 
 type failure = {
   context : string;  (* supervision context, e.g. the experiment id *)
@@ -35,6 +38,7 @@ let kind_name = function
   | Crash -> "failure"
   | Deadline _ -> "deadline"
   | Wall _ -> "deadline"
+  | Invariant _ -> "violation"
 
 (* The raw backtrace string embeds build paths and line numbers that
    shift with unrelated edits; a short digest keeps failure reports
@@ -55,6 +59,8 @@ let digest f =
     | Crash -> "crash:" ^ f.exn
     | Deadline { spent; budget } -> Printf.sprintf "deadline:%d/%d" spent budget
     | Wall _ -> "wall"
+    | Invariant { spec; index; count } ->
+      Printf.sprintf "violation:%s@%d:%d" spec index count
   in
   let parts =
     [
@@ -78,6 +84,9 @@ let render f =
       (* Wall kills are a CI backstop: recorded, but nondeterministic,
          so the budget value is stated without the host-dependent spend. *)
       Printf.sprintf "wall-clock backstop: exceeded %gs" budget_s
+    | Invariant { spec; index; count } ->
+      Printf.sprintf "invariant violated: %s at event index %d (%d violation(s))"
+        spec index count
   in
   [
     describe;
@@ -120,6 +129,8 @@ let protect ?(retries = 0) ?deadline_events ?wall_s ?(seed = 0) ~context f =
         match e with
         | Netsim.Budget.Exceeded { spent; budget } -> Deadline { spent; budget }
         | Netsim.Budget.Wall_exceeded { budget_s } -> Wall { budget_s }
+        | Check.Checker.Violation_error { spec; index; count; _ } ->
+          Invariant { spec; index; count }
         | _ -> Crash
       in
       let exn_s = Printexc.to_string e in
@@ -140,7 +151,11 @@ let protect ?(retries = 0) ?deadline_events ?wall_s ?(seed = 0) ~context f =
           }
         in
         emit_event ~kind:(kind_name fl.kind) ~context ~detail:exn_s ~attempt:i
-          ~value:(match fl.kind with Deadline d -> float_of_int d.budget | _ -> 0.0);
+          ~value:
+            (match fl.kind with
+            | Deadline d -> float_of_int d.budget
+            | Invariant v -> float_of_int v.count
+            | _ -> 0.0);
         Error fl
       end
   in

@@ -13,6 +13,10 @@ type kind =
   | Wall of { budget_s : float }
       (** the optional wall-clock backstop fired — nondeterministic,
           excluded from {!digest} *)
+  | Invariant of { spec : string; index : int; count : int }
+      (** the online invariant checker recorded violations
+          ([Check.Checker.Violation_error]): [spec]/[index] identify
+          the first, [count] the total *)
 
 type failure = {
   context : string;
@@ -40,7 +44,8 @@ val protect :
   ('a, failure) result
 
 (** Trace-event kind for a failure: ["failure"] for crashes,
-    ["deadline"] for budget or wall expiry. *)
+    ["deadline"] for budget or wall expiry, ["violation"] for invariant
+    violations. *)
 val kind_name : kind -> string
 
 (** Deterministic 16-hex digest of a failure. Covers context, kind,

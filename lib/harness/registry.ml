@@ -178,7 +178,13 @@ let run_entries ?pool ?(wrap = fun _i run -> run ())
           match
             Exec.Supervisor.protect ~retries:sv.retries
               ?deadline_events:sv.deadline_events ?wall_s:sv.wall_s ~context:e.id
-              (fun ~attempt:_ -> e.run ())
+              (fun ~attempt:_ ->
+                let r = e.run () in
+                (* Dirty ambient invariant checker (installed by the
+                   CLI's wrap) -> Violation_error, caught by protect as
+                   a structured Invariant failure. No-op unchecked. *)
+                Check.Runtime.assert_clean ();
+                r)
           with
           | Ok report ->
             (match sv.checkpoint with

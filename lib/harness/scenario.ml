@@ -35,6 +35,48 @@ let make_spec ?(rtt = 0.03) ?(buffer_kb = 150) ?(loss_p = 0.0) ?(aqm = `Fifo)
   { trace; rtt; buffer_bytes = Netsim.Units.kb buffer_kb; loss_p; aqm;
     impair; dup_thresh }
 
+(* The CLI trace grammar shared by libra_sim and diverge:
+   wired:<mbps> | lte:<stationary|walking|driving|moving> |
+   step:<mbps,mbps,...> | wan:<inter|intra>. WAN paths carry their own
+   RTT / buffer / loss, so they return the full path record. *)
+let parse_trace ~duration ~seed spec =
+  match String.split_on_char ':' spec with
+  | [ "wired"; mbps ] -> `Trace (Traces.Rate.constant (float_of_string mbps))
+  | [ "lte"; scenario ] ->
+    let s =
+      match scenario with
+      | "stationary" -> Traces.Lte.Stationary
+      | "walking" -> Traces.Lte.Walking
+      | "driving" -> Traces.Lte.Driving
+      | "moving" -> Traces.Lte.Moving
+      | other -> invalid_arg (Printf.sprintf "unknown LTE scenario %S" other)
+    in
+    `Trace (Traces.Lte.generate ~seed ~duration s)
+  | [ "step"; levels ] ->
+    let levels = List.map float_of_string (String.split_on_char ',' levels) in
+    `Trace (Traces.Rate.step ~period:10.0 levels)
+  | [ "wan"; "inter" ] -> `Wan (Traces.Wan.inter_continental ~duration ())
+  | [ "wan"; "intra" ] -> `Wan (Traces.Wan.intra_continental ~duration ())
+  | _ -> invalid_arg (Printf.sprintf "bad trace spec %S" spec)
+
+(* A full spec from the CLI knobs: the scenario-level rtt/buffer/loss
+   apply to rate-trace specs; WAN paths keep their own. *)
+let spec_of_cli ?(rtt = 0.03) ?(buffer_kb = 150) ?(loss_p = 0.0) ?impair ~duration
+    ~seed trace_spec =
+  match parse_trace ~duration ~seed trace_spec with
+  | `Trace trace -> make_spec ~rtt ~buffer_kb ~loss_p ?impair trace
+  | `Wan path ->
+    let impair = match impair with Some i -> i | None -> !default_impair in
+    {
+      trace = path.Traces.Wan.rate;
+      rtt = path.Traces.Wan.rtt;
+      buffer_bytes = path.Traces.Wan.buffer_bytes;
+      loss_p = path.Traces.Wan.loss_p;
+      aqm = `Fifo;
+      impair;
+      dup_thresh = (if Faults.Spec.may_reorder impair then 3 else 1);
+    }
+
 (* Network.run's [faults] argument for this spec ([None] when clean, so
    unimpaired runs take the hook-free fast path and stay bit-identical
    to pre-fault builds). *)

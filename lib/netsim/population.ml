@@ -71,9 +71,11 @@ let sample_iat rng arrivals diurnal ~now =
 let sample_size rng sizes =
   match sizes with
   | Pareto { xm; alpha } ->
-    (* Inverse-CDF: xm * (1-u)^(-1/alpha), u uniform in [0,1). *)
+    (* Inverse-CDF: xm * (1-u)^(-1/alpha), u uniform in [0,1). Ceil,
+       not truncate: a draw near the scale with fractional xm must not
+       land below the distribution's floor. *)
     let u = Rng.float rng in
-    max 1 (int_of_float (xm /. ((1.0 -. u) ** (1.0 /. alpha))))
+    max 1 (int_of_float (Float.ceil (xm /. ((1.0 -. u) ** (1.0 /. alpha)))))
   | Lognormal_size { mu; sigma } ->
     max 1 (int_of_float (exp (Rng.gaussian rng ~mu ~sigma)))
   | Fixed b -> max 1 b

@@ -24,8 +24,14 @@ type t =
        and controller fallbacks. Structural like [Run] — always
        subscribed, and exempt from per-lane monotonicity (they are
        stamped from outside the sim clock). *)
+  | Invariant
+    (* invariant-checker verdicts: a [Violation] event records a
+       predicate that failed online (see lib/check). Structural like
+       [Run] — a tracer never filters out the evidence that a run's
+       behavioural contract broke. *)
 
-let all = [ Pkt; Link; Ack; Rate; Monitor; Stage; Cycle; Rl; Fault; Run; Harness ]
+let all =
+  [ Pkt; Link; Ack; Rate; Monitor; Stage; Cycle; Rl; Fault; Run; Harness; Invariant ]
 
 let bit = function
   | Pkt -> 1
@@ -39,6 +45,7 @@ let bit = function
   | Run -> 256
   | Fault -> 512
   | Harness -> 1024
+  | Invariant -> 2048
 
 let to_string = function
   | Pkt -> "pkt"
@@ -52,6 +59,7 @@ let to_string = function
   | Fault -> "fault"
   | Run -> "run"
   | Harness -> "harness"
+  | Invariant -> "invariant"
 
 let of_string = function
   | "pkt" -> Some Pkt
@@ -65,6 +73,7 @@ let of_string = function
   | "fault" -> Some Fault
   | "run" -> Some Run
   | "harness" -> Some Harness
+  | "invariant" -> Some Invariant
   | _ -> None
 
 let mask_of cats = List.fold_left (fun m c -> m lor bit c) 0 cats

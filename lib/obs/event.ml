@@ -69,6 +69,16 @@ type t =
        from outside the sim clock, so — like [Run_start] — exempt from
        per-lane timestamp monotonicity; [t] carries sim time where one
        exists (controller fallback) and 0 otherwise. *)
+  | Violation of {
+      t : float;
+      name : string;  (* spec name, e.g. "queue-bound" *)
+      kind : string;  (* "always" | "never" | "leads_to" | "after_until" *)
+      index : int;  (* 0-based index of the offending event in its lane *)
+      detail : string;  (* the clause that failed, rendered *)
+    }
+    (* an online invariant-checker verdict (lib/check): predicate [name]
+       failed at the [index]-th event seen by this lane's checker.
+       Stamped with the sim time of the offending event. *)
 
 (* Placeholder used to initialise event buffers. *)
 let dummy = Link_rate { t = 0.0; rate = 0.0 }
@@ -87,6 +97,7 @@ let time = function
   | Fault e -> e.t
   | Run_start e -> e.t
   | Harness e -> e.t
+  | Violation e -> e.t
 
 let category = function
   | Enqueue _ | Dequeue _ | Drop _ -> Category.Pkt
@@ -100,6 +111,7 @@ let category = function
   | Fault _ -> Category.Fault
   | Run_start _ -> Category.Run
   | Harness _ -> Category.Harness
+  | Violation _ -> Category.Invariant
 
 let name = function
   | Enqueue _ -> "enqueue"
@@ -115,16 +127,89 @@ let name = function
   | Fault _ -> "fault"
   | Run_start _ -> "run_start"
   | Harness _ -> "harness"
+  | Violation _ -> "violation"
 
 (* Every event name that can appear in an exported trace (trace_check
    validates the "ev" field against this list). *)
 let all_names =
   [
     "enqueue"; "dequeue"; "drop"; "link_rate"; "ack"; "rate"; "mi_snapshot";
-    "stage"; "cycle"; "rl_step"; "fault"; "run_start"; "harness";
+    "stage"; "cycle"; "rl_step"; "fault"; "run_start"; "harness"; "violation";
   ]
 
 let reason_name = function Tail -> "tail" | Codel -> "codel" | Random -> "random"
+
+(* ---- generic field access ----
+
+   Name-keyed views of the event payloads for the invariant checker
+   (lib/check): field names are exactly the JSONL keys above, plus "t"
+   on every event. Missing fields return [None]; numeric lookups of
+   int-typed payload fields return the value as a float. *)
+
+let num_field ev field =
+  if field = "t" then Some (time ev)
+  else
+    let i v = Some (float_of_int v) in
+    let f v = Some v in
+    match ev, field with
+    | Enqueue e, "flow" -> i e.flow
+    | Enqueue e, "seq" -> i e.seq
+    | Enqueue e, "size" -> i e.size
+    | Enqueue e, "backlog" -> i e.backlog
+    | Dequeue e, "flow" -> i e.flow
+    | Dequeue e, "seq" -> i e.seq
+    | Dequeue e, "size" -> i e.size
+    | Dequeue e, "backlog" -> i e.backlog
+    | Drop e, "flow" -> i e.flow
+    | Drop e, "seq" -> i e.seq
+    | Drop e, "size" -> i e.size
+    | Link_rate e, "rate" -> f e.rate
+    | Ack e, "flow" -> i e.flow
+    | Ack e, "seq" -> i e.seq
+    | Ack e, "rtt" -> f e.rtt
+    | Ack e, "newly_lost" -> i e.newly_lost
+    | Rate e, "flow" -> i e.flow
+    | Rate e, "pacing" -> f e.pacing
+    | Rate e, "cwnd" -> f e.cwnd
+    | Mi_snapshot e, "duration" -> f e.duration
+    | Mi_snapshot e, "throughput" -> f e.throughput
+    | Mi_snapshot e, "avg_rtt" -> f e.avg_rtt
+    | Mi_snapshot e, "loss_rate" -> f e.loss_rate
+    | Mi_snapshot e, "rtt_gradient" -> f e.rtt_gradient
+    | Mi_snapshot e, "acked" -> i e.acked
+    | Mi_snapshot e, "lost" -> i e.lost
+    | Stage e, "base_rate" -> f e.base_rate
+    | Cycle e, "u_prev" -> f e.u_prev
+    | Cycle e, "u_rl" -> f e.u_rl
+    | Cycle e, "u_cl" -> f e.u_cl
+    | Cycle e, "x_next" -> f e.x_next
+    | Rl_step e, "episode" -> i e.episode
+    | Rl_step e, "step" -> i e.step
+    | Rl_step e, "rate" -> f e.rate
+    | Rl_step e, "reward" -> f e.reward
+    | Rl_step e, "action" -> f e.action
+    | Fault e, "flow" -> i e.flow
+    | Fault e, "seq" -> i e.seq
+    | Fault e, "value" -> f e.value
+    | Harness e, "attempt" -> i e.attempt
+    | Harness e, "value" -> f e.value
+    | Violation e, "index" -> i e.index
+    | _ -> None
+
+let str_field ev field =
+  match ev, field with
+  | Drop e, "reason" -> Some (reason_name e.reason)
+  | Stage e, "stage" -> Some e.stage
+  | Cycle e, "chosen" -> Some e.chosen
+  | Fault e, "kind" -> Some e.kind
+  | Run_start e, "label" -> Some e.label
+  | Harness e, "kind" -> Some e.kind
+  | Harness e, "id" -> Some e.id
+  | Harness e, "detail" -> Some e.detail
+  | Violation e, "name" -> Some e.name
+  | Violation e, "kind" -> Some e.kind
+  | Violation e, "detail" -> Some e.detail
+  | _ -> None
 
 (* ---- JSONL ---- *)
 
@@ -211,7 +296,12 @@ let to_json_line ~lane buf ev =
     field_s b "id" e.id;
     field_s b "detail" e.detail;
     field_i b "attempt" e.attempt;
-    field_f b "value" e.value);
+    field_f b "value" e.value
+  | Violation e ->
+    field_s b "name" e.name;
+    field_s b "kind" e.kind;
+    field_i b "index" e.index;
+    field_s b "detail" e.detail);
   Buffer.add_string b "}\n"
 
 (* ---- CSV ---- *)
@@ -219,9 +309,9 @@ let to_json_line ~lane buf ev =
 (* One wide row per event: inapplicable columns are left empty, which
    keeps the file trivially loadable for offline plotting. *)
 let csv_header =
-  "t,lane,ev,flow,seq,size,backlog,reason,rate,pacing,cwnd,rtt,newly_lost,duration,throughput,avg_rtt,loss_rate,rtt_gradient,acked,lost,stage,chosen,u_prev,u_rl,u_cl,x_next,episode,step,reward,action,label,kind,value,detail,attempt"
+  "t,lane,ev,flow,seq,size,backlog,reason,rate,pacing,cwnd,rtt,newly_lost,duration,throughput,avg_rtt,loss_rate,rtt_gradient,acked,lost,stage,chosen,u_prev,u_rl,u_cl,x_next,episode,step,reward,action,label,kind,value,detail,attempt,index"
 
-let csv_columns = 35
+let csv_columns = 36
 
 let fcell v = if Float.is_finite v then Printf.sprintf "%.9g" v else ""
 
@@ -290,6 +380,11 @@ let to_csv_row ~lane buf ev =
     cells.(31) <- e.kind;
     cells.(32) <- fcell e.value;
     cells.(33) <- e.detail;
-    cells.(34) <- string_of_int e.attempt);
+    cells.(34) <- string_of_int e.attempt
+  | Violation e ->
+    cells.(30) <- e.name;
+    cells.(31) <- e.kind;
+    cells.(33) <- e.detail;
+    cells.(35) <- string_of_int e.index);
   Buffer.add_string buf (String.concat "," (Array.to_list cells));
   Buffer.add_char buf '\n'

@@ -52,7 +52,8 @@ let create ?ring_capacity ?manifest ?(categories = Category.all) () =
     mask =
       Category.mask_of categories
       lor Category.bit Category.Run
-      lor Category.bit Category.Harness;
+      lor Category.bit Category.Harness
+      lor Category.bit Category.Invariant;
     ring_capacity;
     lock = Mutex.create ();
     lanes = [];
@@ -65,7 +66,7 @@ let set_manifest t m = t.manifest <- m
 
 (* ---- the ambient per-domain sink ---- *)
 
-type ctx = { tracer : t; buf : lane_buf }
+type ctx = { tracer : t; buf : lane_buf; observer : (Event.t -> unit) option }
 
 let ctx_key : ctx option ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref None)
 
@@ -108,9 +109,12 @@ let emit ev =
   match !(Domain.DLS.get ctx_key) with
   | None -> ()
   | Some c ->
-    if c.tracer.mask land Category.bit (Event.category ev) <> 0 then push c.buf ev
+    if c.tracer.mask land Category.bit (Event.category ev) <> 0 then begin
+      push c.buf ev;
+      match c.observer with None -> () | Some f -> f ev
+    end
 
-let run t ?(lane = 0) f =
+let run t ?(lane = 0) ?observer f =
   let buf =
     match t.ring_capacity with
     | Some cap ->
@@ -123,7 +127,7 @@ let run t ?(lane = 0) f =
   Mutex.unlock t.lock;
   let cell = Domain.DLS.get ctx_key in
   let saved = !cell in
-  cell := Some { tracer = t; buf };
+  cell := Some { tracer = t; buf; observer };
   Atomic.incr n_active;
   Fun.protect
     ~finally:(fun () ->

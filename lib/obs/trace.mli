@@ -27,11 +27,14 @@ val manifest : t -> Json.t
 
 val set_manifest : t -> Json.t -> unit
 
-(** [run t ~lane f] runs [f] with [t] installed as this domain's sink,
-    recording into a fresh buffer for [lane]. Nested runs save and
-    restore the outer sink. Lane ids must be chosen deterministically
-    by the caller (e.g. the task index of a pool fan-out). *)
-val run : t -> ?lane:int -> (unit -> 'a) -> 'a
+(** [run t ~lane ?observer f] runs [f] with [t] installed as this
+    domain's sink, recording into a fresh buffer for [lane]. Nested
+    runs save and restore the outer sink. Lane ids must be chosen
+    deterministically by the caller (e.g. the task index of a pool
+    fan-out). [observer] is called synchronously on every event the
+    tracer admits — the invariant checker's online hook; it may itself
+    {!emit} (e.g. a violation verdict), which re-enters this lane. *)
+val run : t -> ?lane:int -> ?observer:(Event.t -> unit) -> (unit -> 'a) -> 'a
 
 (** Probe guard: true iff a tracer subscribing to [cat] is installed on
     this domain. When no tracer is active anywhere this is a single

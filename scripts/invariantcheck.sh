@@ -1,0 +1,91 @@
+#!/bin/sh
+# Invariantcheck: online invariant-checker and divergence-bisector smoke
+# (tier-1; `make invariants`).
+#
+#   invariantcheck.sh EXPERIMENTS_EXE LIBRA_SIM_EXE DIVERGE_EXE [WORKDIR]
+#
+# Six probes:
+#   1. experiments robust-mini with the default invariant pack must come
+#      back clean (exit 0, zero violations in the lane summary)
+#   2. a deliberately violated spec must fail the run through the
+#      supervisor (exit 3) with a structured report naming the predicate
+#      and the offending event index
+#   3. libra_sim with the default pack must be clean (exit 0); the same
+#      violated spec must exit 5 with the checker report
+#   4. diverge must certify pool 1 vs pool 4 byte-identical on a wired
+#      and an LTE trace (exit 0)
+#   5. diverge with an injected single-event perturbation must pinpoint
+#      exactly that event (exit 1, "DIVERGED at event N")
+#   6. --trace-filter invariant must be accepted by the CLI
+set -eu
+
+EXPERIMENTS="$1"
+SIM="$2"
+DIVERGE="$3"
+WORK="${4:-$(mktemp -d "${TMPDIR:-/tmp}/libra-invariantcheck.XXXXXX")}"
+mkdir -p "$WORK"
+
+BAD='bad: always ev=ack & rtt<0'
+
+fail() {
+  echo "invariantcheck: $1" >&2
+  exit 1
+}
+
+# 1. Default pack clean through the experiment harness.
+"$EXPERIMENTS" --tiny robust-mini --invariant default \
+  >"$WORK/clean.out" 2>"$WORK/clean.err" \
+  || fail "clean robust-mini run failed (exit $?)"
+grep -q "\[invariants\]" "$WORK/clean.err" \
+  || fail "clean run missing the [invariants] lane summary"
+grep -q "0 violation(s)" "$WORK/clean.err" \
+  || fail "default pack not clean on robust-mini"
+
+# 2. A violated spec fails the run through the supervisor.
+status=0
+"$EXPERIMENTS" --tiny robust-mini --invariant "$BAD" \
+  >"$WORK/bad.out" 2>"$WORK/bad.err" || status=$?
+[ "$status" -eq 3 ] || fail "violated run exited $status, want 3"
+grep -q "invariant violated: bad" "$WORK/bad.out" \
+  || fail "violated run missing the structured supervisor report"
+grep -q "at event index" "$WORK/bad.out" \
+  || fail "supervisor report does not name the offending event index"
+
+# 3. The same pair through libra_sim (exit 0 clean, exit 5 violated).
+"$SIM" --cca cubic --trace wired:24 --duration 2 --invariant default \
+  >"$WORK/sim.out" 2>"$WORK/sim.err" \
+  || fail "libra_sim default-pack run failed (exit $?)"
+grep -q "spec(s) clean" "$WORK/sim.err" \
+  || fail "libra_sim clean run missing the checker summary"
+status=0
+"$SIM" --cca cubic --trace wired:24 --duration 2 --invariant "$BAD" \
+  >"$WORK/simbad.out" 2>"$WORK/simbad.err" || status=$?
+[ "$status" -eq 5 ] || fail "libra_sim violated run exited $status, want 5"
+grep -q "violation(s)" "$WORK/simbad.err" \
+  || fail "libra_sim violated run missing the checker report"
+
+# 4. Pool 1 vs pool 4 byte-identical on wired and LTE.
+"$DIVERGE" --trace wired:24 --duration 2 >"$WORK/div-wired.out" 2>&1 \
+  || fail "diverge found wired pool 1 vs 4 non-identical (exit $?)"
+grep -q "byte-identical" "$WORK/div-wired.out" \
+  || fail "wired diverge report missing byte-identical verdict"
+"$DIVERGE" --trace lte:walking --duration 2 >"$WORK/div-lte.out" 2>&1 \
+  || fail "diverge found LTE pool 1 vs 4 non-identical (exit $?)"
+grep -q "byte-identical" "$WORK/div-lte.out" \
+  || fail "LTE diverge report missing byte-identical verdict"
+
+# 5. An injected single-event perturbation is pinpointed exactly.
+status=0
+"$DIVERGE" --trace wired:24 --duration 2 -b perturb=25 \
+  >"$WORK/div-perturb.out" 2>&1 || status=$?
+[ "$status" -eq 1 ] || fail "perturbed diverge exited $status, want 1"
+grep -q "DIVERGED at event 25 " "$WORK/div-perturb.out" \
+  || fail "bisector did not pinpoint the perturbed event 25"
+
+# 6. The invariant category is a valid trace filter.
+"$SIM" --cca cubic --trace wired:24 --duration 1 --invariant default \
+  --trace-out "$WORK/inv.jsonl" --trace-filter invariant \
+  >"$WORK/filter.out" 2>"$WORK/filter.err" \
+  || fail "--trace-filter invariant rejected (exit $?)"
+
+echo "invariantcheck: ok (pack clean, violations fail structurally, pool 1 vs 4 byte-identical, bisector exact)"

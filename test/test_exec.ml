@@ -262,6 +262,54 @@ let test_span_structure_pool_independent () =
   check_bool "all three lanes exported" true
     (List.for_all (fun l -> contains l seq) [ "lane 0"; "lane 1"; "lane 2" ])
 
+(* The online invariant checker joins the determinism contract:
+   per-lane checkers over a pool fan-out (the wiring `experiments
+   --invariant` uses) must record identical violation lists at any pool
+   size — same specs, indices, times, and details, byte for byte. *)
+let test_checker_pool_independent () =
+  let render c =
+    String.concat "\n"
+      (List.map
+         (fun (v : Check.Checker.violation) ->
+           Printf.sprintf "%s|%s|%d|%.17g|%s" v.spec v.kind v.index v.time
+             v.detail)
+         (Check.Checker.violations c))
+  in
+  let violations_with size =
+    with_pool size (fun pool ->
+        let spec = Harness.Scenario.make_spec (Traces.Rate.constant 24.0) in
+        (* One spec that fires on every ACK, one that stays clean:
+           both the dirty and the clean path must be pool-independent. *)
+        let pack =
+          Check.Spec.parse_lines
+            [ "bad-rtt: always ev=ack & rtt<0"; "q-nonneg: always backlog>=0" ]
+        in
+        let tracer = Obs.Trace.create () in
+        Exec.Pool.map pool
+          (fun lane ->
+            let c = Check.Checker.create ~rtt:spec.Harness.Scenario.rtt pack in
+            Obs.Trace.run tracer ~lane ~observer:(Check.Checker.on_event c)
+              (fun () ->
+                ignore
+                  (Harness.Scenario.run_uniform ~seed:(7 + lane)
+                     ~factory:Harness.Ccas.cubic ~duration:2.0 spec));
+            (Check.Checker.events_seen c, Check.Checker.total c, render c))
+          (Array.init 3 Fun.id))
+  in
+  let seq = violations_with 1 in
+  let par = violations_with 4 in
+  check_int "lane count" (Array.length seq) (Array.length par);
+  Array.iteri
+    (fun lane (ev_s, tot_s, render_s) ->
+      let ev_p, tot_p, render_p = par.(lane) in
+      check_int (Printf.sprintf "lane %d events" lane) ev_s ev_p;
+      check_int (Printf.sprintf "lane %d total" lane) tot_s tot_p;
+      check_bool (Printf.sprintf "lane %d violations fired" lane) true (tot_s > 0);
+      Alcotest.(check string)
+        (Printf.sprintf "lane %d violation bytes" lane)
+        render_s render_p)
+    seq
+
 (* ------------------------------------------------------------------ *)
 (* Supervised registry runs: crash isolation and checkpoint/resume *)
 
@@ -428,6 +476,8 @@ let () =
           Alcotest.test_case "registry reports" `Slow test_registry_reports_byte_identical;
           Alcotest.test_case "exp_trace artifacts" `Slow
             test_exp_trace_artifacts_byte_identical;
+          Alcotest.test_case "invariant checker" `Slow
+            test_checker_pool_independent;
           Alcotest.test_case "span structure" `Slow
             test_span_structure_pool_independent;
         ] );
