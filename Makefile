@@ -1,4 +1,4 @@
-.PHONY: all check bench trace robustness perfcheck faultcheck invariants clean
+.PHONY: all check bench trace robustness perfcheck faultcheck invariants search clean
 
 all:
 	dune build
@@ -34,6 +34,12 @@ faultcheck:
 invariants:
 	dune build @invariants
 
+# Search smoke alone: mini adversarial search rediscovers the planted
+# CUBIC counterexample, byte-identical at --domains 1 vs 4, and the
+# committed scenarios/ corpus replays in the robustness matrix.
+search:
+	dune build @search
+
 # CI perf gate: run the quick perf-smoke subset (spans on), append the
 # result to BENCH_history.jsonl, and compare against the most recent
 # comparable entry — non-zero exit if any experiment regressed > 20%.
@@ -49,6 +55,7 @@ perfcheck:
 	dune build bench/main.exe bin/perf_report.exe
 	dune exec bench/main.exe -- perf-smoke
 	dune exec bench/main.exe -- invariant-overhead
+	dune exec bench/main.exe -- search-overhead
 	dune build --profile release bench/main.exe
 	dune exec --profile release bench/main.exe -- events-per-sec
 	dune exec bin/perf_report.exe -- --gate 20

@@ -503,6 +503,58 @@ let run_invariant_overhead ~scale () =
     ~recorder:None ~groups:[||]
 
 (* ------------------------------------------------------------------ *)
+(* Adversarial-search evaluation overhead: the same fixed wired
+   scenario run bare vs one Search.Eval.evaluate of an equivalent
+   candidate. An evaluation runs the scenario twice (clean + impaired
+   leg) plus the metrics-registry feedback scrape, so the interesting
+   number is the ratio over 2x bare — the search engine's own cost per
+   candidate. Tracked in BENCH_results.json ("search_overhead") and as
+   a history entry under `make perfcheck`. *)
+let run_search_overhead ~scale () =
+  Harness.Table.heading "Search overhead: per-candidate evaluation, 10s wired run";
+  (* Warm-up leg, as in the tracing bench. *)
+  trace_overhead_scenario ();
+  let (), bare_s = time_run trace_overhead_scenario in
+  let runner =
+    Harness.Scenario.adversarial_runner ~factory:Harness.Ccas.cubic
+      ~duration:10.0 ()
+  in
+  let cand =
+    {
+      Search.Space.impair = Faults.Spec.of_string_exn "gilbert";
+      knobs = Search.Space.base_knobs;
+    }
+  in
+  let result, eval_s =
+    time_run (fun () -> Search.Eval.evaluate ~runner ~duration:10.0 cand)
+  in
+  let ratio = eval_s /. bare_s in
+  Harness.Table.print
+    ~header:[ "execution"; "wall"; "vs bare" ]
+    [
+      [ "bare scenario run"; Printf.sprintf "%.3fs" bare_s; "-" ];
+      [
+        "Eval.evaluate (2 legs + feedback)";
+        Printf.sprintf "%.3fs" eval_s;
+        Printf.sprintf "%.2fx" ratio;
+      ];
+    ];
+  Printf.printf "\ncandidate %s: degradation %.1f%%\n"
+    (Search.Space.to_string cand)
+    (100.0 *. result.Search.Eval.degradation);
+  patch_bench_json "search_overhead"
+    (Obs.Json.Obj
+       [
+         ("scenario", Obs.Json.Str "wired24-cubic-10s");
+         ("bare_s", Obs.Json.Num bare_s);
+         ("eval_s", Obs.Json.Num eval_s);
+         ("eval_over_bare", Obs.Json.Num ratio);
+       ]);
+  append_history ~scale ~subset:(Some [ "search-overhead" ])
+    ~timed:[ ("search-bare", bare_s); ("search-eval", eval_s) ]
+    ~recorder:None ~groups:[||]
+
+(* ------------------------------------------------------------------ *)
 (* Many-flow scale-out lane: logical events per wall second on the
    closure engine vs the arena engine (Flow_table), over the same
    deep-buffered wired scenario. The buffer is sized so each flow
@@ -815,6 +867,7 @@ let () =
   | [ "perf-smoke" ] -> run_perf_smoke ~scale ()
   | [ "supervisor-overhead" ] -> run_supervisor_overhead ~scale ()
   | [ "invariant-overhead" ] -> run_invariant_overhead ~scale ()
+  | [ "search-overhead" ] -> run_search_overhead ~scale ()
   | [ "events-per-sec" ] -> run_events_per_sec ~scale ()
   | [ "alloc-contract" ] -> run_alloc_contract ()
   | ids ->
@@ -826,6 +879,7 @@ let () =
         else if id = "perf-smoke" then run_perf_smoke ~scale ()
         else if id = "supervisor-overhead" then run_supervisor_overhead ~scale ()
         else if id = "invariant-overhead" then run_invariant_overhead ~scale ()
+        else if id = "search-overhead" then run_search_overhead ~scale ()
         else if id = "events-per-sec" then run_events_per_sec ~scale ()
         else if id = "alloc-contract" then run_alloc_contract ()
         else
@@ -835,7 +889,8 @@ let () =
             Printf.eprintf
               "unknown experiment %S (known: %s, micro, trace-overhead, \
                impairment-overhead, perf-smoke, supervisor-overhead, \
-               invariant-overhead, events-per-sec, alloc-contract)\n"
+               invariant-overhead, search-overhead, events-per-sec, \
+               alloc-contract)\n"
               id
               (String.concat ", " (Harness.Registry.ids ())))
       ids);

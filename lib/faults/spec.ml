@@ -87,7 +87,7 @@ let lookup kvs key default = Option.value ~default (List.assoc_opt key kvs)
 let check_keys name kvs allowed =
   match List.find_opt (fun (k, _) -> not (List.mem k allowed)) kvs with
   | Some (k, _) ->
-    fail "impairment %s: unknown key %S (allowed: %s)" name k
+    fail "impairment %s: unknown key %S (expected one of: %s)" name k
       (String.concat ", " allowed)
   | None -> Ok ()
 
@@ -167,7 +167,7 @@ let of_string s =
   let s = String.trim s in
   if s = "" || s = "clean" then Ok empty
   else
-    let rec go acc = function
+    let rec go acc pos = function
       | [] ->
         let channels, shapers =
           List.partition_map
@@ -176,11 +176,15 @@ let of_string s =
         in
         Ok { channels; shapers }
       | item :: rest -> (
-        match parse_item (String.trim item) with
-        | Error _ as e -> e
-        | Ok x -> go (x :: acc) rest )
+        let item = String.trim item in
+        match parse_item item with
+        | Error m ->
+          (* Prefix the '+'-position and offending item so a malformed
+             spec in a long search log pinpoints itself. *)
+          fail "spec item %d (%S): %s" pos item m
+        | Ok x -> go (x :: acc) (pos + 1) rest )
     in
-    go [] (String.split_on_char '+' s)
+    go [] 1 (String.split_on_char '+' s)
 
 let of_string_exn s =
   match of_string s with Ok t -> t | Error m -> invalid_arg m

@@ -95,12 +95,42 @@ let run_matrix ~candidates ~profiles ~runs ~duration =
            candidates))
     profiles
 
-(* The full matrix: 5 CCAs x 5 profiles. *)
+(* Committed adversarial counterexamples (scenarios/*.scn, found by
+   bin/libra_search and shrunk) replayed as named regression columns:
+   each must still degrade its CCA's utility at least as announced, so
+   a controller change that quietly loses a hard-won worst case shows
+   up as a "stale" row here rather than silently. *)
+let run_regressions () =
+  match Scenario.load_corpus () with
+  | [] -> ()
+  | corpus ->
+    Table.subheading "adversarial regressions (scenarios/*.scn)";
+    Table.print
+      ~header:[ "scenario"; "cca"; "impair"; "deg@found"; "deg@replay"; "status" ]
+      (List.map
+         (fun (c : Scenario.counterexample) ->
+           let r = Scenario.replay_counterexample c in
+           let status =
+             if r.Search.Eval.degradation >= c.Scenario.threshold then "ok"
+             else "stale"
+           in
+           [
+             c.Scenario.name;
+             c.Scenario.cca;
+             Faults.Spec.to_string c.Scenario.impair;
+             Table.pct c.Scenario.degradation;
+             Table.pct r.Search.Eval.degradation;
+             status;
+           ])
+         corpus)
+
+(* The full matrix: 5 CCAs x 5 profiles, plus corpus regressions. *)
 let run () =
   let scale = Scale.get () in
   Table.heading "Robustness: CCA suite under fault-injected bottlenecks";
   run_matrix ~candidates ~profiles:Faults.Spec.robustness_profiles
-    ~runs:scale.Scale.runs ~duration:scale.Scale.duration
+    ~runs:scale.Scale.runs ~duration:scale.Scale.duration;
+  run_regressions ()
 
 (* Tier-1 smoke: a 2x2 corner of the matrix at a few seconds per cell,
    cheap enough for every `dune runtest`. *)

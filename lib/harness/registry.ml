@@ -49,6 +49,7 @@ let all =
     e "extend" "Sec. 7 extensions: other CCAs, satellite/5G, CoDel" Exp_extension.run "extend";
     e "trace" "deterministic sim-time trace export (JSONL/CSV)" Exp_trace.run "trace";
     e "robust" "CCA suite x fault-injection robustness matrix" Exp_robustness.run "robust";
+    e "adversarial" "adversarial worst-case search leaderboard (lib/search)" Exp_adversarial.run "adversarial";
     e "robust-mini" "2x2 corner of the robustness matrix (smoke)" Exp_robustness.run_mini "robust-mini";
     e "population" "open-loop flow population vs Libra long flows (arena engine)" Exp_population.run "population";
     e "population-mini" "light population churn on the arena engine (smoke)" Exp_population.run_mini "population-mini";

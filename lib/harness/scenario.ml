@@ -222,3 +222,170 @@ let cellular_traces ?(seed = 1) ~duration () =
   List.map
     (fun s -> Traces.Lte.generate ~seed ~duration s)
     Traces.Lte.all_scenarios
+
+(* ---- adversarial search support ---- *)
+
+(* A Search.Eval.runner over this module's uniform-flow scenario: a
+   constant-rate wired bottleneck at the candidate's knobs. The fixed
+   [seed] makes the runner pure, which is what lets Search's pool
+   fan-out stay byte-identical at any pool size — and lets a committed
+   counterexample replay to the very numbers the search saw. *)
+let adversarial_runner ?(seed = 11) ~factory ~duration () : Search.Eval.runner =
+ fun ~impair (knobs : Search.Space.knobs) ->
+  let spec =
+    make_spec ~rtt:knobs.Search.Space.rtt ~buffer_kb:knobs.Search.Space.buffer_kb
+      ~impair
+      (Traces.Rate.constant knobs.Search.Space.bw_mbps)
+  in
+  let o = run_uniform ~seed ~n_flows:knobs.Search.Space.flows ~factory ~duration spec in
+  {
+    Search.Eval.throughput_bps = o.throughput;
+    mean_delay = o.mean_delay;
+    loss_rate = o.loss_rate;
+  }
+
+(* ---- counterexample corpus (scenarios/*.scn) ---- *)
+
+(* One committed counterexample: the shrunk impairment spec plus the
+   scenario knobs and enough provenance (CCA, search seed, degradation
+   at find time) to replay it as a named regression in exp_robustness. *)
+type counterexample = {
+  name : string;
+  cca : string;
+  impair : Faults.Spec.t;
+  knobs : Search.Space.knobs;
+  threshold : float;
+  degradation : float;  (* relative utility degradation when found *)
+  seed : int;  (* the runner seed the search evaluated with *)
+  duration : float;  (* per-leg scenario duration, seconds *)
+}
+
+(* Where the corpus lives; dune rules run in _build/default, where the
+   (source_tree scenarios) dep materialises it under this default. *)
+let scenarios_dir () =
+  Option.value (Sys.getenv_opt "LIBRA_SCENARIOS") ~default:"scenarios"
+
+(* `key: value` lines, `#` comments, manifest-stamped. The manifest line
+   is provenance only and is ignored on load. It deliberately excludes
+   argv and the domain count: a committed file must be byte-identical
+   whether the search that found it ran at pool size 1 or 4. *)
+let counterexample_to_string (c : counterexample) =
+  let b = Buffer.create 256 in
+  let add k v = Buffer.add_string b (Printf.sprintf "%s: %s\n" k v) in
+  Buffer.add_string b "# libra adversarial counterexample (see EXPERIMENTS.md)\n";
+  add "manifest"
+    (Obs.Manifest.header_line
+       (Obs.Manifest.make ~seeds:[ c.seed ]
+          ~impair:(Faults.Spec.to_string c.impair)
+          ~argv:[] ()));
+  add "name" c.name;
+  add "cca" c.cca;
+  add "impair" (Faults.Spec.to_string c.impair);
+  add "bandwidth_mbps" (Printf.sprintf "%g" c.knobs.Search.Space.bw_mbps);
+  add "rtt" (Printf.sprintf "%g" c.knobs.Search.Space.rtt);
+  add "buffer_kb" (string_of_int c.knobs.Search.Space.buffer_kb);
+  add "flows" (string_of_int c.knobs.Search.Space.flows);
+  add "threshold" (Printf.sprintf "%g" c.threshold);
+  add "degradation" (Printf.sprintf "%g" c.degradation);
+  add "seed" (string_of_int c.seed);
+  add "duration" (Printf.sprintf "%g" c.duration);
+  Buffer.contents b
+
+let to_file path (c : counterexample) =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (counterexample_to_string c))
+
+let counterexample_of_string ~fallback_name s =
+  let ( let* ) = Result.bind in
+  let kvs =
+    String.split_on_char '\n' s
+    |> List.filter_map (fun line ->
+           let line = String.trim line in
+           if line = "" || line.[0] = '#' then None
+           else
+             match String.index_opt line ':' with
+             | None -> Some (line, "")
+             | Some i ->
+               Some
+                 ( String.trim (String.sub line 0 i),
+                   String.trim (String.sub line (i + 1) (String.length line - i - 1))
+                 ))
+  in
+  let get k = List.assoc_opt k kvs in
+  let num k default =
+    match get k with
+    | None -> Ok default
+    | Some v -> (
+      match float_of_string_opt v with
+      | Some f -> Ok f
+      | None -> Error (Printf.sprintf "scenario key %s: %S is not a number" k v))
+  in
+  let* impair =
+    match get "impair" with
+    | None -> Error "scenario file: missing required key 'impair'"
+    | Some v -> Faults.Spec.of_string v
+  in
+  let* cca =
+    match get "cca" with
+    | None -> Error "scenario file: missing required key 'cca'"
+    | Some v -> Ok v
+  in
+  let* bw = num "bandwidth_mbps" Search.Space.base_knobs.Search.Space.bw_mbps in
+  let* rtt = num "rtt" Search.Space.base_knobs.Search.Space.rtt in
+  let* buf = num "buffer_kb" (float_of_int Search.Space.base_knobs.Search.Space.buffer_kb) in
+  let* flows = num "flows" (float_of_int Search.Space.base_knobs.Search.Space.flows) in
+  let* threshold = num "threshold" 0.25 in
+  let* degradation = num "degradation" 0.0 in
+  let* seed = num "seed" 11.0 in
+  let* duration = num "duration" 6.0 in
+  Ok
+    {
+      name = Option.value (get "name") ~default:fallback_name;
+      cca;
+      impair;
+      knobs =
+        {
+          Search.Space.bw_mbps = bw;
+          rtt;
+          buffer_kb = int_of_float buf;
+          flows = int_of_float flows;
+        };
+      threshold;
+      degradation;
+      seed = int_of_float seed;
+      duration;
+    }
+
+let of_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error m -> Error m
+  | s ->
+    let fallback_name = Filename.remove_extension (Filename.basename path) in
+    counterexample_of_string ~fallback_name s
+
+(* All *.scn files in [dir] (default {!scenarios_dir}), sorted by file
+   name for deterministic replay order. A missing directory is an empty
+   corpus; a malformed committed file raises. *)
+let load_corpus ?dir () =
+  let dir = match dir with Some d -> d | None -> scenarios_dir () in
+  match Sys.readdir dir with
+  | exception Sys_error _ -> []
+  | files ->
+    Array.to_list files
+    |> List.filter (fun f -> Filename.check_suffix f ".scn")
+    |> List.sort compare
+    |> List.map (fun f ->
+           match of_file (Filename.concat dir f) with
+           | Ok c -> c
+           | Error m -> failwith (Printf.sprintf "scenario %s: %s" f m))
+
+(* Replay a counterexample: re-evaluate its candidate with the same
+   runner shape and seed the search used, returning the fresh
+   clean/impaired utilities and degradation. *)
+let replay_counterexample (c : counterexample) =
+  let factory = Ccas.find c.cca in
+  let runner = adversarial_runner ~seed:c.seed ~factory ~duration:c.duration () in
+  Search.Eval.evaluate ~runner ~duration:c.duration
+    { Search.Space.impair = c.impair; knobs = c.knobs }

@@ -1,0 +1,164 @@
+(* The generational search loop.
+
+   Determinism contract (the same one test_exec enforces everywhere
+   else): every candidate's mutation stream is derived with
+   [Rng.split_key root ~key:(gen * 100003 + slot)], evaluation fans out
+   through the order-preserving [Exec.Pool.map], and selection ties
+   break by lowest slot index — so a search with the same seed returns
+   byte-identical results at any pool size. Nothing in this module may
+   consult wall-clock time or ambient randomness.
+
+   Each evaluation runs under [Exec.Supervisor.protect]; a crashed or
+   budget-blown candidate scores [neg_infinity] and simply loses the
+   selection instead of killing the search. *)
+
+module Rng = Netsim.Rng
+
+type config = {
+  seed : int;
+  generations : int;
+  population : int;
+  elites : int;  (* survivors copied verbatim into the next generation *)
+  threshold : float;  (* counterexample degradation threshold, e.g. 0.25 *)
+  duration : float;  (* per-leg scenario duration, seconds *)
+}
+
+let default_config =
+  {
+    seed = 1;
+    generations = 6;
+    population = 12;
+    elites = 3;
+    threshold = 0.25;
+    duration = 6.0;
+  }
+
+type gen_stat = {
+  gen : int;
+  best_degradation : float;
+  best_spec : string;
+  weights : Mutate.weights;
+}
+
+type result = {
+  best : Eval.result;
+  found_gen : int option;  (* first generation crossing the threshold *)
+  evals : int;  (* candidate evaluations (each = clean + impaired leg) *)
+  stats : gen_stat list;  (* one row per generation, in order *)
+}
+
+(* Feedback -> proposal biases. A move family gets double weight when
+   the best lineage's counters say that family is where the damage
+   happens: packet channels if they actually impaired a visible
+   fraction of offered packets, shapers if the link ever went down,
+   knobs if the bottleneck queue itself dropped a visible fraction. *)
+let weights_of_feedback (fb : Eval.feedback) : Mutate.weights =
+  let ratio num den = if den > 0.0 then num /. den else 0.0 in
+  let channel_bias = if ratio fb.Eval.impaired fb.Eval.offered > 0.01 then 2.0 else 1.0 in
+  let shaper_bias = if fb.Eval.link_downs > 0.0 then 2.0 else 1.0 in
+  let knob_bias = if ratio fb.Eval.tail_drops fb.Eval.acks > 0.05 then 2.0 else 1.0 in
+  Mutate.biased ~channel_bias ~shaper_bias ~knob_bias
+
+let failed_result cand =
+  {
+    Eval.cand;
+    u_clean = Float.nan;
+    u_impaired = Float.nan;
+    degradation = Float.neg_infinity;
+    feedback = Eval.no_feedback;
+  }
+
+(* Evaluate one generation across the pool. Order-preserving map +
+   per-slot protect context; a failure scores neg_infinity. *)
+let eval_generation pool ~runner ~(config : config) ~gen cands =
+  Exec.Pool.map_list pool
+    (fun (slot, cand) ->
+      let context = Printf.sprintf "search.g%d.c%d" gen slot in
+      match
+        Exec.Supervisor.protect ~seed:(config.seed + (gen * 100003) + slot)
+          ~context (fun ~attempt:_ -> Eval.evaluate ~runner ~duration:config.duration cand)
+      with
+      | Ok r -> r
+      | Error _ -> failed_result cand)
+    (List.mapi (fun slot cand -> (slot, cand)) cands)
+
+(* Rank: highest degradation first; stable sort breaks ties by slot. *)
+let rank results =
+  List.stable_sort
+    (fun (a : Eval.result) b -> compare b.Eval.degradation a.Eval.degradation)
+    results
+
+(* [plants] are caller-supplied generation-0 candidates (searchcheck
+   plants a trivial counterexample it must rediscover); the rest of the
+   initial population is drawn from the shared random generator. *)
+let initial_population ~(config : config) ~plants root =
+  let n_random = max 0 (config.population - List.length plants) in
+  let randoms =
+    List.init n_random (fun i ->
+        let rng = Rng.split_key root ~key:(1000 + i) in
+        { Space.impair = Gen.nonempty_spec rng; knobs = Space.base_knobs })
+  in
+  let pop = plants @ randoms in
+  (* If plants overflow the population, keep them all anyway. *)
+  if pop = [] then [ Space.clean_candidate ] else pop
+
+let next_population ~(config : config) ~gen ~weights root ranked =
+  let elites =
+    List.filteri (fun i _ -> i < max 1 config.elites) ranked
+    |> List.map (fun (r : Eval.result) -> r.Eval.cand)
+  in
+  let n_elite = List.length elites in
+  let n_mut = max 0 (config.population - n_elite) in
+  let mutants =
+    List.init n_mut (fun i ->
+        let parent = List.nth elites (i mod n_elite) in
+        let rng = Rng.split_key root ~key:((gen * 100003) + i) in
+        Mutate.mutate rng ~weights parent)
+  in
+  elites @ mutants
+
+let search ?pool ?(plants = []) ~(config : config) ~(runner : Eval.runner) () :
+    result =
+  let pool = match pool with Some p -> p | None -> Exec.Pool.default () in
+  let root = Rng.create config.seed in
+  let rec go gen pop best found stats evals =
+    if gen >= config.generations then
+      ( (match best with Some b -> b | None -> failed_result Space.clean_candidate),
+        found,
+        List.rev stats,
+        evals )
+    else begin
+      let results = eval_generation pool ~runner ~config ~gen pop in
+      let ranked = rank results in
+      let gen_best = List.hd ranked in
+      let best =
+        match best with
+        | Some b when b.Eval.degradation >= gen_best.Eval.degradation -> Some b
+        | _ -> Some gen_best
+      in
+      let found =
+        match found with
+        | Some _ -> found
+        | None ->
+          if gen_best.Eval.degradation >= config.threshold then Some gen else None
+      in
+      let weights = weights_of_feedback gen_best.Eval.feedback in
+      let stat =
+        {
+          gen;
+          best_degradation = gen_best.Eval.degradation;
+          best_spec = Space.to_string gen_best.Eval.cand;
+          weights;
+        }
+      in
+      let evals = evals + List.length pop in
+      if gen + 1 >= config.generations then
+        go (gen + 1) [] best found (stat :: stats) evals
+      else
+        let pop' = next_population ~config ~gen:(gen + 1) ~weights root ranked in
+        go (gen + 1) pop' best found (stat :: stats) evals
+    end
+  in
+  let pop0 = initial_population ~config ~plants root in
+  let best, found_gen, stats, evals = go 0 pop0 None None [] 0 in
+  { best; found_gen; evals; stats }

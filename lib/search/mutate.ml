@@ -1,0 +1,208 @@
+(* Typed mutation operators over a search {!Space.candidate}: perturb a
+   numeric field of a channel or shaper, add a channel drawn from the
+   shared random generator ({!Gen} — the same one the qcheck property
+   tests run), drop a channel, tighten or shift a `from=`/`until=`
+   window, and perturb the scenario knobs. Every operator clamps into
+   the generator's valid ranges and re-quantizes, so any mutant's spec
+   still round-trips through the `--impair` grammar.
+
+   Operator choice is weighted: the engine derives the weights from the
+   previous generation's `Obs` fault/queue/monitor counters (see
+   {!Engine}), so proposals concentrate where the lineage says the
+   impairment is actually biting. *)
+
+module Rng = Netsim.Rng
+module Spec = Faults.Spec
+module Channel = Faults.Channel
+
+type op =
+  | Perturb_channel
+  | Add_channel
+  | Drop_channel
+  | Retime_channel
+  | Perturb_shaper
+  | Add_shaper
+  | Drop_shaper
+  | Perturb_knob
+
+let op_name = function
+  | Perturb_channel -> "perturb-channel"
+  | Add_channel -> "add-channel"
+  | Drop_channel -> "drop-channel"
+  | Retime_channel -> "retime-channel"
+  | Perturb_shaper -> "perturb-shaper"
+  | Add_shaper -> "add-shaper"
+  | Drop_shaper -> "drop-shaper"
+  | Perturb_knob -> "perturb-knob"
+
+type weights = (op * float) list
+
+let uniform_weights : weights =
+  [
+    (Perturb_channel, 1.0);
+    (Add_channel, 1.0);
+    (Drop_channel, 0.5);
+    (Retime_channel, 0.5);
+    (Perturb_shaper, 1.0);
+    (Add_shaper, 1.0);
+    (Drop_shaper, 0.5);
+    (Perturb_knob, 1.0);
+  ]
+
+(* Lineage feedback -> proposal weights. [channel_bias] multiplies the
+   packet-channel moves, [shaper_bias] the link-schedule moves,
+   [knob_bias] the scenario-knob move (the engine computes the biases
+   from faults.* / netsim.link.* / flow-monitor counters). *)
+let biased ~channel_bias ~shaper_bias ~knob_bias : weights =
+  List.map
+    (fun (op, w) ->
+      let b =
+        match op with
+        | Perturb_channel | Add_channel | Retime_channel -> channel_bias
+        | Perturb_shaper | Add_shaper -> shaper_bias
+        | Perturb_knob -> knob_bias
+        | Drop_channel | Drop_shaper -> 1.0
+      in
+      (op, w *. b))
+    uniform_weights
+
+let max_channels = 5
+let max_shapers = 3
+
+(* Which operators can apply to this candidate's shape. *)
+let applicable (c : Space.candidate) op =
+  let nc = List.length c.Space.impair.Spec.channels in
+  let ns = List.length c.Space.impair.Spec.shapers in
+  match op with
+  | Perturb_channel | Retime_channel -> nc > 0
+  | Drop_channel -> nc > 0
+  | Add_channel -> nc < max_channels
+  | Perturb_shaper -> ns > 0
+  | Drop_shaper -> ns > 0
+  | Add_shaper -> ns < max_shapers
+  | Perturb_knob -> true
+
+let pick_weighted rng (ws : weights) =
+  let total = List.fold_left (fun a (_, w) -> a +. w) 0.0 ws in
+  let x = Rng.float rng *. total in
+  let rec go acc = function
+    | [ (op, _) ] -> op
+    | (op, w) :: rest -> if x < acc +. w then op else go (acc +. w) rest
+    | [] -> Perturb_knob
+  in
+  go 0.0 ws
+
+(* Multiplicative jiggle from a fixed factor menu (quantize-stable). *)
+let factor rng =
+  match Rng.int rng 4 with 0 -> 0.5 | 1 -> 0.7 | 2 -> 1.4 | _ -> 2.0
+
+let scaled rng (lo, hi) v =
+  Space.quantize (Space.clamp ~lo ~hi (v *. factor rng))
+
+let nth_replace i v l = List.mapi (fun j x -> if j = i then v else x) l
+let nth_remove i l = List.filteri (fun j _ -> j <> i) l
+
+let perturb_kind rng (k : Channel.kind) =
+  match k with
+  | Channel.Gilbert g -> (
+    match Rng.int rng 4 with
+    | 0 -> Channel.Gilbert { g with p_gb = scaled rng Gen.r_p_gb g.p_gb }
+    | 1 -> Channel.Gilbert { g with p_bg = scaled rng Gen.r_p_bg g.p_bg }
+    | 2 -> Channel.Gilbert { g with p_bad = scaled rng Gen.r_p_bad g.p_bad }
+    | _ ->
+      Channel.Gilbert
+        { g with p_good = scaled rng Gen.r_p_good (Float.max 0.005 g.p_good) })
+  | Channel.Bernoulli { p } -> Channel.Bernoulli { p = scaled rng Gen.r_p p }
+  | Channel.Reorder r -> (
+    match Rng.int rng 3 with
+    | 0 -> Channel.Reorder { r with p = scaled rng Gen.r_p r.p }
+    | 1 ->
+      let step = if Rng.bool rng ~p:0.5 then 1 else -1 in
+      Channel.Reorder
+        { r with depth = Space.clampi ~lo:1 ~hi:Gen.max_depth (r.depth + step) }
+    | _ -> Channel.Reorder { r with max_hold = scaled rng Gen.r_max_hold r.max_hold })
+  | Channel.Duplicate { p } -> Channel.Duplicate { p = scaled rng Gen.r_p p }
+  | Channel.Corrupt { p } -> Channel.Corrupt { p = scaled rng Gen.r_p p }
+  | Channel.Jitter { max_delay } ->
+    Channel.Jitter { max_delay = scaled rng Gen.r_jitter max_delay }
+
+(* Retime: give a windowless channel a window, or tighten/shift an
+   existing one. Windows stay well-formed (from < until). *)
+let retime rng (it : Spec.channel_item) =
+  if it.Spec.until = infinity && it.Spec.from_ = 0.0 then begin
+    let from_ = Gen.draw rng Gen.r_window_start in
+    { it with Spec.from_; until = Space.quantize (from_ +. Gen.draw rng Gen.r_window_len) }
+  end
+  else begin
+    let len = it.Spec.until -. it.Spec.from_ in
+    if Rng.bool rng ~p:0.5 then begin
+      (* tighten: shave up to a quarter off each side *)
+      let a = Rng.uniform rng ~lo:0.0 ~hi:(len /. 4.0) in
+      let b = Rng.uniform rng ~lo:0.0 ~hi:(len /. 4.0) in
+      let from_ = Space.quantize (it.Spec.from_ +. a) in
+      { it with Spec.from_; until = Space.quantize (Float.max (from_ +. 0.25) (it.Spec.until -. b)) }
+    end
+    else begin
+      (* shift the whole window *)
+      let d = Rng.uniform rng ~lo:(-2.0) ~hi:2.0 in
+      let from_ = Space.quantize (Float.max 0.0 (it.Spec.from_ +. d)) in
+      { it with Spec.from_; until = Space.quantize (from_ +. len) }
+    end
+  end
+
+let perturb_shaper rng (s : Spec.shaper) =
+  match s with
+  | Spec.Outage o -> (
+    match Rng.int rng 2 with
+    | 0 -> Spec.Outage { o with at = scaled rng Gen.r_outage_at (Float.max 0.25 o.at) }
+    | _ -> Spec.Outage { o with dur = scaled rng Gen.r_outage_dur o.dur })
+  | Spec.Clamp c -> Spec.Clamp { c with factor = scaled rng Gen.r_clamp_factor c.factor }
+  | Spec.Flap fl -> (
+    match Rng.int rng 2 with
+    | 0 -> Spec.Flap { fl with period = scaled rng Gen.r_flap_period fl.period }
+    | _ -> Spec.Flap { fl with duty = scaled rng Gen.r_flap_duty fl.duty })
+
+let perturb_knobs rng (k : Space.knobs) =
+  Space.clamp_knobs
+    (match Rng.int rng 4 with
+    | 0 -> { k with Space.bw_mbps = k.Space.bw_mbps *. factor rng }
+    | 1 -> { k with Space.rtt = k.Space.rtt *. factor rng }
+    | 2 ->
+      { k with Space.buffer_kb = int_of_float (float_of_int k.Space.buffer_kb *. factor rng) }
+    | _ ->
+      let step = if Rng.bool rng ~p:0.5 then 1 else -1 in
+      { k with Space.flows = k.Space.flows + step })
+
+(* One mutation step. The rng is the candidate's own split_key stream,
+   so the mutant is a pure function of (parent, stream). *)
+let mutate rng ~(weights : weights) (c : Space.candidate) : Space.candidate =
+  let ws = List.filter (fun (op, w) -> w > 0.0 && applicable c op) weights in
+  let ws = if ws = [] then [ (Perturb_knob, 1.0) ] else ws in
+  let spec = c.Space.impair in
+  let chans = spec.Spec.channels in
+  let shs = spec.Spec.shapers in
+  match pick_weighted rng ws with
+  | Perturb_channel ->
+    let i = Rng.int rng (List.length chans) in
+    let it = List.nth chans i in
+    let it = { it with Spec.kind = perturb_kind rng it.Spec.kind } in
+    { c with Space.impair = { spec with Spec.channels = nth_replace i it chans } }
+  | Add_channel ->
+    { c with Space.impair = { spec with Spec.channels = chans @ [ Gen.channel_item rng ] } }
+  | Drop_channel ->
+    let i = Rng.int rng (List.length chans) in
+    { c with Space.impair = { spec with Spec.channels = nth_remove i chans } }
+  | Retime_channel ->
+    let i = Rng.int rng (List.length chans) in
+    let it = retime rng (List.nth chans i) in
+    { c with Space.impair = { spec with Spec.channels = nth_replace i it chans } }
+  | Perturb_shaper ->
+    let i = Rng.int rng (List.length shs) in
+    let s = perturb_shaper rng (List.nth shs i) in
+    { c with Space.impair = { spec with Spec.shapers = nth_replace i s shs } }
+  | Add_shaper ->
+    { c with Space.impair = { spec with Spec.shapers = shs @ [ Gen.shaper rng ] } }
+  | Drop_shaper ->
+    let i = Rng.int rng (List.length shs) in
+    { c with Space.impair = { spec with Spec.shapers = nth_remove i shs } }
+  | Perturb_knob -> { c with Space.knobs = perturb_knobs rng c.Space.knobs }

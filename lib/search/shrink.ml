@@ -1,0 +1,192 @@
+(* qcheck-style shrinking of a found counterexample: greedily simplify
+   the candidate while it still crosses the degradation threshold.
+
+   Each round builds a deterministic list of simpler variants —
+   drop a channel, drop a shaper, widen a `from=`/`until=` window back
+   to the whole run, snap a channel/shaper to its grammar default when
+   the default is the milder setting, halve a parameter toward its
+   benign end, reset the scenario knobs to the matrix baseline — then
+   evaluates them all through the order-preserving pool and accepts the
+   *first* (by variant order) that still meets the threshold. The
+   fixpoint of "no variant survives" makes the result locally minimal:
+   in particular, removing any single remaining channel drops the
+   degradation below the threshold, which test_search asserts.
+
+   Variant order, pool mapping and the step cap are all deterministic,
+   so shrinking is byte-identical at any pool size. *)
+
+module Spec = Faults.Spec
+module Channel = Faults.Channel
+
+let max_steps = 200
+
+let nth_replace i v l = List.mapi (fun j x -> if j = i then v else x) l
+let nth_remove i l = List.filteri (fun j _ -> j <> i) l
+
+(* Halve [v] toward [target], quantized; None once the move is a no-op. *)
+let toward ~target v =
+  let v' = Space.quantize ((v +. target) /. 2.0) in
+  if v' = v then None else Some v'
+
+let opt_map f = function Some x -> Some (f x) | None -> None
+
+(* Milder versions of a channel kind: snap to the grammar default when
+   the default is the gentler setting, plus per-field halvings toward
+   the benign end of the generator range. *)
+let milder_kinds (k : Channel.kind) : Channel.kind list =
+  let cons_opt o l = match o with Some x -> x :: l | None -> l in
+  match k with
+  | Channel.Gilbert g ->
+    let default = Spec.default_gilbert in
+    let snaps =
+      match default with
+      | Channel.Gilbert d when d.p_gb <= g.p_gb && k <> default -> [ default ]
+      | _ -> []
+    in
+    snaps
+    |> cons_opt (opt_map (fun p_gb -> Channel.Gilbert { g with p_gb }) (toward ~target:0.001 g.p_gb))
+    |> cons_opt (opt_map (fun p_bad -> Channel.Gilbert { g with p_bad }) (toward ~target:0.1 g.p_bad))
+    |> cons_opt
+         (if g.p_good > 0.0 then Some (Channel.Gilbert { g with p_good = 0.0 }) else None)
+  | Channel.Bernoulli { p } ->
+    let snaps = if p > 0.01 then [ Spec.default_bernoulli ] else [] in
+    snaps |> cons_opt (opt_map (fun p -> Channel.Bernoulli { p }) (toward ~target:0.001 p))
+  | Channel.Reorder r ->
+    let snaps =
+      match Spec.default_reorder with
+      | Channel.Reorder d when d.p <= r.p && k <> Spec.default_reorder ->
+        [ Spec.default_reorder ]
+      | _ -> []
+    in
+    snaps
+    |> cons_opt (opt_map (fun p -> Channel.Reorder { r with p }) (toward ~target:0.001 r.p))
+    |> cons_opt
+         (if r.depth > 1 then Some (Channel.Reorder { r with depth = r.depth / 2 }) else None)
+  | Channel.Duplicate { p } ->
+    let snaps = if p > 0.01 then [ Spec.default_duplicate ] else [] in
+    snaps |> cons_opt (opt_map (fun p -> Channel.Duplicate { p }) (toward ~target:0.001 p))
+  | Channel.Corrupt { p } ->
+    let snaps = if p > 0.01 then [ Spec.default_corrupt ] else [] in
+    snaps |> cons_opt (opt_map (fun p -> Channel.Corrupt { p }) (toward ~target:0.001 p))
+  | Channel.Jitter { max_delay } ->
+    let snaps = if max_delay > 0.012 then [ Spec.default_jitter ] else [] in
+    snaps
+    |> cons_opt
+         (opt_map (fun max_delay -> Channel.Jitter { max_delay }) (toward ~target:0.0005 max_delay))
+
+let milder_shapers (s : Spec.shaper) : Spec.shaper list =
+  let cons_opt o l = match o with Some x -> x :: l | None -> l in
+  match s with
+  | Spec.Outage o ->
+    [] |> cons_opt (opt_map (fun dur -> Spec.Outage { o with dur }) (toward ~target:0.1 o.dur))
+  | Spec.Clamp c ->
+    (* factor -> 1 restores full rate; 0.9 is the generator's mild end *)
+    [] |> cons_opt (opt_map (fun factor -> Spec.Clamp { c with factor }) (toward ~target:0.9 c.factor))
+  | Spec.Flap f ->
+    [] |> cons_opt (opt_map (fun duty -> Spec.Flap { f with duty }) (toward ~target:0.98 f.duty))
+
+(* All one-step simplifications of [c], in deterministic order. *)
+let variants (c : Space.candidate) : Space.candidate list =
+  let spec = c.Space.impair in
+  let chans = spec.Spec.channels in
+  let shs = spec.Spec.shapers in
+  let with_spec s = { c with Space.impair = s } in
+  let drops =
+    List.mapi (fun i _ -> with_spec { spec with Spec.channels = nth_remove i chans }) chans
+    @ List.mapi (fun j _ -> with_spec { spec with Spec.shapers = nth_remove j shs }) shs
+  in
+  let widens =
+    List.concat
+      (List.mapi
+         (fun i (it : Spec.channel_item) ->
+           if it.Spec.from_ = 0.0 && it.Spec.until = infinity then []
+           else
+             [
+               with_spec
+                 {
+                   spec with
+                   Spec.channels =
+                     nth_replace i { it with Spec.from_ = 0.0; until = infinity } chans;
+                 };
+             ])
+         chans)
+    @ List.concat
+        (List.mapi
+           (fun j (s : Spec.shaper) ->
+             let widened =
+               match s with
+               | Spec.Clamp c when not (c.from_ = 0.0 && c.until = infinity) ->
+                 Some (Spec.Clamp { c with from_ = 0.0; until = infinity })
+               | Spec.Flap f when not (f.from_ = 0.0 && f.until = infinity) ->
+                 Some (Spec.Flap { f with from_ = 0.0; until = infinity })
+               | _ -> None
+             in
+             match widened with
+             | Some s' -> [ with_spec { spec with Spec.shapers = nth_replace j s' shs } ]
+             | None -> [])
+           shs)
+  in
+  let milder_c =
+    List.concat
+      (List.mapi
+         (fun i (it : Spec.channel_item) ->
+           List.map
+             (fun kind ->
+               with_spec
+                 { spec with Spec.channels = nth_replace i { it with Spec.kind = kind } chans })
+             (milder_kinds it.Spec.kind))
+         chans)
+  in
+  let milder_s =
+    List.concat
+      (List.mapi
+         (fun j s ->
+           List.map
+             (fun s' -> with_spec { spec with Spec.shapers = nth_replace j s' shs })
+             (milder_shapers s))
+         shs)
+  in
+  let knob_reset =
+    if c.Space.knobs = Space.base_knobs then []
+    else [ { c with Space.knobs = Space.base_knobs } ]
+  in
+  let all = drops @ widens @ milder_c @ milder_s @ knob_reset in
+  (* A variant equal to the current candidate would loop forever. *)
+  List.filter (fun v -> v <> c) all
+
+(* Greedy shrink loop. Returns the minimal surviving result and the
+   number of accepted shrink steps. *)
+let shrink ?pool ~(runner : Eval.runner) ~duration ~threshold
+    (start : Eval.result) : Eval.result * int =
+  let pool = match pool with Some p -> p | None -> Exec.Pool.default () in
+  let eval cand =
+    match
+      Exec.Supervisor.protect ~context:"search.shrink" (fun ~attempt:_ ->
+          Eval.evaluate ~runner ~duration cand)
+    with
+    | Ok r -> r
+    | Error _ ->
+      {
+        Eval.cand;
+        u_clean = Float.nan;
+        u_impaired = Float.nan;
+        degradation = Float.neg_infinity;
+        feedback = Eval.no_feedback;
+      }
+  in
+  let rec go current steps =
+    if steps >= max_steps then (current, steps)
+    else begin
+      let vs = variants current.Eval.cand in
+      if vs = [] then (current, steps)
+      else begin
+        let results = Exec.Pool.map_list pool eval vs in
+        match
+          List.find_opt (fun (r : Eval.result) -> r.Eval.degradation >= threshold) results
+        with
+        | Some r -> go r (steps + 1)
+        | None -> (current, steps)
+      end
+    end
+  in
+  go start 0

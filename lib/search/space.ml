@@ -1,0 +1,58 @@
+(* The adversarial search space: a candidate is an impairment spec
+   (the `--impair` grammar, lib/faults) plus the scenario knobs the
+   matrix experiments otherwise hardwire — bottleneck bandwidth,
+   propagation RTT, buffer size and flow count. The engine mutates both;
+   fitness compares the impaired run against a clean run *at the same
+   knobs*, so knob mutations only pay off through interaction with the
+   impairment (a shallow buffer that makes jitter lethal), never by
+   trivially starving the clean baseline too. *)
+
+type knobs = {
+  bw_mbps : float;  (* constant bottleneck rate *)
+  rtt : float;  (* propagation RTT, seconds *)
+  buffer_kb : int;
+  flows : int;
+}
+
+(* The robustness matrix's fixed wired scenario (exp_robustness). *)
+let base_knobs = { bw_mbps = 24.0; rtt = 0.03; buffer_kb = 150; flows = 1 }
+
+(* Validity box for knob mutations. *)
+let min_bw, max_bw = (4.0, 192.0)
+let min_rtt, max_rtt = (0.005, 0.24)
+let min_buffer_kb, max_buffer_kb = (30, 1500)
+let min_flows, max_flows = (1, 4)
+
+type candidate = { impair : Faults.Spec.t; knobs : knobs }
+
+let clean_candidate = { impair = Faults.Spec.empty; knobs = base_knobs }
+
+(* Every float stored in a candidate goes through [quantize]: 4
+   significant digits, well under the 6 that [Faults.Spec.to_string]'s
+   %g prints, so the in-memory value and its printed form denote the
+   same double and `parse (to_string spec) = spec` holds structurally
+   for anything the generator or mutator produces. *)
+let quantize x =
+  if Float.is_integer x || not (Float.is_finite x) then x
+  else float_of_string (Printf.sprintf "%.4g" x)
+
+let clamp ~lo ~hi x = Float.min hi (Float.max lo x)
+let clampi ~lo ~hi x = min hi (max lo x)
+
+let clamp_knobs k =
+  {
+    bw_mbps = quantize (clamp ~lo:min_bw ~hi:max_bw k.bw_mbps);
+    rtt = quantize (clamp ~lo:min_rtt ~hi:max_rtt k.rtt);
+    buffer_kb = clampi ~lo:min_buffer_kb ~hi:max_buffer_kb k.buffer_kb;
+    flows = clampi ~lo:min_flows ~hi:max_flows k.flows;
+  }
+
+let f = Printf.sprintf "%g"
+
+let knobs_to_string k =
+  Printf.sprintf "bw=%s,rtt=%s,buf=%d,flows=%d" (f k.bw_mbps) (f k.rtt)
+    k.buffer_kb k.flows
+
+let to_string c =
+  Printf.sprintf "%s @ %s" (Faults.Spec.to_string c.impair)
+    (knobs_to_string c.knobs)

@@ -1,0 +1,68 @@
+#!/bin/sh
+# Searchcheck: adversarial-search smoke for lib/search (tier-1;
+# `make search`).
+#
+#   searchcheck.sh LIBRA_SEARCH_EXE EXPERIMENTS_EXE [WORKDIR]
+#
+# Three assertions:
+#   1. The --mini search (2 generations over CUBIC with a planted
+#      bernoulli:p=0.3 counterexample) rediscovers a spec degrading
+#      utility >= 25% vs the clean baseline and exits 0.
+#   2. The run is byte-identical at --domains 1 vs --domains 4 — both
+#      the leaderboard stdout and the shrunk .scn file written by
+#      --out (per-candidate split_key streams + order-preserving pool).
+#   3. The committed scenarios/ corpus replays as named regression rows
+#      in the robustness matrix, and the shipped counterexamples still
+#      cross their recorded thresholds.
+set -eu
+
+SEARCH="$1"
+EXPS="$2"
+WORK="${3:-$(mktemp -d "${TMPDIR:-/tmp}/libra-searchcheck.XXXXXX")}"
+mkdir -p "$WORK"
+
+fail() {
+  echo "searchcheck: $1" >&2
+  exit 1
+}
+
+# 1. Mini search at pool size 1 and pool size 4.
+status=0
+"$SEARCH" --mini --seed 5 --domains 1 --out "$WORK/scn1" \
+  >"$WORK/p1.out" 2>"$WORK/p1.err" || status=$?
+[ "$status" -eq 0 ] || fail "mini search (--domains 1) exited $status"
+status=0
+"$SEARCH" --mini --seed 5 --domains 4 --out "$WORK/scn4" \
+  >"$WORK/p4.out" 2>"$WORK/p4.err" || status=$?
+[ "$status" -eq 0 ] || fail "mini search (--domains 4) exited $status"
+
+grep -q "^FOUND cubic" "$WORK/p1.out" \
+  || fail "mini search did not rediscover the planted CUBIC counterexample"
+
+# 2. Byte-identical across pool sizes (normalise the --out paths, which
+# necessarily differ between the two runs).
+sed "s#$WORK/scn1#OUT#" <"$WORK/p1.out" >"$WORK/p1.norm"
+sed "s#$WORK/scn4#OUT#" <"$WORK/p4.out" >"$WORK/p4.norm"
+if ! cmp -s "$WORK/p1.norm" "$WORK/p4.norm"; then
+  diff "$WORK/p1.norm" "$WORK/p4.norm" >&2 || true
+  fail "leaderboard differs between --domains 1 and --domains 4"
+fi
+[ -f "$WORK/scn1/cubic-worst.scn" ] || fail "--out wrote no cubic-worst.scn"
+if ! cmp -s "$WORK/scn1/cubic-worst.scn" "$WORK/scn4/cubic-worst.scn"; then
+  diff "$WORK/scn1/cubic-worst.scn" "$WORK/scn4/cubic-worst.scn" >&2 || true
+  fail "written .scn differs between --domains 1 and --domains 4"
+fi
+
+# 3. The committed corpus replays in the robustness matrix.
+"$EXPS" --tiny robust >"$WORK/robust.out" 2>"$WORK/robust.err" \
+  || fail "robustness replay run failed (exit $?)"
+grep -q "adversarial regressions" "$WORK/robust.out" \
+  || fail "robustness matrix did not render the regression table"
+grep -q "cubic-worst" "$WORK/robust.out" \
+  || fail "committed cubic-worst.scn missing from the regression table"
+if grep "worst" "$WORK/robust.out" | grep -q "stale"; then
+  grep "worst" "$WORK/robust.out" >&2
+  fail "a committed counterexample replayed below its threshold"
+fi
+
+echo "searchcheck: ok (mini search found+shrunk, pool 1 vs 4 byte-identical, corpus replayed)"

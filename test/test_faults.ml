@@ -167,7 +167,28 @@ let test_spec_errors () =
       "outage:at";
       "gilbert+bogus";
       "jitter:max_delay=0.01" (* the key is max= *);
-    ]
+    ];
+  (* Errors pinpoint the offending item ('+'-position and text) and,
+     for an unknown key, list the keys the item accepts. *)
+  let error_of s =
+    match Faults.Spec.of_string s with
+    | Error m -> m
+    | Ok _ -> Alcotest.fail ("expected an error for " ^ s)
+  in
+  let contains hay needle =
+    let lh = String.length hay and ln = String.length needle in
+    let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+    go 0
+  in
+  let msg = error_of "gilbert+jitter:max_delay=0.01" in
+  check_bool "names the item position" true (contains msg "spec item 2");
+  check_bool "quotes the offending item" true
+    (contains msg "\"jitter:max_delay=0.01\"");
+  check_bool "hints the expected keys" true
+    (contains msg "expected one of" && contains msg "max");
+  let msg = error_of "bernoulli:p=0.1+outage:at=1,wat=2" in
+  check_bool "position counts from 1" true (contains msg "spec item 2");
+  check_bool "unknown key is quoted" true (contains msg "\"wat\"")
 
 let test_spec_semantics () =
   check_bool "clean is empty" true
