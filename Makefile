@@ -1,4 +1,4 @@
-.PHONY: all check bench trace robustness perfcheck faultcheck invariants search clean
+.PHONY: all check bench trace robustness perfcheck faultcheck invariants search observe clean
 
 all:
 	dune build
@@ -40,6 +40,12 @@ invariants:
 search:
 	dune build @search
 
+# Observability smoke alone: sampled trace + rollup byte-identical at
+# --domains 1 vs 4, injected invariant violation produces a flight
+# dump, trace_view emits valid Chrome trace-event JSON.
+observe:
+	dune build @observe
+
 # CI perf gate: run the quick perf-smoke subset (spans on), append the
 # result to BENCH_history.jsonl, and compare against the most recent
 # comparable entry — non-zero exit if any experiment regressed > 20%.
@@ -55,6 +61,8 @@ perfcheck:
 	dune build bench/main.exe bin/perf_report.exe
 	dune exec bench/main.exe -- perf-smoke
 	dune exec bench/main.exe -- invariant-overhead
+	dune exec bench/main.exe -- rollup-overhead
+	dune exec bench/main.exe -- flight-overhead
 	dune exec bench/main.exe -- search-overhead
 	dune build --profile release bench/main.exe
 	dune exec --profile release bench/main.exe -- events-per-sec

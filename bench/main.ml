@@ -503,6 +503,118 @@ let run_invariant_overhead ~scale () =
     ~recorder:None ~groups:[||]
 
 (* ------------------------------------------------------------------ *)
+(* Rollup overhead: the fixed wired scenario traced into a ring alone
+   vs ring + a windowed rollup observer. The rollup's per-event work is
+   a handful of mutable-field updates (O(1), no allocation outside
+   window close), so the third leg must stay within noise of the
+   second. Tracked in BENCH_results.json ("rollup_overhead") and as a
+   history entry under `make perfcheck`. *)
+let run_rollup_overhead ~scale () =
+  Harness.Table.heading "Rollup overhead: 10s wired run, cubic, 100ms windows";
+  trace_overhead_scenario ();
+  let (), off_s = time_run trace_overhead_scenario in
+  let ring = Obs.Trace.create ~ring_capacity:4096 () in
+  let (), ring_s =
+    time_run (fun () -> Obs.Trace.run ring trace_overhead_scenario)
+  in
+  let rollup = Obs.Rollup.create ~window:0.1 () in
+  let rolled = Obs.Trace.create ~ring_capacity:4096 () in
+  let (), rollup_s =
+    time_run (fun () ->
+        Obs.Trace.run rolled
+          ~observer:(Obs.Rollup.observe rollup)
+          trace_overhead_scenario)
+  in
+  Obs.Rollup.flush rollup;
+  let pct v = Printf.sprintf "%+.1f%%" ((v -. off_s) /. off_s *. 100.0) in
+  Harness.Table.print
+    ~header:[ "execution"; "wall"; "vs off"; "windows" ]
+    [
+      [ "off"; Printf.sprintf "%.3fs" off_s; "-"; "0" ];
+      [ "ring-4096"; Printf.sprintf "%.3fs" ring_s; pct ring_s; "0" ];
+      [
+        "ring-4096 + rollup";
+        Printf.sprintf "%.3fs" rollup_s;
+        pct rollup_s;
+        string_of_int (Obs.Rollup.windows rollup);
+      ];
+    ];
+  patch_bench_json "rollup_overhead"
+    (Obs.Json.Obj
+       [
+         ("scenario", Obs.Json.Str "wired24-cubic-10s");
+         ("off_s", Obs.Json.Num off_s);
+         ("ring_s", Obs.Json.Num ring_s);
+         ("rollup_s", Obs.Json.Num rollup_s);
+         ("windows", Obs.Json.Num (float_of_int (Obs.Rollup.windows rollup)));
+       ]);
+  append_history ~scale ~subset:(Some [ "rollup-overhead" ])
+    ~timed:
+      [
+        ("rollup-off", off_s); ("rollup-ring", ring_s); ("rollup-on", rollup_s);
+      ]
+    ~recorder:None ~groups:[||]
+
+(* ------------------------------------------------------------------ *)
+(* Flight-recorder overhead: the fixed wired scenario run with tracing
+   off, traced into a ring, and recorded by the always-on flight ring.
+   The flight path does the same per-event work as ring tracing minus
+   the mask test, so it must stay within noise of the ring leg — this
+   is the "cheap enough to leave on every run" claim, enforced with a
+   generous band (the 1-CPU CI container sees ±25% wall noise).
+   Tracked in BENCH_results.json ("flight_overhead") and as a history
+   entry under `make perfcheck`. *)
+let run_flight_overhead ~scale () =
+  Harness.Table.heading "Flight-recorder overhead: 10s wired run, cubic";
+  trace_overhead_scenario ();
+  let (), off_s = time_run trace_overhead_scenario in
+  let ring = Obs.Trace.create ~ring_capacity:4096 () in
+  let (), ring_s =
+    time_run (fun () -> Obs.Trace.run ring trace_overhead_scenario)
+  in
+  let flight = Obs.Flight.create ~capacity:4096 () in
+  let (), flight_s =
+    time_run (fun () -> Obs.Flight.run flight trace_overhead_scenario)
+  in
+  let held =
+    List.fold_left (fun a (_, evs) -> a + List.length evs) 0 (Obs.Flight.events flight)
+  in
+  let pct v = Printf.sprintf "%+.1f%%" ((v -. off_s) /. off_s *. 100.0) in
+  Harness.Table.print
+    ~header:[ "execution"; "wall"; "vs off"; "events held" ]
+    [
+      [ "off"; Printf.sprintf "%.3fs" off_s; "-"; "0" ];
+      [ "ring-4096"; Printf.sprintf "%.3fs" ring_s; pct ring_s; "0" ];
+      [
+        "flight-4096";
+        Printf.sprintf "%.3fs" flight_s;
+        pct flight_s;
+        string_of_int held;
+      ];
+    ];
+  if flight_s > 1.75 *. ring_s then
+    failwith
+      (Printf.sprintf
+         "bench: flight recorder (%.3fs) not within noise of ring tracing \
+          (%.3fs)"
+         flight_s ring_s);
+  patch_bench_json "flight_overhead"
+    (Obs.Json.Obj
+       [
+         ("scenario", Obs.Json.Str "wired24-cubic-10s");
+         ("off_s", Obs.Json.Num off_s);
+         ("ring_s", Obs.Json.Num ring_s);
+         ("flight_s", Obs.Json.Num flight_s);
+         ("events_held", Obs.Json.Num (float_of_int held));
+       ]);
+  append_history ~scale ~subset:(Some [ "flight-overhead" ])
+    ~timed:
+      [
+        ("flight-off", off_s); ("flight-ring", ring_s); ("flight-on", flight_s);
+      ]
+    ~recorder:None ~groups:[||]
+
+(* ------------------------------------------------------------------ *)
 (* Adversarial-search evaluation overhead: the same fixed wired
    scenario run bare vs one Search.Eval.evaluate of an equivalent
    candidate. An evaluation runs the scenario twice (clean + impaired
@@ -867,6 +979,8 @@ let () =
   | [ "perf-smoke" ] -> run_perf_smoke ~scale ()
   | [ "supervisor-overhead" ] -> run_supervisor_overhead ~scale ()
   | [ "invariant-overhead" ] -> run_invariant_overhead ~scale ()
+  | [ "rollup-overhead" ] -> run_rollup_overhead ~scale ()
+  | [ "flight-overhead" ] -> run_flight_overhead ~scale ()
   | [ "search-overhead" ] -> run_search_overhead ~scale ()
   | [ "events-per-sec" ] -> run_events_per_sec ~scale ()
   | [ "alloc-contract" ] -> run_alloc_contract ()
@@ -879,6 +993,8 @@ let () =
         else if id = "perf-smoke" then run_perf_smoke ~scale ()
         else if id = "supervisor-overhead" then run_supervisor_overhead ~scale ()
         else if id = "invariant-overhead" then run_invariant_overhead ~scale ()
+        else if id = "rollup-overhead" then run_rollup_overhead ~scale ()
+        else if id = "flight-overhead" then run_flight_overhead ~scale ()
         else if id = "search-overhead" then run_search_overhead ~scale ()
         else if id = "events-per-sec" then run_events_per_sec ~scale ()
         else if id = "alloc-contract" then run_alloc_contract ()
@@ -889,8 +1005,8 @@ let () =
             Printf.eprintf
               "unknown experiment %S (known: %s, micro, trace-overhead, \
                impairment-overhead, perf-smoke, supervisor-overhead, \
-               invariant-overhead, search-overhead, events-per-sec, \
-               alloc-contract)\n"
+               invariant-overhead, rollup-overhead, flight-overhead, \
+               search-overhead, events-per-sec, alloc-contract)\n"
               id
               (String.concat ", " (Harness.Registry.ids ())))
       ids);

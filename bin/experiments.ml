@@ -18,9 +18,12 @@ type obs_session = {
   manifest : Obs.Json.t;
   invariant_specs : Check.Spec.t list;  (* [] = no checking *)
   checkers : (int, Check.Checker.t) Hashtbl.t;  (* lane -> its checker *)
+  rollup_window : float option;  (* Some w = per-lane rollups enabled *)
+  rollups : (int, Obs.Rollup.t) Hashtbl.t;  (* lane -> its rollup *)
 }
 
-let obs_session_of ~trace_filter ~profile ~manifest ~invariant_specs ~retain =
+let obs_session_of ~trace_filter ~sample ~rollup_window ~profile ~manifest
+    ~invariant_specs ~retain =
   let categories =
     match trace_filter with
     | None -> Obs.Category.all
@@ -39,13 +42,15 @@ let obs_session_of ~trace_filter ~profile ~manifest ~invariant_specs ~retain =
      events online, so a small ring bounds memory on --all runs. *)
   let ring_capacity = if retain then None else Some 4096 in
   {
-    tracer = Obs.Trace.create ?ring_capacity ~categories ~manifest ();
+    tracer = Obs.Trace.create ?ring_capacity ?sample ~categories ~manifest ();
     regs = Hashtbl.create 8;
     regs_lock = Mutex.create ();
     spans = (if profile then Some (Obs.Span.create ()) else None);
     manifest;
     invariant_specs;
     checkers = Hashtbl.create 8;
+    rollup_window;
+    rollups = Hashtbl.create 8;
   }
 
 let obs_wrap session lane run =
@@ -65,9 +70,26 @@ let obs_wrap session lane run =
       Mutex.unlock session.regs_lock;
       Some c
   in
+  let rollup =
+    match session.rollup_window with
+    | None -> None
+    | Some window ->
+      (* One rollup per lane, merged in lane order at export — the same
+         determinism recipe as the tracer's lanes. *)
+      let r = Obs.Rollup.create ~window () in
+      Mutex.lock session.regs_lock;
+      Hashtbl.replace session.rollups lane r;
+      Mutex.unlock session.regs_lock;
+      Some r
+  in
   let run =
     match checker with
     | Some c -> fun () -> Check.Runtime.with_checker c run
+    | None -> run
+  in
+  let run =
+    match rollup with
+    | Some r -> fun () -> Obs.Rollup.with_ambient r run
     | None -> run
   in
   let run =
@@ -75,13 +97,36 @@ let obs_wrap session lane run =
     | Some sp -> fun () -> Obs.Span.run sp ~lane (fun () -> Obs.Metrics.run reg run)
     | None -> fun () -> Obs.Metrics.run reg run
   in
-  let observer = Option.map Check.Checker.on_event checker in
+  let observer =
+    match (rollup, checker) with
+    | None, None -> None
+    | Some r, None -> Some (Obs.Rollup.observe r)
+    | None, Some c -> Some (Check.Checker.on_event c)
+    | Some r, Some c ->
+      Some
+        (fun ev ->
+          Obs.Rollup.observe r ev;
+          Check.Checker.on_event c ev)
+  in
   Obs.Trace.run session.tracer ~lane ?observer run
 
 (* [lane_name lane] labels span-profile groups; lanes are registry
    group indices (run_all) or positions in the id list. *)
-let obs_export session ~trace_out ~metrics_out ~profile_out ~lane_name =
+let obs_export session ~trace_out ~metrics_out ~rollup_out ~profile_out ~lane_name =
   Option.iter (Obs.Trace.write session.tracer) trace_out;
+  Option.iter
+    (fun file ->
+      let lanes =
+        List.sort compare
+          (Hashtbl.fold (fun lane r acc -> (lane, r) :: acc) session.rollups [])
+      in
+      Obs.Rollup.write ~manifest:session.manifest ~lanes file;
+      let windows =
+        List.fold_left (fun acc (_, r) -> acc + Obs.Rollup.windows r) 0 lanes
+      in
+      Printf.printf "rollup: %d window(s) over %d lane(s) -> %s\n" windows
+        (List.length lanes) file)
+    rollup_out;
   Option.iter
     (fun file ->
       let merged = Obs.Metrics.create_registry () in
@@ -157,7 +202,8 @@ let collect_invariants ~invariants ~invariant_file =
 
 let run_cmd full tiny stress domains impair checkpoint_dir resume inject_crash retries
     deadline_events wall_deadline invariants invariant_file trace_out trace_filter
-    metrics_out profile_out ids all =
+    trace_sample metrics_out rollup_out rollup_window flight_capacity flight_dir
+    profile_out ids all =
   (match domains with
   | Some d when d < 1 ->
     Printf.eprintf "invalid --domains %d (want a positive integer)\n" d;
@@ -197,23 +243,53 @@ let run_cmd full tiny stress domains impair checkpoint_dir resume inject_crash r
      else if tiny then Harness.Scale.tiny
      else if stress then Harness.Scale.stress
      else Harness.Scale.quick);
+  let sample =
+    match trace_sample with
+    | None -> None
+    | Some spec -> (
+      match Obs.Sample.parse spec with
+      | Ok s -> Some s
+      | Error m ->
+        Printf.eprintf "--trace-sample: %s\n" m;
+        exit 2)
+  in
+  if rollup_window <= 0.0 then begin
+    prerr_endline "--rollup-window: must be positive";
+    exit 2
+  end;
+  Option.iter Obs.Flight.set_dump_dir flight_dir;
   let manifest =
     Obs.Manifest.make ~scale:scale_name
       ~domains:(Exec.Pool.size (Exec.Pool.default ()))
       ~impair:(Faults.Spec.to_string impair_spec)
+      ~extra:
+        (match sample with
+        | None -> []
+        | Some s -> [ ("trace_sample", Obs.Json.Str (Obs.Sample.to_string s)) ])
       ()
   in
   let invariant_specs = collect_invariants ~invariants ~invariant_file in
   let session =
-    match (trace_out, metrics_out, profile_out, invariant_specs) with
-    | None, None, None, [] -> None
+    match (trace_out, metrics_out, profile_out, rollup_out, invariant_specs) with
+    | None, None, None, None, [] -> None
     | _ ->
       Some
-        (obs_session_of ~trace_filter ~profile:(profile_out <> None) ~manifest
-           ~invariant_specs ~retain:(trace_out <> None))
+        (obs_session_of ~trace_filter ~sample
+           ~rollup_window:(Option.map (fun _ -> rollup_window) rollup_out)
+           ~profile:(profile_out <> None) ~manifest ~invariant_specs
+           ~retain:(trace_out <> None))
+  in
+  let flight =
+    if flight_capacity <= 0 then None
+    else Some (Obs.Flight.create ~capacity:flight_capacity ())
   in
   let wrap lane run =
-    match session with Some s -> obs_wrap s lane run | None -> run ()
+    let inner () =
+      match session with Some s -> obs_wrap s lane run | None -> run ()
+    in
+    match flight with
+    | Some fl -> Obs.Flight.run fl ~lane inner
+    | None -> inner ()
   in
   let run_all_groups = all || ids = [] in
   let missing =
@@ -273,7 +349,9 @@ let run_cmd full tiny stress domains impair checkpoint_dir resume inject_crash r
       else if inject_crash && lane = Array.length arr then "fixture-crash"
       else string_of_int lane
   in
-  Option.iter (obs_export ~trace_out ~metrics_out ~profile_out ~lane_name) session;
+  Option.iter
+    (obs_export ~trace_out ~metrics_out ~rollup_out ~profile_out ~lane_name)
+    session;
   (* Invariant summary: lane-ordered (= entry-ordered), so the output
      is byte-identical at any pool size. Violations already failed
      their entries through the supervisor; this is the detail. *)
@@ -423,11 +501,57 @@ let trace_filter =
            default all. --invariant widens the filter to what its specs \
            need.")
 
+let trace_sample =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-sample" ] ~docv:"1/N"
+        ~doc:
+          "deterministic head-based flow sampling for the trace export: keep \
+           every event of ~one flow in $(i,N), drop the rest. The kept flow \
+           set is a pure function of the flow id — byte-identical at any \
+           --domains. Structural events are never dropped.")
+
 let metrics_out =
   Arg.(
     value
     & opt (some string) None
     & info [ "metrics" ] ~docv:"FILE" ~doc:"export the metrics registry as CSV")
+
+let rollup_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "rollup-out" ] ~docv:"FILE"
+        ~doc:
+          "export fixed-window rollups of every experiment's event stream \
+           (queue min/mean/max, drops, delivered bytes, rate and utility \
+           aggregates per window) to $(docv) (.csv gets CSV, anything else \
+           JSONL); experiments are merged as lanes in registry order")
+
+let rollup_window =
+  Arg.(
+    value
+    & opt float 0.1
+    & info [ "rollup-window" ] ~docv:"SECONDS"
+        ~doc:"rollup window length in simulation seconds (default 0.1)")
+
+let flight_capacity =
+  Arg.(
+    value
+    & opt int 2048
+    & info [ "flight" ] ~docv:"N"
+        ~doc:
+          "keep a per-experiment flight recorder of the last $(docv) events \
+           (default 2048); dumped into the structured failure report when a \
+           supervised experiment fails. 0 disables.")
+
+let flight_dir =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "flight-dir" ] ~docv:"DIR"
+        ~doc:"directory for flight-recorder dumps (default: the temp dir)")
 
 let profile_out =
   Arg.(
@@ -454,7 +578,8 @@ let cmd =
     Term.(
       const run_cmd $ full $ tiny $ stress $ domains $ impair $ checkpoint_dir $ resume
       $ inject_crash $ retries $ deadline_events $ wall_deadline $ invariants
-      $ invariant_file $ trace_out $ trace_filter $ metrics_out $ profile_out
+      $ invariant_file $ trace_out $ trace_filter $ trace_sample $ metrics_out
+      $ rollup_out $ rollup_window $ flight_capacity $ flight_dir $ profile_out
       $ ids $ all)
 
 let () = exit (Cmd.eval' cmd)

@@ -54,7 +54,8 @@ let collect_invariants ~buffer_bytes ~invariants ~invariant_file =
    checker consumes events as they are emitted, so nothing needs to be
    retained), and its categories are widened from --trace-filter to
    whatever the specs need. *)
-let with_observability ~trace_out ~trace_filter ~metrics_out ~manifest ~checker f =
+let with_observability ~trace_out ~trace_filter ~sample ~metrics_out ~rollup_out
+    ~rollup_window ~flight_capacity ~manifest ~checker f =
   let categories =
     match trace_filter with
     | None -> Obs.Category.all
@@ -68,21 +69,48 @@ let with_observability ~trace_out ~trace_filter ~metrics_out ~manifest ~checker 
       | None -> Obs.Category.all
       | Some needed -> List.sort_uniq compare (categories @ needed))
   in
-  match (trace_out, metrics_out, checker) with
-  | None, None, None -> f ()
+  (* The flight recorder wraps everything (including sessionless runs):
+     always-on crash evidence, dumped by the supervisor / checker. *)
+  let with_flight g =
+    if flight_capacity <= 0 then g ()
+    else
+      let fl = Obs.Flight.create ~capacity:flight_capacity () in
+      Obs.Flight.run fl ~lane:0 g
+  in
+  match (trace_out, metrics_out, checker, rollup_out) with
+  | None, None, None, None -> with_flight f
   | _ ->
     let ring_capacity =
-      (* checker-only session: no export retains events *)
+      (* checker/rollup-only session: no export retains events *)
       match (trace_out, metrics_out) with None, None -> Some 4096 | _ -> None
     in
-    let tracer = Obs.Trace.create ?ring_capacity ~categories ~manifest () in
+    let tracer = Obs.Trace.create ?ring_capacity ?sample ~categories ~manifest () in
     let reg = Obs.Metrics.create_registry () in
-    let observer = Option.map Check.Checker.on_event checker in
+    let rollup =
+      Option.map (fun _ -> Obs.Rollup.create ~window:rollup_window ()) rollup_out
+    in
+    let observer =
+      match (rollup, checker) with
+      | None, None -> None
+      | Some r, None -> Some (Obs.Rollup.observe r)
+      | None, Some c -> Some (Check.Checker.on_event c)
+      | Some r, Some c ->
+        Some
+          (fun ev ->
+            Obs.Rollup.observe r ev;
+            Check.Checker.on_event c ev)
+    in
     let result =
-      Obs.Trace.run tracer ~lane:0 ?observer (fun () -> Obs.Metrics.run reg f)
+      with_flight (fun () ->
+          Obs.Trace.run tracer ~lane:0 ?observer (fun () -> Obs.Metrics.run reg f))
     in
     Option.iter (Obs.Trace.write tracer) trace_out;
     Option.iter (Obs.Metrics.write_csv reg) metrics_out;
+    (match (rollup, rollup_out) with
+    | Some r, Some file ->
+      Obs.Rollup.write ~manifest ~lanes:[ (0, r) ] file;
+      Printf.printf "rollup: %d window(s) -> %s\n" (Obs.Rollup.windows r) file
+    | _ -> ());
     Option.iter
       (fun file ->
         Printf.printf "trace: %d events -> %s\n" (Obs.Trace.length tracer) file)
@@ -91,7 +119,8 @@ let with_observability ~trace_out ~trace_filter ~metrics_out ~manifest ~checker 
 
 let run_cmd cca trace_spec rtt_ms buffer_kb loss duration flows seed engine
     impair deadline_events invariants invariant_file series trace_out trace_filter
-    metrics_out list_all =
+    trace_sample metrics_out rollup_out rollup_window flight_capacity flight_dir
+    list_all =
   if list_all then begin
     print_endline "CCAs:";
     List.iter (fun (name, _) -> Printf.printf "  %s\n" name) Harness.Ccas.all;
@@ -131,9 +160,29 @@ let run_cmd cca trace_spec rtt_ms buffer_kb loss duration flows seed engine
       | specs ->
         Some (Check.Checker.create ~rtt:spec.Harness.Scenario.rtt specs)
     in
+    let sample =
+      match trace_sample with
+      | None -> None
+      | Some spec -> (
+        match Obs.Sample.parse ~seed spec with
+        | Ok s -> Some s
+        | Error m ->
+          Printf.eprintf "--trace-sample: %s\n" m;
+          exit 2)
+    in
+    if rollup_window <= 0.0 then begin
+      Printf.eprintf "--rollup-window: must be positive\n";
+      exit 2
+    end;
+    Option.iter Obs.Flight.set_dump_dir flight_dir;
     let manifest =
       Obs.Manifest.make ~seeds:[ seed ] ~scale:"cli" ~domains:1
-        ~impair:(Faults.Spec.to_string impair) ()
+        ~impair:(Faults.Spec.to_string impair)
+        ~extra:
+          (match sample with
+          | None -> []
+          | Some s -> [ ("trace_sample", Obs.Json.Str (Obs.Sample.to_string s)) ])
+        ()
     in
     (* --deadline-events bounds the run by a deterministic number of
        simulator events — the same logical budget the supervised
@@ -142,7 +191,8 @@ let run_cmd cca trace_spec rtt_ms buffer_kb loss duration flows seed engine
     let outcome =
       try
         Netsim.Budget.with_budget ?events:deadline_events (fun () ->
-            with_observability ~trace_out ~trace_filter ~metrics_out ~manifest
+            with_observability ~trace_out ~trace_filter ~sample ~metrics_out
+              ~rollup_out ~rollup_window ~flight_capacity ~manifest
               ~checker (fun () ->
                 Harness.Scenario.run_uniform ~seed ~n_flows:flows ~engine
                   ~factory ~duration spec))
@@ -278,11 +328,58 @@ let trace_filter =
            default all. --invariant widens the filter to whatever its specs \
            need.")
 
+let trace_sample =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-sample" ] ~docv:"1/N"
+        ~doc:
+          "deterministic head-based flow sampling for the trace export: keep \
+           every event of ~one flow in $(i,N), drop the rest. The kept set is \
+           a pure function of (--seed, flow id) — byte-identical at any \
+           --domains. Structural events (link, stage, cycle, run, harness, \
+           invariant) are never dropped.")
+
 let metrics_out =
   Arg.(
     value
     & opt (some string) None
     & info [ "metrics" ] ~docv:"FILE" ~doc:"export the metrics registry as CSV")
+
+let rollup_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "rollup-out" ] ~docv:"FILE"
+        ~doc:
+          "export fixed-window rollups of the event stream (per-window queue \
+           min/mean/max, drops, delivered bytes, rate and utility aggregates) \
+           to $(docv) (.csv gets CSV, anything else JSONL) — a dense \
+           time-series orders of magnitude smaller than the full trace")
+
+let rollup_window =
+  Arg.(
+    value
+    & opt float 0.1
+    & info [ "rollup-window" ] ~docv:"SECONDS"
+        ~doc:"rollup window length in simulation seconds (default 0.1)")
+
+let flight_capacity =
+  Arg.(
+    value
+    & opt int 2048
+    & info [ "flight" ] ~docv:"N"
+        ~doc:
+          "keep a flight recorder of the last $(docv) events (default 2048); \
+           dumped on supervised failures and first invariant violation. 0 \
+           disables.")
+
+let flight_dir =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "flight-dir" ] ~docv:"DIR"
+        ~doc:"directory for flight-recorder dumps (default: the temp dir)")
 
 let list_all = Arg.(value & flag & info [ "list" ] ~doc:"list CCAs and traces")
 
@@ -292,6 +389,7 @@ let cmd =
     Term.(
       const run_cmd $ cca $ trace $ rtt $ buffer $ loss $ duration $ flows $ seed
       $ engine $ impair $ deadline_events $ invariants $ invariant_file $ series
-      $ trace_out $ trace_filter $ metrics_out $ list_all)
+      $ trace_out $ trace_filter $ trace_sample $ metrics_out $ rollup_out
+      $ rollup_window $ flight_capacity $ flight_dir $ list_all)
 
 let () = exit (Cmd.eval' cmd)

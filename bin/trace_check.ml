@@ -1,8 +1,17 @@
-(* trace_check: validate a JSONL trace export.
+(* trace_check: validate a trace export (JSONL or CSV).
 
      trace_check [--require-manifest] FILE
 
-   Checks that every line parses as a JSON object. A line carrying a
+   A FILE ending in .csv is validated as a CSV export: the expected
+   column count is derived from the file's own header line — never
+   hardcoded, so a file produced by a build whose event schema widened
+   the header (it has grown 33 -> 35 -> 36 columns already) still
+   validates. Every row must have exactly the header's width, a numeric
+   "t", a numeric "lane" and a known "ev" (columns located by name in
+   the header), with the same per-lane monotonicity rules as JSONL.
+
+   Anything else is JSONL: every line must parse as a JSON object. A
+   line carrying a
    "manifest" key is a provenance header (see Obs.Manifest) and is
    validated for required keys and formats (7-40 hex-char sha or
    "unknown", numeric seeds, etc.). Every other line must be an event:
@@ -30,13 +39,86 @@
 
 let fail fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 1) fmt
 
+(* ---- CSV validation ----
+
+   The expected width and the positions of the t / lane / ev columns
+   all come from the header row of the file under test, so this
+   validator keeps working when the exporter's schema widens. *)
+let check_csv file =
+  let ic = try open_in file with Sys_error e -> fail "cannot open: %s" e in
+  let header =
+    match input_line ic with
+    | h -> h
+    | exception End_of_file -> fail "%s: empty CSV (no header row)" file
+  in
+  let width = Obs.Event.csv_width_of_header header in
+  let cols = String.split_on_char ',' header in
+  let col name =
+    let rec go i = function
+      | [] -> fail "%s: header has no %S column" file name
+      | c :: _ when c = name -> i
+      | _ :: rest -> go (i + 1) rest
+    in
+    go 0 cols
+  in
+  let t_col = col "t" and lane_col = col "lane" and ev_col = col "ev" in
+  let last_t = Hashtbl.create 8 in
+  let events = ref 0 in
+  let lineno = ref 1 in
+  (try
+     while true do
+       let line = input_line ic in
+       incr lineno;
+       if String.trim line <> "" then begin
+         let cells = String.split_on_char ',' line in
+         let n = List.length cells in
+         if n <> width then
+           fail "%s:%d: %d column(s), header has %d" file !lineno n width;
+         let cell i = List.nth cells i in
+         let t =
+           match float_of_string_opt (cell t_col) with
+           | Some t -> t
+           | None -> fail "%s:%d: non-numeric \"t\" %S" file !lineno (cell t_col)
+         in
+         let lane =
+           match int_of_string_opt (cell lane_col) with
+           | Some l -> l
+           | None ->
+             fail "%s:%d: non-numeric \"lane\" %S" file !lineno (cell lane_col)
+         in
+         let ev = cell ev_col in
+         if not (List.mem ev Obs.Event.all_names) then
+           fail "%s:%d: unknown event %S (known: %s)" file !lineno ev
+             (String.concat ", " Obs.Event.all_names);
+         if ev <> "run_start" && ev <> "harness" then
+           (match Hashtbl.find_opt last_t lane with
+           | Some prev when t < prev ->
+             fail "%s:%d: time went backwards in lane %d (%.9g < %.9g)" file
+               !lineno lane t prev
+           | _ -> ());
+         if ev <> "harness" then Hashtbl.replace last_t lane t;
+         incr events
+       end
+     done
+   with End_of_file -> ());
+  close_in ic;
+  Printf.printf
+    "%s: %d events, %d lane(s), %d columns, timestamps non-decreasing\n" file
+    !events (Hashtbl.length last_t) width
+
 let () =
   let require_manifest, file =
     match Array.to_list Sys.argv with
     | [ _; file ] -> (false, file)
     | [ _; "--require-manifest"; file ] | [ _; file; "--require-manifest" ] -> (true, file)
-    | _ -> fail "usage: trace_check [--require-manifest] FILE.jsonl"
+    | _ -> fail "usage: trace_check [--require-manifest] FILE"
   in
+  if Filename.check_suffix file ".csv" then begin
+    if require_manifest then
+      fail "%s: --require-manifest applies to JSONL exports only" file;
+    check_csv file;
+    exit 0
+  end;
   let ic = try open_in file with Sys_error e -> fail "cannot open: %s" e in
   let last_t = Hashtbl.create 8 in
   let events = ref 0 in

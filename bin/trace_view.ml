@@ -1,0 +1,305 @@
+(* trace_view: convert observability artifacts to Chrome trace-event
+   JSON, loadable in Perfetto (ui.perfetto.dev), chrome://tracing or
+   speedscope.
+
+     trace_view trace.jsonl -o timeline.json     # event stream
+     trace_view profile.json -o spans.json       # span profile
+
+   Inputs are auto-detected: a JSON object with a "profile" key is a
+   span profile (experiments --profile / perf_report); anything else is
+   treated as a JSONL event stream (libra_sim --trace-out, experiments
+   --trace, or a flight-recorder dump — flight dumps have no manifest
+   header, which is fine).
+
+   Event streams map onto the timeline as:
+     - stage events        -> "X" complete slices per lane (a stage
+                              spans until the lane's next stage)
+     - enqueue/dequeue     -> a "queue" counter track per lane (bytes)
+     - link_rate           -> a "link_rate" counter track per lane
+     - mi_snapshot         -> an "mi_tput" counter track per lane
+     - rate                -> a pacing counter track per (lane, flow)
+     - drop/fault/cycle/
+       violation/run_start/
+       harness             -> "i" instant markers
+   Sim time (seconds) becomes timeline microseconds. Span profiles are
+   aggregate call trees, not timelines; each tree is laid out
+   sequentially from t=0 (slice length = total_s), which preserves the
+   containment structure Perfetto's flame view needs.
+
+   The output is re-parsed before writing — the final line says
+   "(valid JSON)" only if the self-check passed. *)
+
+let usage () =
+  prerr_endline
+    "usage: trace_view INPUT [-o OUTPUT]\n\
+     INPUT: a JSONL event trace (libra_sim --trace-out, experiments --trace,\n\
+     \       flight dump) or a span profile (experiments --profile)\n\
+     OUTPUT: Chrome trace-event JSON (default: INPUT + .trace.json)";
+  exit 2
+
+let read_file path =
+  let ic = try open_in_bin path with Sys_error e -> prerr_endline e; exit 2 in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+(* ---- Chrome trace-event construction ---- *)
+
+let jnum v = Obs.Json.Num v
+let jstr s = Obs.Json.Str s
+
+let slice ~name ~ts ~dur ~pid ~tid ~args =
+  Obs.Json.Obj
+    ([
+       ("name", jstr name);
+       ("ph", jstr "X");
+       ("ts", jnum ts);
+       ("dur", jnum dur);
+       ("pid", jnum (float_of_int pid));
+       ("tid", jnum (float_of_int tid));
+     ]
+    @ match args with [] -> [] | a -> [ ("args", Obs.Json.Obj a) ])
+
+let instant ~name ~ts ~pid ~tid =
+  Obs.Json.Obj
+    [
+      ("name", jstr name);
+      ("ph", jstr "i");
+      ("ts", jnum ts);
+      ("pid", jnum (float_of_int pid));
+      ("tid", jnum (float_of_int tid));
+      ("s", jstr "t");
+    ]
+
+let counter ~name ~ts ~pid ~series ~value =
+  Obs.Json.Obj
+    [
+      ("name", jstr name);
+      ("ph", jstr "C");
+      ("ts", jnum ts);
+      ("pid", jnum (float_of_int pid));
+      ("args", Obs.Json.Obj [ (series, jnum value) ]);
+    ]
+
+(* ---- JSONL event streams ---- *)
+
+let us t = t *. 1e6  (* sim seconds -> timeline microseconds *)
+
+let convert_events text =
+  let out = ref [] in
+  let n = ref 0 in
+  let push ev = out := ev :: !out; incr n in
+  (* open stage per lane: (stage name, start time) *)
+  let stages : (int, string * float) Hashtbl.t = Hashtbl.create 8 in
+  let last_t : (int, float) Hashtbl.t = Hashtbl.create 8 in
+  let close_stage lane ~until =
+    match Hashtbl.find_opt stages lane with
+    | None -> ()
+    | Some (name, t0) ->
+      Hashtbl.remove stages lane;
+      push
+        (slice ~name:("stage:" ^ name) ~ts:(us t0)
+           ~dur:(us (Float.max 0.0 (until -. t0)))
+           ~pid:0 ~tid:lane ~args:[])
+  in
+  String.split_on_char '\n' text
+  |> List.iter (fun line ->
+         let line = String.trim line in
+         if line <> "" then
+           match Obs.Json.parse line with
+           | Error _ -> ()
+           | Ok j when Obs.Json.member "manifest" j <> None -> ()
+           | Ok j -> (
+             let num key = Option.bind (Obs.Json.member key j) Obs.Json.num in
+             let str key = Option.bind (Obs.Json.member key j) Obs.Json.str in
+             match (num "t", str "ev") with
+             | Some t, Some ev ->
+               let lane =
+                 match num "lane" with Some l -> int_of_float l | None -> 0
+               in
+               Hashtbl.replace last_t lane t;
+               let ts = us t in
+               let cnt name series v =
+                 push (counter ~name ~ts ~pid:0 ~series ~value:v)
+               in
+               (match ev with
+               | "stage" ->
+                 close_stage lane ~until:t;
+                 Option.iter
+                   (fun s -> Hashtbl.replace stages lane (s, t))
+                   (str "stage")
+               | "enqueue" | "dequeue" ->
+                 Option.iter
+                   (cnt (Printf.sprintf "queue.lane%d" lane) "bytes")
+                   (num "backlog")
+               | "link_rate" ->
+                 Option.iter
+                   (cnt (Printf.sprintf "link_rate.lane%d" lane) "bps")
+                   (num "rate")
+               | "mi_snapshot" ->
+                 Option.iter
+                   (cnt (Printf.sprintf "mi_tput.lane%d" lane) "bps")
+                   (num "throughput")
+               | "rate" ->
+                 let flow =
+                   match num "flow" with Some f -> int_of_float f | None -> -1
+                 in
+                 Option.iter
+                   (cnt (Printf.sprintf "pacing.lane%d.flow%d" lane flow) "bps")
+                   (num "pacing")
+               | "drop" ->
+                 push
+                   (instant
+                      ~name:
+                        ("drop:"
+                        ^ Option.value ~default:"?" (str "reason"))
+                      ~ts ~pid:0 ~tid:lane)
+               | "fault" ->
+                 push
+                   (instant
+                      ~name:("fault:" ^ Option.value ~default:"?" (str "kind"))
+                      ~ts ~pid:0 ~tid:lane)
+               | "cycle" ->
+                 push
+                   (instant
+                      ~name:
+                        ("cycle:" ^ Option.value ~default:"?" (str "chosen"))
+                      ~ts ~pid:0 ~tid:lane)
+               | "violation" ->
+                 push
+                   (instant
+                      ~name:
+                        ("violation:" ^ Option.value ~default:"?" (str "name"))
+                      ~ts ~pid:0 ~tid:lane)
+               | "run_start" ->
+                 close_stage lane ~until:t;
+                 push (instant ~name:"run_start" ~ts ~pid:0 ~tid:lane)
+               | "harness" ->
+                 push
+                   (instant
+                      ~name:
+                        ("harness:" ^ Option.value ~default:"?" (str "kind"))
+                      ~ts ~pid:0 ~tid:lane)
+               | _ -> ())
+             | _ -> ()))
+  |> ignore;
+  (* Close stages still open at the lane's last timestamp. *)
+  Hashtbl.iter
+    (fun lane _ ->
+      let until =
+        match Hashtbl.find_opt last_t lane with Some t -> t | None -> 0.0
+      in
+      close_stage lane ~until)
+    (Hashtbl.copy stages);
+  (List.rev !out, !n)
+
+(* ---- span profiles ---- *)
+
+(* Aggregate call trees laid out sequentially from t=0: each node is a
+   slice of length total_s whose children tile its interior. Not a
+   timeline — a flame-graph layout Perfetto renders natively. *)
+let convert_profile j =
+  let out = ref [] in
+  let n = ref 0 in
+  let push ev = out := ev :: !out; incr n in
+  let groups =
+    match Obs.Json.member "groups" j with
+    | Some (Obs.Json.Obj kvs) -> kvs
+    | _ -> []
+  in
+  List.iteri
+    (fun tid (gname, trees) ->
+      push
+        (Obs.Json.Obj
+           [
+             ("name", jstr "thread_name");
+             ("ph", jstr "M");
+             ("pid", jnum 1.0);
+             ("tid", jnum (float_of_int tid));
+             ("args", Obs.Json.Obj [ ("name", jstr gname) ]);
+           ]);
+      let rec emit ~start node =
+        let num key = Option.bind (Obs.Json.member key node) Obs.Json.num in
+        let name =
+          Option.value ~default:"?"
+            (Option.bind (Obs.Json.member "name" node) Obs.Json.str)
+        in
+        let total = Option.value ~default:0.0 (num "total_s") in
+        push
+          (slice ~name ~ts:(us start) ~dur:(us total) ~pid:1 ~tid
+             ~args:
+               (List.filter_map
+                  (fun k -> Option.map (fun v -> (k, jnum v)) (num k))
+                  [ "count"; "self_s"; "minor_words"; "major_words" ]));
+        let cursor = ref start in
+        (match Obs.Json.member "children" node with
+        | Some (Obs.Json.List kids) ->
+          List.iter
+            (fun kid ->
+              emit ~start:!cursor kid;
+              let kt =
+                Option.value ~default:0.0
+                  (Option.bind (Obs.Json.member "total_s" kid) Obs.Json.num)
+              in
+              cursor := !cursor +. kt)
+            kids
+        | _ -> ())
+      in
+      match trees with
+      | Obs.Json.List roots ->
+        let cursor = ref 0.0 in
+        List.iter
+          (fun root ->
+            emit ~start:!cursor root;
+            cursor :=
+              !cursor
+              +. Option.value ~default:0.0
+                   (Option.bind (Obs.Json.member "total_s" root) Obs.Json.num))
+          roots
+      | _ -> ())
+    groups;
+  (List.rev !out, !n)
+
+let () =
+  let input = ref None and output = ref None in
+  let rec parse_args = function
+    | [] -> ()
+    | "-o" :: path :: rest ->
+      output := Some path;
+      parse_args rest
+    | ("-h" | "--help") :: _ -> usage ()
+    | arg :: rest ->
+      if !input <> None then usage ();
+      input := Some arg;
+      parse_args rest
+  in
+  parse_args (List.tl (Array.to_list Sys.argv));
+  let input = match !input with Some i -> i | None -> usage () in
+  let output = match !output with Some o -> o | None -> input ^ ".trace.json" in
+  let text = read_file input in
+  let events, n =
+    match Obs.Json.parse (String.trim text) with
+    | Ok j when Obs.Json.member "profile" j <> None -> convert_profile j
+    | _ -> convert_events text
+  in
+  let doc =
+    Obs.Json.Obj
+      [
+        ("traceEvents", Obs.Json.List events);
+        ("displayTimeUnit", jstr "ms");
+      ]
+  in
+  let rendered = Obs.Json.to_compact doc in
+  (* Self-check: the artifact must round-trip through our own parser
+     before we claim it is loadable elsewhere. *)
+  (match Obs.Json.parse rendered with
+  | Ok _ -> ()
+  | Error m ->
+    Printf.eprintf "internal error: output does not parse: %s\n" m;
+    exit 1);
+  let oc = open_out output in
+  output_string oc rendered;
+  output_string oc "\n";
+  close_out oc;
+  Printf.printf "trace_view: %d trace event(s) -> %s (valid JSON)\n" n output

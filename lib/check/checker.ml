@@ -58,6 +58,10 @@ type t = {
   mutable index : int;  (* events seen *)
   mutable total : int;  (* violations recorded *)
   mutable violations_rev : violation list;
+  mutable flight : (string * int) option;
+    (* flight-recorder dump written at the first violation: (path,
+       events held) — the ring holds the events *leading up to* the
+       violation, which the post-hoc report cannot reconstruct *)
 }
 
 (* Cap on recorded violations per checker and on Violation events
@@ -86,6 +90,7 @@ let create ?(rtt = 0.03) specs =
     index = 0;
     total = 0;
     violations_rev = [];
+    flight = None;
   }
 
 let specs t = Array.to_list (Array.map (fun m -> m.spec) t.machines)
@@ -173,8 +178,14 @@ let cond_verdict ev cond =
 
 (* ---- the per-event step ---- *)
 
+let flight t = t.flight
+
 let record t m ~index ~time ~detail =
   t.total <- t.total + 1;
+  (* First violation on this checker: capture the flight ring — the
+     events leading up to the offence — before it rolls past. *)
+  if t.total = 1 then
+    t.flight <- Obs.Flight.dump ~reason:("violation-" ^ m.spec.Spec.name) ();
   if t.total <= max_recorded then
     t.violations_rev <-
       { spec = m.spec.Spec.name; kind = m.kind; index; time; detail }
@@ -290,6 +301,10 @@ let report t =
       (violations t);
     if t.total > max_reported then
       Buffer.add_string b
-        (Printf.sprintf "  ... and %d more\n" (t.total - max_reported))
+        (Printf.sprintf "  ... and %d more\n" (t.total - max_reported));
+    match t.flight with
+    | None -> ()
+    | Some (path, n) ->
+      Buffer.add_string b (Printf.sprintf "  flight: %s (%d event(s))\n" path n)
   end;
   Buffer.contents b

@@ -40,6 +40,11 @@ val violations : t -> violation list
 
 val first : t -> violation option
 
+(** The flight-recorder dump captured at the first violation —
+    [(path, event count)]; [None] when the checker is clean or no
+    [Obs.Flight] ring was live on this domain. *)
+val flight : t -> (string * int) option
+
 (** The [Obs.Trace.run ~observer] hook: consume one event. Profiled
     under the [check.eval] span when a recorder is active. *)
 val on_event : t -> Obs.Event.t -> unit

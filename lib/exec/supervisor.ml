@@ -32,6 +32,12 @@ type failure = {
   attempts : int;  (* total attempts made (1 + retries used) *)
   backoffs : float list;  (* recorded backoff schedule, seconds, oldest first *)
   kind : kind;
+  flight : (string * int) option;
+    (* flight-recorder dump written when the final attempt failed:
+       (path, events held). The dump path derives from [context] and
+       the ring contents from the lane's events, so it is byte-stable
+       across pool sizes — but it is excluded from [digest] because
+       the *directory* is host-chosen. *)
 }
 
 let kind_name = function
@@ -99,6 +105,10 @@ let render f =
           (String.concat ", " (List.map (Printf.sprintf "%.3fs") bs)));
     Printf.sprintf "digest:    %s" (digest f);
   ]
+  @
+  match f.flight with
+  | None -> []
+  | Some (path, n) -> [ Printf.sprintf "flight:    %s (%d event(s))" path n ]
 
 let emit_event ~kind ~context ~detail ~attempt ~value =
   if Obs.Trace.on Obs.Category.Harness then
@@ -140,6 +150,9 @@ let protect ?(retries = 0) ?deadline_events ?wall_s ?(seed = 0) ~context f =
         attempt (i + 1) (b :: backoffs)
       end
       else begin
+        (* Final failure: dump the flight ring (if one is live on this
+           domain) so the report points at the surrounding events. *)
+        let flight = Obs.Flight.dump ~reason:context () in
         let fl =
           {
             context;
@@ -148,6 +161,7 @@ let protect ?(retries = 0) ?deadline_events ?wall_s ?(seed = 0) ~context f =
             attempts = i;
             backoffs = List.rev backoffs;
             kind;
+            flight;
           }
         in
         emit_event ~kind:(kind_name fl.kind) ~context ~detail:exn_s ~attempt:i

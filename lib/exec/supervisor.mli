@@ -25,6 +25,12 @@ type failure = {
   attempts : int;
   backoffs : float list;  (** recorded (never slept) schedule, seconds *)
   kind : kind;
+  flight : (string * int) option;
+      (** flight-recorder dump written on the final failed attempt —
+          [(path, event count)]; [None] when no [Obs.Flight] ring was
+          live on this domain. Byte-stable across pool sizes, but
+          excluded from {!digest} (the dump directory is
+          host-chosen). *)
 }
 
 (** [protect ?retries ?deadline_events ?wall_s ?seed ~context f] runs
@@ -54,5 +60,6 @@ val kind_name : kind -> string
 val digest : failure -> string
 
 (** Report lines describing the failure (deterministic modulo the
-    exception's own rendering). *)
+    exception's own rendering). Four lines, plus a fifth naming the
+    flight-recorder dump when one was written. *)
 val render : failure -> string list

@@ -91,7 +91,7 @@ let run_population ~duration ~rate ~long_flows ~seed () =
        long_flows);
   Table.print
     ~header:[ "metric"; "value" ]
-    [
+    ([
       [ "short flows spawned"; string_of_int spawned ];
       [ "short flows completed"; string_of_int completed ];
       [
@@ -107,6 +107,30 @@ let run_population ~duration ~rate ~long_flows ~seed () =
       [ "link utilization"; Table.pct utilization ];
       [ "logical events"; string_of_int (Netsim.Sim.events sim) ];
     ]
+    @
+    (* When the experiment runs under --rollup-out, summarize the dense
+       windowed time-series it just produced (the default report stays
+       byte-identical when no rollup is installed). All three figures
+       derive from sim-time aggregates, so they obey the same pool-size
+       byte-identity contract as the rest of the table. *)
+    (match Obs.Rollup.ambient () with
+    | None -> []
+    | Some r ->
+      Obs.Rollup.flush r;
+      let rows = Obs.Rollup.rows r in
+      let peak_q =
+        List.fold_left (fun acc (w : Obs.Rollup.row) -> max acc w.q_max) 0 rows
+      in
+      let delivered =
+        List.fold_left
+          (fun acc (w : Obs.Rollup.row) -> acc + w.delivered)
+          0 rows
+      in
+      [
+        [ "rollup windows"; string_of_int (Obs.Rollup.windows r) ];
+        [ "rollup peak queue (KB)"; Printf.sprintf "%.1f" (float_of_int peak_q /. 1e3) ];
+        [ "rollup delivered (MB)"; Printf.sprintf "%.2f" (float_of_int delivered /. 1e6) ];
+      ]))
 
 let run () =
   let scale = Scale.get () in

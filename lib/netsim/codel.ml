@@ -62,7 +62,7 @@ let control_interval t count =
   t.interval /. sqrt (float_of_int (max 1 count))
 
 let trace_head_drop ~now (pkt : Packet.t) =
-  if Obs.Trace.on Obs.Category.Pkt then
+  if Obs.Trace.on_flow Obs.Category.Pkt ~flow:pkt.flow then
     Obs.Trace.emit
       (Obs.Event.Drop
          { t = now; flow = pkt.flow; seq = pkt.seq; size = pkt.size;

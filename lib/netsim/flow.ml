@@ -236,11 +236,11 @@ let handle_ack t (pkt : Packet.t) =
       Obs.Metrics.incr m_acks;
       Obs.Metrics.add m_lost !lost;
       Obs.Metrics.observe m_rtt rtt;
-      if Obs.Trace.on Obs.Category.Ack then
+      if Obs.Trace.on_flow Obs.Category.Ack ~flow:t.id then
         Obs.Trace.emit
           (Obs.Event.Ack
              { t = now; flow = t.id; seq = o.seq; rtt; newly_lost = !lost });
-      if Obs.Trace.on Obs.Category.Rate then
+      if Obs.Trace.on_flow Obs.Category.Rate ~flow:t.id then
         Obs.Trace.emit
           (Obs.Event.Rate
              {

@@ -384,10 +384,10 @@ let deliver_ack t h seq =
       Obs.Metrics.incr m_acks;
       Obs.Metrics.add m_lost lost;
       Obs.Metrics.observe m_rtt rtt;
-      if Obs.Trace.on Obs.Category.Ack then
+      if Obs.Trace.on_flow Obs.Category.Ack ~flow:h then
         Obs.Trace.emit
           (Obs.Event.Ack { t = now; flow = h; seq; rtt; newly_lost = lost });
-      if Obs.Trace.on Obs.Category.Rate then
+      if Obs.Trace.on_flow Obs.Category.Rate ~flow:h then
         Obs.Trace.emit
           (Obs.Event.Rate
              {

@@ -132,7 +132,7 @@ and deliver_finished t pkt =
   t.delivered_pkts <- t.delivered_pkts + 1;
   Obs.Metrics.incr m_delivered;
   Obs.Metrics.set m_queue_bytes (float_of_int (queue_bytes t));
-  if Obs.Trace.on Obs.Category.Pkt then
+  if Obs.Trace.on_flow Obs.Category.Pkt ~flow:pkt.Packet.flow then
     Obs.Trace.emit
       (Obs.Event.Dequeue
          { t = Sim.now t.sim; flow = pkt.Packet.flow; seq = pkt.Packet.seq;
@@ -187,7 +187,7 @@ let admit t pkt =
   if t.loss_p > 0.0 && Rng.bool t.rng ~p:t.loss_p then begin
     t.random_drops <- t.random_drops + 1;
     Obs.Metrics.incr m_random_drops;
-    if Obs.Trace.on Obs.Category.Pkt then
+    if Obs.Trace.on_flow Obs.Category.Pkt ~flow:pkt.Packet.flow then
       Obs.Trace.emit
         (Obs.Event.Drop
            { t = Sim.now t.sim; flow = pkt.Packet.flow; seq = pkt.Packet.seq;
@@ -203,7 +203,7 @@ let admit t pkt =
     if admitted then begin
       Obs.Metrics.incr m_enqueued;
       Obs.Metrics.set m_queue_bytes (float_of_int (queue_bytes t));
-      if Obs.Trace.on Obs.Category.Pkt then
+      if Obs.Trace.on_flow Obs.Category.Pkt ~flow:pkt.Packet.flow then
         Obs.Trace.emit
           (Obs.Event.Enqueue
              { t = now; flow = pkt.Packet.flow; seq = pkt.Packet.seq;
@@ -211,7 +211,7 @@ let admit t pkt =
     end
     else begin
       Obs.Metrics.incr m_tail_drops;
-      if Obs.Trace.on Obs.Category.Pkt then
+      if Obs.Trace.on_flow Obs.Category.Pkt ~flow:pkt.Packet.flow then
         Obs.Trace.emit
           (Obs.Event.Drop
              { t = now; flow = pkt.Packet.flow; seq = pkt.Packet.seq;

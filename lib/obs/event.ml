@@ -139,6 +139,21 @@ let all_names =
 
 let reason_name = function Tail -> "tail" | Codel -> "codel" | Random -> "random"
 
+(* The flow a data-path event belongs to, or -1 for structural events
+   (link state, stages, cycles, run markers, harness and checker
+   records) — the key [Trace]'s head-based sampling decides on.
+   Structural events are never sampled out. *)
+let flow_id = function
+  | Enqueue e -> e.flow
+  | Dequeue e -> e.flow
+  | Drop e -> e.flow
+  | Ack e -> e.flow
+  | Rate e -> e.flow
+  | Fault e -> e.flow
+  | Link_rate _ | Mi_snapshot _ | Stage _ | Cycle _ | Rl_step _ | Run_start _
+  | Harness _ | Violation _ ->
+    -1
+
 (* ---- generic field access ----
 
    Name-keyed views of the event payloads for the invariant checker
@@ -311,9 +326,20 @@ let to_json_line ~lane buf ev =
 let csv_header =
   "t,lane,ev,flow,seq,size,backlog,reason,rate,pacing,cwnd,rtt,newly_lost,duration,throughput,avg_rtt,loss_rate,rtt_gradient,acked,lost,stage,chosen,u_prev,u_rl,u_cl,x_next,episode,step,reward,action,label,kind,value,detail,attempt,index"
 
-let csv_columns = 36
+(* Column count of a header (or any comma-separated row): 1 + commas.
+   Validators must derive the expected width from the emitted header
+   via this, never hardcode it — the header widens when event payloads
+   grow (it has drifted 33 -> 35 -> 36 already). *)
+let csv_width_of_header h =
+  1 + String.fold_left (fun acc c -> if c = ',' then acc + 1 else acc) 0 h
+
+let csv_columns = csv_width_of_header csv_header
 
 let fcell v = if Float.is_finite v then Printf.sprintf "%.9g" v else ""
+
+(* Free-text cells (exn renderings, invariant clauses) may contain
+   commas; CSV rows must keep a fixed width, so map them to ';'. *)
+let scell s = String.map (fun c -> if c = ',' then ';' else c) s
 
 let to_csv_row ~lane buf ev =
   let cells = Array.make csv_columns "" in
@@ -355,10 +381,10 @@ let to_csv_row ~lane buf ev =
     cells.(18) <- string_of_int e.acked;
     cells.(19) <- string_of_int e.lost
   | Stage e ->
-    cells.(20) <- e.stage;
+    cells.(20) <- scell e.stage;
     cells.(8) <- fcell e.base_rate
   | Cycle e ->
-    cells.(21) <- e.chosen;
+    cells.(21) <- scell e.chosen;
     cells.(22) <- fcell e.u_prev;
     cells.(23) <- fcell e.u_rl;
     cells.(24) <- fcell e.u_cl;
@@ -372,19 +398,19 @@ let to_csv_row ~lane buf ev =
   | Fault e ->
     cells.(3) <- string_of_int e.flow;
     cells.(4) <- string_of_int e.seq;
-    cells.(31) <- e.kind;
+    cells.(31) <- scell e.kind;
     cells.(32) <- fcell e.value
-  | Run_start e -> cells.(30) <- e.label
+  | Run_start e -> cells.(30) <- scell e.label
   | Harness e ->
-    cells.(30) <- e.id;
-    cells.(31) <- e.kind;
+    cells.(30) <- scell e.id;
+    cells.(31) <- scell e.kind;
     cells.(32) <- fcell e.value;
-    cells.(33) <- e.detail;
+    cells.(33) <- scell e.detail;
     cells.(34) <- string_of_int e.attempt
   | Violation e ->
-    cells.(30) <- e.name;
-    cells.(31) <- e.kind;
-    cells.(33) <- e.detail;
+    cells.(30) <- scell e.name;
+    cells.(31) <- scell e.kind;
+    cells.(33) <- scell e.detail;
     cells.(35) <- string_of_int e.index);
   Buffer.add_string buf (String.concat "," (Array.to_list cells));
   Buffer.add_char buf '\n'

@@ -1,0 +1,73 @@
+(** Always-on crash flight recorder.
+
+    A flight recorder is a bounded per-lane ring of the most recent
+    trace events, kept regardless of whether a tracer session is
+    exporting anything — cheap enough (one ring store per event, no
+    serialization) to leave enabled on every run, like [Span]. When a
+    supervised task fails ([Exec.Supervisor]) or an invariant records
+    its first violation ([Check.Checker]), the current lane's ring is
+    dumped to a JSONL file, giving every crash a window of surrounding
+    events without the cost of full tracing.
+
+    Determinism: lanes are keyed by caller-chosen logical ids (task
+    indices under [Exec.Pool]), ring contents are a function of the
+    events emitted on that lane, and dump paths derive from the
+    supervision context — so dumps are byte-identical at any pool
+    size. [Trace.unobserved] masks the flight ring along with the
+    tracer, keeping cache-dependent work out of the rings.
+
+    The disabled path shares [Trace.on]'s single-atomic-load guard:
+    with no flight recorder (and no tracer) installed anywhere, probe
+    sites cost one load + branch (the [bench flight-overhead] lane
+    holds the enabled cost within noise of ring tracing). *)
+
+type t
+
+(** [create ?capacity ()] makes a recorder whose lanes each keep the
+    most recent [capacity] events (default 2048). *)
+val create : ?capacity:int -> unit -> t
+
+(** [run t ~lane f] runs [f] with [t] recording this domain's events
+    into a fresh ring for [lane]. Nests with [Trace.run] in either
+    order; saved and restored like the tracer's ambient sink. *)
+val run : t -> ?lane:int -> (unit -> 'a) -> 'a
+
+(** True iff a flight recorder is installed on this domain. *)
+val active : unit -> bool
+
+(** Events currently held by each lane, ascending lane id, oldest
+    first within a lane. *)
+val events : t -> (int * Event.t list) list
+
+(** Total events overwritten by full rings, across lanes. *)
+val dropped : t -> int
+
+(** Directory that [dump] writes into (default: the system temp
+    directory; CLIs expose it as [--flight-dir]). *)
+val set_dump_dir : string -> unit
+
+val dump_dir : unit -> string
+
+(** [dump ~reason ()] writes the current domain's ring to
+    [dump_dir()/flight-<sanitized reason>.jsonl] (one event per line,
+    same schema as trace exports, no manifest header) and returns the
+    path and event count — or [None] when no flight recorder is
+    installed on this domain. Never raises: write errors return
+    [None]. *)
+val dump : reason:string -> unit -> (string * int) option
+
+(**/**)
+
+(** Internal plumbing shared with [Trace] — not for probe sites. *)
+
+(** Count of live [Trace.run] + [Flight.run] scopes across all
+    domains: the shared disabled-path guard. *)
+val sessions : int Atomic.t
+
+(** Push into this domain's flight ring, if any ([Trace.emit] calls
+    this on every event). *)
+val push : Event.t -> unit
+
+(** Mask this domain's flight ring for the duration of the callback
+    ([Trace.unobserved] composes with this). *)
+val unobserved : (unit -> 'a) -> 'a

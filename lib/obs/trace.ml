@@ -34,12 +34,13 @@ type lane_buf = {
 type t = {
   mask : int;
   ring_capacity : int option;
+  sample : Sample.t option;
   lock : Mutex.t;
   mutable lanes : lane_buf list;  (* newest first *)
   mutable manifest : Json.t;
 }
 
-let create ?ring_capacity ?manifest ?(categories = Category.all) () =
+let create ?ring_capacity ?manifest ?sample ?(categories = Category.all) () =
   (match ring_capacity with
   | Some c when c < 1 -> invalid_arg "Obs.Trace.create: ring_capacity < 1"
   | _ -> ());
@@ -55,12 +56,14 @@ let create ?ring_capacity ?manifest ?(categories = Category.all) () =
       lor Category.bit Category.Harness
       lor Category.bit Category.Invariant;
     ring_capacity;
+    sample;
     lock = Mutex.create ();
     lanes = [];
     manifest;
   }
 
 let mask t = t.mask
+let sample t = t.sample
 let manifest t = t.manifest
 let set_manifest t m = t.manifest <- m
 
@@ -70,16 +73,36 @@ type ctx = { tracer : t; buf : lane_buf; observer : (Event.t -> unit) option }
 
 let ctx_key : ctx option ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref None)
 
-(* Number of [run] scopes live across all domains. The disabled fast
-   path tests only this: one load, one compare, one branch. *)
-let n_active = Atomic.make 0
+(* The disabled fast path tests [Flight.sessions] — the count of live
+   [run] scopes (trace *and* flight) across all domains: one load, one
+   compare, one branch. Sharing the counter with the flight recorder
+   keeps the everything-off probe cost identical whether or not the
+   build carries a flight ring. *)
 
 let[@inline] on cat =
-  Atomic.get n_active > 0
-  &&
-  match !(Domain.DLS.get ctx_key) with
-  | Some c -> c.tracer.mask land Category.bit cat <> 0
-  | None -> false
+  Atomic.get Flight.sessions > 0
+  && ((match !(Domain.DLS.get ctx_key) with
+      | Some c -> c.tracer.mask land Category.bit cat <> 0
+      | None -> false)
+     || Flight.active ())
+
+(* Probe guard for flow-scoped events under head-based sampling: like
+   [on], but also false when the ambient tracer samples [flow] out —
+   so probe sites skip event construction entirely for dropped flows.
+   [emit] re-checks the same pure decision, so sites that only call
+   [on] (e.g. the fault injector) still export the identical kept
+   set. A live flight recorder keeps every flow (crash evidence is
+   never sampled). *)
+let[@inline] on_flow cat ~flow =
+  Atomic.get Flight.sessions > 0
+  && ((match !(Domain.DLS.get ctx_key) with
+      | Some c ->
+        c.tracer.mask land Category.bit cat <> 0
+        && (match c.tracer.sample with
+           | None -> true
+           | Some s -> Sample.keep s ~flow)
+      | None -> false)
+     || Flight.active ())
 
 let push buf ev =
   if buf.bounded then begin
@@ -106,13 +129,21 @@ let push buf ev =
   end
 
 let emit ev =
-  match !(Domain.DLS.get ctx_key) with
+  (match !(Domain.DLS.get ctx_key) with
   | None -> ()
   | Some c ->
-    if c.tracer.mask land Category.bit (Event.category ev) <> 0 then begin
+    if
+      c.tracer.mask land Category.bit (Event.category ev) <> 0
+      && (match c.tracer.sample with
+         | None -> true
+         | Some s -> Sample.keep s ~flow:(Event.flow_id ev))
+    then begin
       push c.buf ev;
       match c.observer with None -> () | Some f -> f ev
-    end
+    end);
+  (* The flight ring records everything — pre-mask, pre-sampling:
+     crash evidence keeps what the export drops. *)
+  Flight.push ev
 
 let run t ?(lane = 0) ?observer f =
   let buf =
@@ -128,10 +159,10 @@ let run t ?(lane = 0) ?observer f =
   let cell = Domain.DLS.get ctx_key in
   let saved = !cell in
   cell := Some { tracer = t; buf; observer };
-  Atomic.incr n_active;
+  Atomic.incr Flight.sessions;
   Fun.protect
     ~finally:(fun () ->
-      Atomic.decr n_active;
+      Atomic.decr Flight.sessions;
       cell := saved)
     f
 
@@ -142,15 +173,15 @@ let run t ?(lane = 0) ?observer f =
 let unobserved f =
   let cell = Domain.DLS.get ctx_key in
   match !cell with
-  | None -> f ()
+  | None -> Flight.unobserved f
   | Some _ as saved ->
     cell := None;
-    Atomic.decr n_active;
+    Atomic.decr Flight.sessions;
     Fun.protect
       ~finally:(fun () ->
-        Atomic.incr n_active;
+        Atomic.incr Flight.sessions;
         cell := saved)
-      f
+      (fun () -> Flight.unobserved f)
 
 (* Lanes in merge order: ascending lane id; lanes sharing an id keep
    their registration order (stable sort over the reversed

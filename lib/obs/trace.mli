@@ -10,17 +10,28 @@
 
 type t
 
-(** [create ?ring_capacity ?manifest ?categories ()] makes a tracer
-    subscribing to [categories] (default: all). With [ring_capacity]
-    each lane keeps only the most recent events (in-memory ring sink
-    for tests); without it lanes grow unboundedly. [manifest] (default
-    {!Manifest.default}) is emitted as the first line of JSONL
-    exports. *)
+(** [create ?ring_capacity ?manifest ?sample ?categories ()] makes a
+    tracer subscribing to [categories] (default: all). With
+    [ring_capacity] each lane keeps only the most recent events
+    (in-memory ring sink for tests); without it lanes grow unboundedly.
+    [manifest] (default {!Manifest.default}) is emitted as the first
+    line of JSONL exports. [sample] enables deterministic head-based
+    flow sampling: flow-scoped events of sampled-out flows are neither
+    buffered nor handed to observers (see {!Sample} and
+    {!on_flow}). *)
 val create :
-  ?ring_capacity:int -> ?manifest:Json.t -> ?categories:Category.t list -> unit -> t
+  ?ring_capacity:int ->
+  ?manifest:Json.t ->
+  ?sample:Sample.t ->
+  ?categories:Category.t list ->
+  unit ->
+  t
 
 (** The subscription bitmask (see {!Category.bit}). *)
 val mask : t -> int
+
+(** The head-based sampling spec, if any. *)
+val sample : t -> Sample.t option
 
 (** The provenance manifest emitted as the JSONL header line. *)
 val manifest : t -> Json.t
@@ -36,19 +47,28 @@ val set_manifest : t -> Json.t -> unit
     {!emit} (e.g. a violation verdict), which re-enters this lane. *)
 val run : t -> ?lane:int -> ?observer:(Event.t -> unit) -> (unit -> 'a) -> 'a
 
-(** Probe guard: true iff a tracer subscribing to [cat] is installed on
-    this domain. When no tracer is active anywhere this is a single
-    atomic load + compare. Guard event construction behind it. *)
+(** Probe guard: true iff a tracer subscribing to [cat] — or a flight
+    recorder ({!Flight}) — is installed on this domain. When nothing is
+    active anywhere this is a single atomic load + compare. Guard event
+    construction behind it. *)
 val on : Category.t -> bool
+
+(** Probe guard for flow-scoped events: like {!on}, but also false when
+    the ambient tracer's sampler drops [flow] (and no flight recorder
+    is live — flight rings keep every flow). {!emit} re-applies the
+    same pure sampling decision via [Event.flow_id], so probe sites
+    guarded by plain {!on} still export the identical kept set. *)
+val on_flow : Category.t -> flow:int -> bool
 
 (** Record an event into the current domain's tracer, if any (and if
     the tracer subscribes to the event's category). *)
 val emit : Event.t -> unit
 
-(** [unobserved f] runs [f] with the ambient tracer masked. Wrap work
-    whose execution depends on a cross-run cache (lazy pretraining):
-    tracing it would attribute events to whichever lane missed the
-    cache first, breaking pool-size determinism. *)
+(** [unobserved f] runs [f] with the ambient tracer *and* flight
+    recorder masked. Wrap work whose execution depends on a cross-run
+    cache (lazy pretraining): recording it would attribute events to
+    whichever lane missed the cache first, breaking pool-size
+    determinism. *)
 val unobserved : (unit -> 'a) -> 'a
 
 (** All recorded events, merged in (lane, order-within-lane) order. *)

@@ -1,0 +1,85 @@
+#!/bin/sh
+# Observecheck: scale-ready observability smoke (tier-1; `make observe`).
+#
+#   observecheck.sh EXPERIMENTS_EXE TRACE_CHECK_EXE TRACE_VIEW_EXE [WORKDIR]
+#
+# Five probes:
+#   1. population-mini with head-based sampling (--trace-sample 1/4)
+#      and windowed rollups must export byte-identically at --domains 1
+#      vs --domains 4 (the rollup CSV compared whole; the trace JSONL
+#      compared with its manifest header stripped — the header records
+#      argv, which legitimately differs between the two runs)
+#   2. the sampled trace must validate under trace_check, and the
+#      rollup must be smaller than the sampled trace it summarizes
+#   3. a deliberately violated invariant must leave a flight-recorder
+#      dump in --flight-dir and name it in the failure report
+#   4. the flight dump itself must be a valid trace (trace_check on a
+#      manifest-less JSONL)
+#   5. trace_view must convert both the trace export and the flight
+#      dump to Chrome trace-event JSON that passes its own re-parse
+#      ("(valid JSON)")
+set -eu
+
+EXPERIMENTS="$1"
+TRACE_CHECK="$2"
+TRACE_VIEW="$3"
+WORK="${4:-$(mktemp -d "${TMPDIR:-/tmp}/libra-observecheck.XXXXXX")}"
+mkdir -p "$WORK" "$WORK/flight"
+
+BAD='bad: always ev=ack & rtt<0'
+
+fail() {
+  echo "observecheck: $1" >&2
+  exit 1
+}
+
+# 1. Sampling + rollups byte-identical at --domains 1 vs --domains 4.
+for d in 1 4; do
+  "$EXPERIMENTS" --tiny population-mini --domains "$d" \
+    --trace-sample 1/4 --trace "$WORK/trace$d.jsonl" \
+    --rollup-out "$WORK/rollup$d.csv" \
+    >"$WORK/pop$d.out" 2>"$WORK/pop$d.err" \
+    || fail "sampled population-mini at --domains $d failed (exit $?)"
+done
+cmp -s "$WORK/rollup1.csv" "$WORK/rollup4.csv" \
+  || fail "rollup CSV differs between --domains 1 and 4"
+grep -v '"manifest"' "$WORK/trace1.jsonl" >"$WORK/trace1.stripped"
+grep -v '"manifest"' "$WORK/trace4.jsonl" >"$WORK/trace4.stripped"
+cmp -s "$WORK/trace1.stripped" "$WORK/trace4.stripped" \
+  || fail "sampled trace differs between --domains 1 and 4"
+
+# 2. The sampled trace validates; the rollup is the smaller artifact.
+"$TRACE_CHECK" --require-manifest "$WORK/trace1.jsonl" >"$WORK/tc.out" \
+  || fail "trace_check rejected the sampled trace (exit $?)"
+rollup_size=$(wc -c <"$WORK/rollup1.csv")
+trace_size=$(wc -c <"$WORK/trace1.jsonl")
+[ "$rollup_size" -gt 0 ] || fail "rollup CSV is empty"
+[ "$rollup_size" -lt "$trace_size" ] \
+  || fail "rollup ($rollup_size B) not smaller than the trace ($trace_size B)"
+
+# 3. A violated invariant leaves a flight dump and reports its path.
+status=0
+"$EXPERIMENTS" --tiny robust-mini --invariant "$BAD" \
+  --flight-dir "$WORK/flight" \
+  >"$WORK/bad.out" 2>"$WORK/bad.err" || status=$?
+[ "$status" -eq 3 ] || fail "violated run exited $status, want 3"
+DUMP="$WORK/flight/flight-violation-bad.jsonl"
+[ -s "$DUMP" ] || fail "no flight dump at $DUMP"
+grep -q "flight:" "$WORK/bad.out" \
+  || fail "failure report does not name the flight dump"
+
+# 4. The flight dump is itself a valid (manifest-less) trace.
+"$TRACE_CHECK" "$DUMP" >"$WORK/tc-flight.out" \
+  || fail "trace_check rejected the flight dump (exit $?)"
+
+# 5. trace_view converts both artifacts to valid Chrome trace JSON.
+"$TRACE_VIEW" "$WORK/trace1.jsonl" -o "$WORK/trace1.trace.json" \
+  >"$WORK/tv.out" || fail "trace_view failed on the trace export (exit $?)"
+grep -q "(valid JSON)" "$WORK/tv.out" \
+  || fail "trace_view did not self-validate the trace export conversion"
+"$TRACE_VIEW" "$DUMP" -o "$WORK/flight.trace.json" >"$WORK/tv-flight.out" \
+  || fail "trace_view failed on the flight dump (exit $?)"
+grep -q "(valid JSON)" "$WORK/tv-flight.out" \
+  || fail "trace_view did not self-validate the flight dump conversion"
+
+echo "observecheck: ok (sampled trace + rollup byte-identical at --domains 1 vs 4, violation leaves a flight dump, timeline exports valid)"

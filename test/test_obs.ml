@@ -523,6 +523,326 @@ let test_perf_gate_empty_and_garbage () =
     | Error e -> String.length e > 0
     | Ok _ -> false)
 
+(* ------------------------------------------------------------------ *)
+(* Deterministic flow sampling *)
+
+let test_sample_parse_and_render () =
+  (match Obs.Sample.parse "1/8" with
+  | Ok s ->
+    check_int "denominator" 8 (Obs.Sample.denominator s);
+    check_string "renders 1/N" "1/8" (Obs.Sample.to_string s)
+  | Error e -> Alcotest.failf "\"1/8\" rejected: %s" e);
+  (match Obs.Sample.parse "16" with
+  | Ok s -> check_int "bare N accepted" 16 (Obs.Sample.denominator s)
+  | Error e -> Alcotest.failf "\"16\" rejected: %s" e);
+  List.iter
+    (fun bad ->
+      check_bool (Printf.sprintf "rejects %S" bad) true
+        (match Obs.Sample.parse bad with Error _ -> true | Ok _ -> false))
+    [ ""; "0"; "1/0"; "-3"; "2/4"; "x"; "1/" ]
+
+let test_sample_deterministic_and_unbiased () =
+  let s = Obs.Sample.create ~seed:7 8 in
+  let s' = Obs.Sample.create ~seed:7 8 in
+  let kept =
+    List.filter (fun f -> Obs.Sample.keep s ~flow:f) (List.init 4096 Fun.id)
+  in
+  check_bool "pure function of (seed, flow)" true
+    (List.for_all (fun f -> Obs.Sample.keep s' ~flow:f) kept);
+  (* Keep count within ~4 sigma of 4096/8 = 512 (sigma ~ 21). *)
+  let n = List.length kept in
+  check_bool (Printf.sprintf "fraction near 1/8 (kept %d/4096)" n) true
+    (n > 512 - 90 && n < 512 + 90);
+  (* A different seed keeps a different flow set. *)
+  let s2 = Obs.Sample.create ~seed:8 8 in
+  check_bool "seed changes the kept set" true
+    (List.exists (fun f -> not (Obs.Sample.keep s2 ~flow:f)) kept);
+  (* Structural (negative-flow) events and 1/1 sampling always keep. *)
+  check_bool "flow-less always kept" true (Obs.Sample.keep s ~flow:(-1));
+  let all = Obs.Sample.create 1 in
+  check_bool "1/1 keeps everything" true
+    (List.for_all (fun f -> Obs.Sample.keep all ~flow:f) (List.init 100 Fun.id))
+
+(* 64 slots of flow-scoped events over 32 flows, each followed by a
+   flow-less structural event — the skeleton sampling must preserve. *)
+let mixed_events =
+  List.concat_map
+    (fun i ->
+      let t = 0.01 *. float_of_int i in
+      let flow = i mod 32 in
+      [
+        Obs.Event.Enqueue { t; flow; seq = i; size = 1500; backlog = 1500 };
+        Obs.Event.Ack { t; flow; seq = i; rtt = 0.05; newly_lost = 0 };
+        Obs.Event.Link_rate { t; rate = 3e6 };
+      ])
+    (List.init 64 Fun.id)
+
+(* The exported sampled trace must equal an offline [Sample.keep]
+   filter of the full trace: the head-based decision at the probe site
+   and a post-hoc filter over the unsampled export agree exactly. *)
+let test_sampled_trace_equals_offline_filter () =
+  let s = Obs.Sample.create ~seed:11 4 in
+  let run sample =
+    let tr = Obs.Trace.create ?sample () in
+    Obs.Trace.run tr (fun () ->
+        (* Probe guard agrees with the pure decision at every site. *)
+        List.iter
+          (fun ev ->
+            let flow = Obs.Event.flow_id ev in
+            check_bool "on_flow mirrors Sample.keep"
+              (match sample with
+              | Some s -> Obs.Sample.keep s ~flow
+              | None -> true)
+              (Obs.Trace.on_flow (Obs.Event.category ev) ~flow);
+            Obs.Trace.emit ev)
+          mixed_events);
+    tr
+  in
+  let sampled = run (Some s) and full = run None in
+  let expected =
+    List.filter
+      (fun ev -> Obs.Sample.keep s ~flow:(Obs.Event.flow_id ev))
+      (Obs.Trace.events full)
+  in
+  check_bool "some flows dropped" true
+    (Obs.Trace.length sampled < Obs.Trace.length full);
+  check_int "flow-less events all kept" 64
+    (List.length
+       (List.filter (fun ev -> Obs.Event.flow_id ev < 0) (Obs.Trace.events sampled)));
+  check_bool "sampled trace = offline filter of the full trace" true
+    (Obs.Trace.events sampled = expected);
+  check_string "csv bytes agree with the filtered event set"
+    (Obs.Trace.to_csv sampled)
+    (let tr = Obs.Trace.create () in
+     Obs.Trace.run tr (fun () -> List.iter Obs.Trace.emit expected);
+     Obs.Trace.to_csv tr)
+
+(* ------------------------------------------------------------------ *)
+(* Windowed rollups *)
+
+let test_rollup_windows_and_fields () =
+  let r = Obs.Rollup.create ~window:1.0 () in
+  List.iter (Obs.Rollup.observe r)
+    [
+      Obs.Event.Enqueue { t = 0.2; flow = 0; seq = 0; size = 1500; backlog = 3000 };
+      Obs.Event.Dequeue { t = 0.5; flow = 0; seq = 0; size = 1500; backlog = 1500 };
+      Obs.Event.Drop { t = 1.2; flow = 0; seq = 1; size = 1500; reason = Obs.Event.Tail };
+      Obs.Event.Ack { t = 2.5; flow = 0; seq = 0; rtt = 0.05; newly_lost = 2 };
+    ];
+  Obs.Rollup.flush r;
+  check_int "three completed windows" 3 (Obs.Rollup.windows r);
+  match Obs.Rollup.rows r with
+  | [ w0; w1; w2 ] ->
+    check_int "w0 index" 0 w0.Obs.Rollup.window;
+    check_bool "w0 bounds" true (w0.Obs.Rollup.t0 = 0.0 && w0.Obs.Rollup.t1 = 1.0);
+    check_int "w0 events" 2 w0.Obs.Rollup.events;
+    check_int "w0 enqueues" 1 w0.Obs.Rollup.enq;
+    check_int "w0 delivered bytes" 1500 w0.Obs.Rollup.delivered;
+    check_int "w0 q_min" 1500 w0.Obs.Rollup.q_min;
+    check_int "w0 q_max" 3000 w0.Obs.Rollup.q_max;
+    check_bool "w0 q_mean" true (w0.Obs.Rollup.q_mean = 2250.0);
+    check_bool "w0 rate_mean nan (no sample)" true
+      (Float.is_nan w0.Obs.Rollup.rate_mean);
+    check_int "w1 index" 1 w1.Obs.Rollup.window;
+    check_int "w1 drops" 1 w1.Obs.Rollup.drops;
+    check_int "w1 q samples absent -> 0" 0 w1.Obs.Rollup.q_max;
+    check_int "w2 index" 2 w2.Obs.Rollup.window;
+    check_int "w2 acks" 1 w2.Obs.Rollup.acks;
+    check_int "w2 lost" 2 w2.Obs.Rollup.lost
+  | rows -> Alcotest.failf "expected three rows, got %d" (List.length rows)
+
+let test_rollup_run_start_segments () =
+  let enq t =
+    Obs.Event.Enqueue { t; flow = 0; seq = 0; size = 100; backlog = 100 }
+  in
+  let r = Obs.Rollup.create ~window:1.0 () in
+  List.iter (Obs.Rollup.observe r)
+    [
+      Obs.Event.Run_start { t = 0.0; label = "a" };
+      enq 0.5;
+      enq 2.5;
+      (* clock restarts: window indexing must too *)
+      Obs.Event.Run_start { t = 0.0; label = "b" };
+      enq 0.25;
+    ];
+  Obs.Rollup.flush r;
+  match Obs.Rollup.rows r with
+  | [ a0; a2; b0 ] ->
+    check_bool "first run is 0" true
+      (a0.Obs.Rollup.run = 0 && a0.Obs.Rollup.window = 0);
+    check_bool "second window of run 0" true
+      (a2.Obs.Rollup.run = 0 && a2.Obs.Rollup.window = 2);
+    check_bool "run counter advances, windows restart" true
+      (b0.Obs.Rollup.run = 1 && b0.Obs.Rollup.window = 0)
+  | rows -> Alcotest.failf "expected three rows, got %d" (List.length rows)
+
+(* Deterministic synthetic event mix for the online/offline property:
+   every rollup-relevant variant, some with non-finite payloads. *)
+let rollup_event i t =
+  let flow = i mod 3 in
+  match i mod 8 with
+  | 0 -> Obs.Event.Enqueue { t; flow; seq = i; size = 1500; backlog = 1500 * (1 + (i mod 4)) }
+  | 1 -> Obs.Event.Dequeue { t; flow; seq = i; size = 1200; backlog = 300 * (i mod 5) }
+  | 2 -> Obs.Event.Drop { t; flow; seq = i; size = 1500; reason = Obs.Event.Tail }
+  | 3 -> Obs.Event.Ack { t; flow; seq = i; rtt = 0.05; newly_lost = i mod 2 }
+  | 4 ->
+    Obs.Event.Rate
+      { t; flow; pacing = 1e6 *. (1.0 +. float_of_int (i mod 7)); cwnd = 10.0 }
+  | 5 ->
+    Obs.Event.Mi_snapshot
+      {
+        t;
+        duration = 0.1;
+        throughput = 2e6 +. float_of_int i;
+        avg_rtt = 0.05;
+        loss_rate = 0.0;
+        rtt_gradient = 0.0;
+        acked = 10;
+        lost = 0;
+      }
+  | 6 ->
+    Obs.Event.Cycle
+      { t; chosen = "rl"; u_prev = 1.5; u_rl = nan; u_cl = 0.25; x_next = 1e6 }
+  | _ -> Obs.Event.Link_rate { t; rate = 3e6 }
+
+(* The online rollup (a [Trace.run] observer fed as events are
+   emitted) and an offline replay over the trace's exported events
+   must produce byte-identical CSV — the aggregates are a pure fold
+   over the admitted stream. *)
+let rollup_online_offline_prop =
+  QCheck.Test.make ~count:100 ~name:"rollup online = offline replay of the export"
+    QCheck.(list (pair (int_bound 99) (float_range 0.0 0.35)))
+    (fun steps ->
+      let events =
+        let t = ref 0.0 in
+        List.map
+          (fun (k, dt) ->
+            if k >= 95 then begin
+              t := 0.0;
+              Obs.Event.Run_start { t = 0.0; label = "run" }
+            end
+            else begin
+              t := !t +. dt;
+              rollup_event k !t
+            end)
+          steps
+      in
+      let online = Obs.Rollup.create ~window:0.1 () in
+      let tr = Obs.Trace.create () in
+      Obs.Trace.run tr ~observer:(Obs.Rollup.observe online) (fun () ->
+          List.iter Obs.Trace.emit events);
+      let offline = Obs.Rollup.create ~window:0.1 () in
+      List.iter (Obs.Rollup.observe offline) (Obs.Trace.events tr);
+      let render r =
+        let b = Buffer.create 1024 in
+        Obs.Rollup.add_csv r ~lane:0 b;
+        Buffer.contents b
+      in
+      render online = render offline)
+
+(* ------------------------------------------------------------------ *)
+(* CSV schema widening *)
+
+(* Consumers derive the expected column count from the emitted header
+   (the schema has already grown 33 -> 35 -> 36 columns); nothing may
+   hardcode it. *)
+let test_csv_width_derived_from_header () =
+  check_int "width of the event header" Obs.Event.csv_columns
+    (Obs.Event.csv_width_of_header Obs.Event.csv_header);
+  check_int "a future widened header widens the derived width"
+    (Obs.Event.csv_columns + 2)
+    (Obs.Event.csv_width_of_header (Obs.Event.csv_header ^ ",future_a,future_b"));
+  check_int "single column" 1 (Obs.Event.csv_width_of_header "t");
+  (* Rollup rows are exactly as wide as the rollup header says. *)
+  let r = Obs.Rollup.create ~window:1.0 () in
+  Obs.Rollup.observe r
+    (Obs.Event.Enqueue { t = 0.1; flow = 0; seq = 0; size = 1; backlog = 1 });
+  let b = Buffer.create 64 in
+  Obs.Rollup.add_csv r ~lane:0 b;
+  let w = Obs.Event.csv_width_of_header Obs.Rollup.csv_header in
+  let rows =
+    String.split_on_char '\n' (Buffer.contents b)
+    |> List.filter (fun l -> l <> "")
+  in
+  check_bool "at least one rollup row" true (rows <> []);
+  List.iter
+    (fun row ->
+      check_int "rollup row width" w (List.length (String.split_on_char ',' row)))
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* Flight recorder *)
+
+let test_flight_ring_bounds () =
+  let fl = Obs.Flight.create ~capacity:4 () in
+  check_bool "inactive outside run" false (Obs.Flight.active ());
+  Obs.Flight.run fl ~lane:3 (fun () ->
+      check_bool "active inside run" true (Obs.Flight.active ());
+      (* No tracer session: emit still feeds the flight ring. *)
+      for i = 0 to 9 do
+        Obs.Trace.emit (ev ~t:(float_of_int i) ~seq:i)
+      done;
+      Obs.Trace.unobserved (fun () ->
+          check_bool "unobserved masks the ring" false (Obs.Flight.active ());
+          Obs.Trace.emit (ev ~t:99.0 ~seq:99)));
+  check_bool "inactive again after run" false (Obs.Flight.active ());
+  check_int "overwrites counted" 6 (Obs.Flight.dropped fl);
+  match Obs.Flight.events fl with
+  | [ (3, evs) ] ->
+    check_bool "keeps the newest, oldest first" true
+      (List.map Obs.Event.time evs = [ 6.0; 7.0; 8.0; 9.0 ])
+  | lanes -> Alcotest.failf "expected exactly lane 3, got %d lane(s)" (List.length lanes)
+
+let with_flight_dump_dir name f =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "libra-%s-%d" name (Unix.getpid ()))
+  in
+  (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let saved = Obs.Flight.dump_dir () in
+  Obs.Flight.set_dump_dir dir;
+  Fun.protect ~finally:(fun () -> Obs.Flight.set_dump_dir saved) (fun () -> f dir)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let test_flight_dump_deterministic () =
+  check_bool "no recorder -> no dump" true (Obs.Flight.dump ~reason:"x" () = None);
+  with_flight_dump_dir "flight-dump" (fun dir ->
+      let fl = Obs.Flight.create ~capacity:8 () in
+      let dumped =
+        Obs.Flight.run fl ~lane:1 (fun () ->
+            for i = 0 to 2 do
+              Obs.Trace.emit (ev ~t:(float_of_int i) ~seq:i)
+            done;
+            Obs.Flight.dump ~reason:"task 7/fig: crash!" ())
+      in
+      match dumped with
+      | None -> Alcotest.fail "dump returned None inside a flight run"
+      | Some (path, n) ->
+        check_int "three events dumped" 3 n;
+        check_string "reason sanitized into the file name"
+          (Filename.concat dir "flight-task-7-fig--crash-.jsonl")
+          path;
+        (* Each line parses as an event carrying the ring's lane. *)
+        let lines =
+          String.split_on_char '\n' (read_file path)
+          |> List.filter (fun l -> l <> "")
+        in
+        check_int "one line per event" 3 (List.length lines);
+        List.iter
+          (fun line ->
+            match Obs.Json.parse line with
+            | Error m -> Alcotest.failf "dump line %S: %s" line m
+            | Ok v ->
+              check_bool "lane stamped" true
+                (Option.bind (Obs.Json.member "lane" v) Obs.Json.num = Some 1.0))
+          lines)
+
 let () =
   Alcotest.run "obs"
     [
@@ -543,6 +863,27 @@ let () =
         ] );
       ( "export",
         [ Alcotest.test_case "jsonl + csv" `Quick test_jsonl_lines_parse_and_roundtrip ] );
+      ( "sample",
+        [
+          Alcotest.test_case "parse + render" `Quick test_sample_parse_and_render;
+          Alcotest.test_case "deterministic + unbiased" `Quick
+            test_sample_deterministic_and_unbiased;
+          Alcotest.test_case "sampled = offline filter" `Quick
+            test_sampled_trace_equals_offline_filter;
+        ] );
+      ( "rollup",
+        [
+          Alcotest.test_case "windows + fields" `Quick test_rollup_windows_and_fields;
+          Alcotest.test_case "run_start segments" `Quick test_rollup_run_start_segments;
+          QCheck_alcotest.to_alcotest rollup_online_offline_prop;
+          Alcotest.test_case "csv width from header" `Quick
+            test_csv_width_derived_from_header;
+        ] );
+      ( "flight",
+        [
+          Alcotest.test_case "ring bounds" `Quick test_flight_ring_bounds;
+          Alcotest.test_case "dump deterministic" `Quick test_flight_dump_deterministic;
+        ] );
       ( "span",
         [
           Alcotest.test_case "disabled no-op" `Quick test_span_disabled_noop;

@@ -172,6 +172,7 @@ let test_digest_excludes_wall_parameters () =
       attempts = 1;
       backoffs = [];
       kind = Exec.Supervisor.Wall { budget_s = 1.0 };
+      flight = None;
     }
   in
   let other = { base with kind = Exec.Supervisor.Wall { budget_s = 60.0 } } in
@@ -191,6 +192,88 @@ let test_render_mentions_digest () =
          (fun l ->
            String.length l >= 7 && String.sub l 0 7 = "digest:")
          lines)
+
+let test_render_includes_flight_line () =
+  let f =
+    {
+      Exec.Supervisor.context = "fl";
+      exn = "Failure(\"x\")";
+      backtrace = "none";
+      attempts = 1;
+      backoffs = [];
+      kind = Exec.Supervisor.Crash;
+      flight = Some ("/tmp/flight-fl.jsonl", 42);
+    }
+  in
+  let lines = Exec.Supervisor.render f in
+  check_int "five report lines with a flight dump" 5 (List.length lines);
+  check_bool "flight line names the dump and its size" true
+    (List.exists
+       (fun l -> l = "flight:    /tmp/flight-fl.jsonl (42 event(s))")
+       lines);
+  (* The dump path is host-chosen, so it must stay out of the
+     determinism digest. *)
+  check_string "flight out of digest"
+    (Exec.Supervisor.digest { f with flight = None })
+    (Exec.Supervisor.digest f)
+
+(* A supervised crash under the flight recorder dumps the failing
+   lane's ring — and the dump is byte-identical however many domains
+   the pool ran the tasks on. *)
+let test_flight_dump_pool_identical () =
+  let dump_bytes pool_size =
+    let dir =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "libra-flight-pool-%d-%d" (Unix.getpid ()) pool_size)
+    in
+    (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    let saved = Obs.Flight.dump_dir () in
+    Obs.Flight.set_dump_dir dir;
+    Fun.protect
+      ~finally:(fun () -> Obs.Flight.set_dump_dir saved)
+      (fun () ->
+        let pool = Exec.Pool.create ~size:pool_size () in
+        Fun.protect
+          ~finally:(fun () -> Exec.Pool.shutdown pool)
+          (fun () ->
+            let fl = Obs.Flight.create ~capacity:64 () in
+            ignore
+              (Exec.Pool.map pool
+                 (fun lane ->
+                   Obs.Flight.run fl ~lane (fun () ->
+                       for i = 0 to 9 do
+                         Obs.Trace.emit
+                           (Obs.Event.Enqueue
+                              {
+                                t = float_of_int i;
+                                flow = lane;
+                                seq = i;
+                                size = 1500;
+                                backlog = 1500;
+                              })
+                       done;
+                       if lane = 2 then
+                         match
+                           Exec.Supervisor.protect ~context:"pool-flight"
+                             (fun ~attempt:_ -> failwith "boom")
+                         with
+                         | Ok () -> Alcotest.fail "crash expected"
+                         | Error f ->
+                           check_bool "failure report carries the dump" true
+                             (match f.Exec.Supervisor.flight with
+                             | Some (_, 10) -> true
+                             | _ -> false)))
+                 (Array.init 6 Fun.id));
+            let path = Filename.concat dir "flight-pool-flight.jsonl" in
+            let ic = open_in_bin path in
+            let s = really_input_string ic (in_channel_length ic) in
+            close_in ic;
+            s))
+  in
+  let a = dump_bytes 1 and b = dump_bytes 4 in
+  check_bool "dump non-empty" true (String.length a > 0);
+  check_string "flight dump byte-identical at pool 1 vs 4" a b
 
 (* ------------------------------------------------------------------ *)
 (* Checkpoint store *)
@@ -266,6 +349,10 @@ let () =
           Alcotest.test_case "seeded jitter" `Quick test_protect_backoffs_depend_on_seed;
           Alcotest.test_case "wall out of digest" `Quick test_digest_excludes_wall_parameters;
           Alcotest.test_case "render" `Quick test_render_mentions_digest;
+          Alcotest.test_case "render flight line" `Quick
+            test_render_includes_flight_line;
+          Alcotest.test_case "flight dump pool 1 vs 4" `Quick
+            test_flight_dump_pool_identical;
         ] );
       ( "checkpoint",
         [
