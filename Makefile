@@ -1,4 +1,4 @@
-.PHONY: all check bench trace robustness perfcheck faultcheck invariants search observe clean
+.PHONY: all check bench trace robustness perfcheck faultcheck invariants search observe chaos clean
 
 all:
 	dune build
@@ -46,6 +46,13 @@ search:
 observe:
 	dune build @observe
 
+# Chaos smoke alone: the deterministic host-fault matrix — torn writes
+# swept + resumed, flips caught by verify-on-read, enospc/eio surfaced
+# structurally, truncation positioned, kill-domain healed
+# byte-identically at --domains 1 and 4.
+chaos:
+	dune build @chaos
+
 # CI perf gate: run the quick perf-smoke subset (spans on), append the
 # result to BENCH_history.jsonl, and compare against the most recent
 # comparable entry — non-zero exit if any experiment regressed > 20%.
@@ -64,6 +71,7 @@ perfcheck:
 	dune exec bench/main.exe -- rollup-overhead
 	dune exec bench/main.exe -- flight-overhead
 	dune exec bench/main.exe -- search-overhead
+	dune exec bench/main.exe -- chaos-overhead
 	dune build --profile release bench/main.exe
 	dune exec --profile release bench/main.exe -- events-per-sec
 	dune exec bin/perf_report.exe -- --gate 20

@@ -615,6 +615,88 @@ let run_flight_overhead ~scale () =
     ~recorder:None ~groups:[||]
 
 (* ------------------------------------------------------------------ *)
+(* Chaos-plane overhead: the harness persistence path (sealed
+   checkpoint cells through the atomic tmp+fsync+rename discipline)
+   with no plane installed vs an armed plane whose schedule never
+   fires (every p=0). The armed leg adds one atomic load and a few
+   keyed draws per operation, so it must stay within noise of the
+   uninstalled leg — the "chaos checks are cheap enough to compile in
+   unconditionally" claim. Tracked in BENCH_results.json
+   ("chaos_overhead") and as a history entry under `make perfcheck`. *)
+let run_chaos_overhead ~scale () =
+  Harness.Table.heading "Chaos-plane overhead: 200 sealed checkpoint cells";
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "libra-bench-chaos-%d" (Unix.getpid ()))
+  in
+  let store = Exec.Checkpoint.create ~dir in
+  let payload = String.make 4096 'x' in
+  let cells = 200 in
+  let leg () =
+    for i = 0 to cells - 1 do
+      let key = Exec.Checkpoint.key ~parts:[ "bench"; string_of_int i ] in
+      Exec.Checkpoint.save store ~key payload;
+      match Exec.Checkpoint.load store ~key with
+      | Exec.Checkpoint.Hit _ -> ()
+      | Exec.Checkpoint.Miss | Exec.Checkpoint.Corrupt _ ->
+        failwith "bench: checkpoint cell did not round-trip"
+    done
+  in
+  (* fsync dominates both legs and is noisy on shared storage: take the
+     best of three repetitions per leg so the gated ratio compares the
+     legs' floors, not their jitter. *)
+  let best () =
+    let m = ref infinity in
+    for _ = 1 to 3 do
+      let (), s = time_run leg in
+      if s < !m then m := s
+    done;
+    !m
+  in
+  (* Warm-up, then the uninstalled baseline. *)
+  Chaos.Plane.clear ();
+  leg ();
+  let off_s = best () in
+  (* Armed-but-quiet: the full schedule machinery runs per operation,
+     but every fault class is at probability zero. *)
+  Chaos.Plane.install
+    (Chaos.Spec.of_string_exn "torn:p=0+flip:p=0+eio:p=0+kill-domain:p=0");
+  let armed_s = best () in
+  Chaos.Plane.clear ();
+  (* Clean up the bench store so reruns start fresh. *)
+  Array.iter
+    (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+    (try Sys.readdir dir with Sys_error _ -> [||]);
+  let ratio = armed_s /. off_s in
+  Harness.Table.print
+    ~header:[ "execution"; "wall"; "vs off" ]
+    [
+      [ "plane off"; Printf.sprintf "%.3fs" off_s; "-" ];
+      [
+        "plane armed, p=0";
+        Printf.sprintf "%.3fs" armed_s;
+        Printf.sprintf "%.2fx" ratio;
+      ];
+    ];
+  if armed_s > 1.75 *. off_s then
+    failwith
+      (Printf.sprintf
+         "bench: armed chaos plane (%.3fs) not within noise of the \
+          uninstalled plane (%.3fs)"
+         armed_s off_s);
+  patch_bench_json "chaos_overhead"
+    (Obs.Json.Obj
+       [
+         ("scenario", Obs.Json.Str "ckpt-200x4096");
+         ("off_s", Obs.Json.Num off_s);
+         ("armed_s", Obs.Json.Num armed_s);
+         ("armed_over_off", Obs.Json.Num ratio);
+       ]);
+  append_history ~scale ~subset:(Some [ "chaos-overhead" ])
+    ~timed:[ ("chaos-off", off_s); ("chaos-armed", armed_s) ]
+    ~recorder:None ~groups:[||]
+
+(* ------------------------------------------------------------------ *)
 (* Adversarial-search evaluation overhead: the same fixed wired
    scenario run bare vs one Search.Eval.evaluate of an equivalent
    candidate. An evaluation runs the scenario twice (clean + impaired
@@ -981,6 +1063,7 @@ let () =
   | [ "invariant-overhead" ] -> run_invariant_overhead ~scale ()
   | [ "rollup-overhead" ] -> run_rollup_overhead ~scale ()
   | [ "flight-overhead" ] -> run_flight_overhead ~scale ()
+  | [ "chaos-overhead" ] -> run_chaos_overhead ~scale ()
   | [ "search-overhead" ] -> run_search_overhead ~scale ()
   | [ "events-per-sec" ] -> run_events_per_sec ~scale ()
   | [ "alloc-contract" ] -> run_alloc_contract ()
@@ -995,6 +1078,7 @@ let () =
         else if id = "invariant-overhead" then run_invariant_overhead ~scale ()
         else if id = "rollup-overhead" then run_rollup_overhead ~scale ()
         else if id = "flight-overhead" then run_flight_overhead ~scale ()
+        else if id = "chaos-overhead" then run_chaos_overhead ~scale ()
         else if id = "search-overhead" then run_search_overhead ~scale ()
         else if id = "events-per-sec" then run_events_per_sec ~scale ()
         else if id = "alloc-contract" then run_alloc_contract ()
@@ -1006,7 +1090,8 @@ let () =
               "unknown experiment %S (known: %s, micro, trace-overhead, \
                impairment-overhead, perf-smoke, supervisor-overhead, \
                invariant-overhead, rollup-overhead, flight-overhead, \
-               search-overhead, events-per-sec, alloc-contract)\n"
+               chaos-overhead, search-overhead, events-per-sec, \
+               alloc-contract)\n"
               id
               (String.concat ", " (Harness.Registry.ids ())))
       ids);

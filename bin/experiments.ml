@@ -153,10 +153,7 @@ let obs_export session ~trace_out ~metrics_out ~rollup_out ~profile_out ~lane_na
           ("groups", Obs.Json.Obj groups);
         ]
     in
-    let oc = open_out file in
-    output_string oc (Obs.Json.to_string doc);
-    output_string oc "\n";
-    close_out oc;
+    Chaos.Io.write_file file (Obs.Json.to_string doc ^ "\n");
     Printf.printf "profile: %d group(s) -> %s\n" (List.length groups) file
   | _ -> ());
   Option.iter
@@ -200,10 +197,10 @@ let collect_invariants ~invariants ~invariant_file =
     Printf.eprintf "--invariant: %s\n" m;
     exit 2
 
-let run_cmd full tiny stress domains impair checkpoint_dir resume inject_crash retries
-    deadline_events wall_deadline invariants invariant_file trace_out trace_filter
-    trace_sample metrics_out rollup_out rollup_window flight_capacity flight_dir
-    profile_out ids all =
+let run_cmd full tiny stress domains impair chaos chaos_seed checkpoint_dir resume
+    inject_crash retries deadline_events wall_deadline invariants invariant_file
+    trace_out trace_filter trace_sample metrics_out rollup_out rollup_window
+    flight_capacity flight_dir profile_out ids all =
   (match domains with
   | Some d when d < 1 ->
     Printf.eprintf "invalid --domains %d (want a positive integer)\n" d;
@@ -232,6 +229,15 @@ let run_cmd full tiny stress domains impair checkpoint_dir resume inject_crash r
       prerr_endline m;
       exit 2
   in
+  (* --chaos installs the host-fault schedule over every persistence
+     operation (checkpoint cells, trace/rollup/metrics exports, flight
+     dumps) and the domain pool's tasks. Faults surface as structured
+     errors and drive exit code 6 — never an unstructured crash. *)
+  (match Chaos.Spec.of_string chaos with
+  | Ok s -> Chaos.Plane.install ~seed:chaos_seed s
+  | Error m ->
+    prerr_endline m;
+    exit 2);
   let scale_name =
     if full then "full"
     else if tiny then "tiny"
@@ -328,7 +334,17 @@ let run_cmd full tiny stress domains impair checkpoint_dir resume inject_crash r
           Harness.Registry.retries;
           deadline_events;
           wall_s = wall_deadline;
-          checkpoint = Option.map (fun dir -> Exec.Checkpoint.create ~dir) checkpoint_dir;
+          checkpoint =
+            Option.map
+              (fun dir ->
+                let store = Exec.Checkpoint.create ~dir in
+                (* The startup sweep removes temp files orphaned by an
+                   interrupted save (crash or injected torn write). *)
+                if Exec.Checkpoint.swept store > 0 then
+                  Printf.eprintf "[checkpoint] swept %d orphaned tmp file(s)\n%!"
+                    (Exec.Checkpoint.swept store);
+                store)
+              checkpoint_dir;
           resume;
         }
       in
@@ -349,9 +365,14 @@ let run_cmd full tiny stress domains impair checkpoint_dir resume inject_crash r
       else if inject_crash && lane = Array.length arr then "fixture-crash"
       else string_of_int lane
   in
-  Option.iter
-    (obs_export ~trace_out ~metrics_out ~rollup_out ~profile_out ~lane_name)
-    session;
+  (* An injected fault on an export must not escape as an unstructured
+     crash: name it on stderr and let the exit code (6) carry it. *)
+  (try
+     Option.iter
+       (obs_export ~trace_out ~metrics_out ~rollup_out ~profile_out ~lane_name)
+       session
+   with Chaos.Io.Fault { fault; path; detail } ->
+     Printf.eprintf "[chaos] export fault: %s at %s (%s)\n%!" fault path detail);
   (* Invariant summary: lane-ordered (= entry-ordered), so the output
      is byte-identical at any pool size. Violations already failed
      their entries through the supervisor; this is the detail. *)
@@ -378,7 +399,25 @@ let run_cmd full tiny stress domains impair checkpoint_dir resume inject_crash r
         end)
       lanes
   | _ -> ());
-  status
+  (* Host-fault accounting: summarize what the chaos plane injected and
+     what the harness detected. Any fault surfaced to a caller — or any
+     corrupt checkpoint detected, chaos installed or not — turns a
+     would-be-clean exit into 6, so CI can tell "results fine, host
+     faulty" from both success (0) and experiment failure (3). *)
+  let surfaced = Chaos.Plane.surfaced () in
+  let corrupt_detected = Chaos.Plane.corrupt_detected () in
+  if Chaos.Plane.active () || surfaced > 0 || corrupt_detected > 0 then begin
+    let st = Chaos.Plane.stats () in
+    Printf.eprintf
+      "[chaos] injected: torn=%d flip=%d enospc=%d eio=%d kill=%d; healed: \
+       resurrected=%d respawned=%d; surfaced=%d corrupt-detected=%d\n%!"
+      st.Chaos.Plane.torn st.Chaos.Plane.flips st.Chaos.Plane.enospc
+      st.Chaos.Plane.eio st.Chaos.Plane.kills st.Chaos.Plane.resurrections
+      st.Chaos.Plane.respawns surfaced corrupt_detected
+  end;
+  if status <> 0 then status
+  else if surfaced > 0 || corrupt_detected > 0 then 6
+  else 0
 
 let full = Arg.(value & flag & info [ "full" ] ~doc:"paper-scale durations")
 
@@ -458,6 +497,28 @@ let impair =
           "run every experiment scenario under this fault-injection schedule \
            ('+'-joined name[:k=v,..] items; see libra_sim --list); 'clean' \
            disables. Scenarios that set their own impairment keep it.")
+
+let chaos =
+  Arg.(
+    value
+    & opt string "none"
+    & info [ "chaos" ] ~docv:"SPEC"
+        ~doc:
+          "inject host faults into harness persistence and the domain pool \
+           ('+'-joined name[:k=v,..] items mirroring --impair): $(b,torn) \
+           (crash mid-write), $(b,flip) (silent bit corruption, caught by \
+           verify-on-read), $(b,enospc) (disk full after N bytes), $(b,eio) \
+           (I/O errors), $(b,kill-domain) (pool worker death; tasks are \
+           resurrected). Faults surface as structured errors and exit code \
+           6, never a crash. 'none' disables.")
+
+let chaos_seed =
+  Arg.(
+    value & opt int 0
+    & info [ "chaos-seed" ] ~docv:"N"
+        ~doc:
+          "seed for the deterministic chaos schedule: which operations fault \
+           is a pure function of (seed, operation index)")
 
 let invariants =
   Arg.(
@@ -576,10 +637,10 @@ let cmd =
   Cmd.v
     (Cmd.info "experiments" ~doc:"reproduce the paper's tables and figures")
     Term.(
-      const run_cmd $ full $ tiny $ stress $ domains $ impair $ checkpoint_dir $ resume
-      $ inject_crash $ retries $ deadline_events $ wall_deadline $ invariants
-      $ invariant_file $ trace_out $ trace_filter $ trace_sample $ metrics_out
-      $ rollup_out $ rollup_window $ flight_capacity $ flight_dir $ profile_out
-      $ ids $ all)
+      const run_cmd $ full $ tiny $ stress $ domains $ impair $ chaos $ chaos_seed
+      $ checkpoint_dir $ resume $ inject_crash $ retries $ deadline_events
+      $ wall_deadline $ invariants $ invariant_file $ trace_out $ trace_filter
+      $ trace_sample $ metrics_out $ rollup_out $ rollup_window $ flight_capacity
+      $ flight_dir $ profile_out $ ids $ all)
 
 let () = exit (Cmd.eval' cmd)

@@ -118,9 +118,9 @@ let with_observability ~trace_out ~trace_filter ~sample ~metrics_out ~rollup_out
     result
 
 let run_cmd cca trace_spec rtt_ms buffer_kb loss duration flows seed engine
-    impair deadline_events invariants invariant_file series trace_out trace_filter
-    trace_sample metrics_out rollup_out rollup_window flight_capacity flight_dir
-    list_all =
+    impair chaos chaos_seed deadline_events invariants invariant_file series
+    trace_out trace_filter trace_sample metrics_out rollup_out rollup_window
+    flight_capacity flight_dir list_all =
   if list_all then begin
     print_endline "CCAs:";
     List.iter (fun (name, _) -> Printf.printf "  %s\n" name) Harness.Ccas.all;
@@ -147,6 +147,11 @@ let run_cmd cca trace_spec rtt_ms buffer_kb loss duration flows seed engine
         prerr_endline m;
         exit 2
     in
+    (match Chaos.Spec.of_string chaos with
+    | Ok s -> Chaos.Plane.install ~seed:chaos_seed s
+    | Error m ->
+      prerr_endline m;
+      exit 2);
     let spec =
       Harness.Scenario.spec_of_cli ~rtt:(rtt_ms /. 1000.0) ~buffer_kb ~loss_p:loss
         ~impair ~duration ~seed trace_spec
@@ -196,10 +201,16 @@ let run_cmd cca trace_spec rtt_ms buffer_kb loss duration flows seed engine
               ~checker (fun () ->
                 Harness.Scenario.run_uniform ~seed ~n_flows:flows ~engine
                   ~factory ~duration spec))
-      with Netsim.Budget.Exceeded { spent; budget } ->
+      with
+      | Netsim.Budget.Exceeded { spent; budget } ->
         Printf.eprintf "deadline: logical event budget exhausted (%d/%d)\n"
           spent budget;
         exit 4
+      | Chaos.Io.Fault { fault; path; detail } ->
+        (* An injected export fault is a structured host-fault exit (6),
+           never an unstructured crash. *)
+        Printf.eprintf "[chaos] export fault: %s at %s (%s)\n" fault path detail;
+        exit 6
     in
     (* Invariant verdicts: the per-violation report on stderr, exit 5
        when any predicate failed online. *)
@@ -240,7 +251,8 @@ let run_cmd cca trace_spec rtt_ms buffer_kb loss duration flows seed engine
           print_newline ())
         outcome.Harness.Scenario.summary.Netsim.Network.flows
     end;
-    0
+    if Chaos.Plane.surfaced () > 0 || Chaos.Plane.corrupt_detected () > 0 then 6
+    else 0
   end
 
 let cca = Arg.(value & opt string "c-libra" & info [ "cca" ] ~doc:"CCA to run")
@@ -272,6 +284,22 @@ let impair =
            each name[:k=v,..] -- gilbert, bernoulli, reorder, dup, corrupt, \
            jitter (packet channels; accept from=/until= windows) and outage, \
            clamp, flap (link-rate shapers); 'clean' disables")
+
+let chaos =
+  Arg.(
+    value
+    & opt string "none"
+    & info [ "chaos" ] ~docv:"SPEC"
+        ~doc:
+          "host-fault schedule for persistence (trace/metrics/rollup exports, \
+           flight dumps): '+'-joined name[:k=v,..] items — torn, flip, \
+           enospc, eio, kill-domain (accept from=/until= windows). Faults \
+           surface as structured errors and exit code 6. 'none' disables.")
+
+let chaos_seed =
+  Arg.(
+    value & opt int 0
+    & info [ "chaos-seed" ] ~docv:"N" ~doc:"seed for the chaos schedule")
 
 let deadline_events =
   Arg.(
@@ -388,8 +416,9 @@ let cmd =
     (Cmd.info "libra_sim" ~doc:"packet-level congestion-control simulator")
     Term.(
       const run_cmd $ cca $ trace $ rtt $ buffer $ loss $ duration $ flows $ seed
-      $ engine $ impair $ deadline_events $ invariants $ invariant_file $ series
-      $ trace_out $ trace_filter $ trace_sample $ metrics_out $ rollup_out
-      $ rollup_window $ flight_capacity $ flight_dir $ list_all)
+      $ engine $ impair $ chaos $ chaos_seed $ deadline_events $ invariants
+      $ invariant_file $ series $ trace_out $ trace_filter $ trace_sample
+      $ metrics_out $ rollup_out $ rollup_window $ flight_capacity $ flight_dir
+      $ list_all)
 
 let () = exit (Cmd.eval' cmd)

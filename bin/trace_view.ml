@@ -298,8 +298,5 @@ let () =
   | Error m ->
     Printf.eprintf "internal error: output does not parse: %s\n" m;
     exit 1);
-  let oc = open_out output in
-  output_string oc rendered;
-  output_string oc "\n";
-  close_out oc;
+  Chaos.Io.write_file output (rendered ^ "\n");
   Printf.printf "trace_view: %d trace event(s) -> %s (valid JSON)\n" n output

@@ -32,12 +32,17 @@ let with_observability ~trace_out ~trace_filter ~metrics_out ~manifest f =
       trace_out;
     result
 
-let run_cmd set_name episodes steps seed randomized delta no_loss checkpoint_dir
-    resume snapshot_every trace_out trace_filter metrics_out =
+let run_cmd set_name episodes steps seed randomized delta no_loss chaos chaos_seed
+    checkpoint_dir resume snapshot_every trace_out trace_filter metrics_out =
   if resume && checkpoint_dir = None then begin
     prerr_endline "--resume requires --checkpoint DIR";
     exit 2
   end;
+  (match Chaos.Spec.of_string chaos with
+  | Ok s -> Chaos.Plane.install ~seed:chaos_seed s
+  | Error m ->
+    prerr_endline m;
+    exit 2);
   match List.assoc_opt set_name sets with
   | None ->
     Printf.eprintf "unknown state set %S (known: %s)\n" set_name
@@ -71,11 +76,26 @@ let run_cmd set_name episodes steps seed randomized delta no_loss checkpoint_dir
     let resume_from =
       match store with
       | Some st when resume ->
+        (* A snapshot that fails verification is quarantined and
+           training restarts fresh — a torn or bit-flipped cell is
+           detected and named, never resumed from. *)
         let snap =
-          Option.bind (Exec.Checkpoint.load st ~key:ckpt_key) (fun blob ->
-              match Obs.Json.parse blob with
-              | Ok j -> Rlcc.Train.snapshot_of_json j
-              | Error _ -> None)
+          match Exec.Checkpoint.load st ~key:ckpt_key with
+          | Exec.Checkpoint.Hit blob -> (
+            match Obs.Json.parse blob with
+            | Ok j -> Rlcc.Train.snapshot_of_json j
+            | Error _ -> None)
+          | Exec.Checkpoint.Miss -> None
+          | Exec.Checkpoint.Corrupt { path; reason } ->
+            let q = Exec.Checkpoint.quarantine st ~key:ckpt_key in
+            Printf.eprintf "[train] CORRUPT snapshot %s (%s)%s\n%!" path reason
+              (match q with
+              | Some qp -> Printf.sprintf "; quarantined to %s" qp
+              | None -> "");
+            None
+          | exception Chaos.Io.Fault { fault; path; _ } ->
+            Printf.eprintf "[train] snapshot load fault: %s at %s\n%!" fault path;
+            None
         in
         (match snap with
         | Some _ -> Printf.eprintf "[train] resuming from snapshot %s\n%!" ckpt_key
@@ -86,15 +106,27 @@ let run_cmd set_name episodes steps seed randomized delta no_loss checkpoint_dir
     let on_snapshot =
       Option.map
         (fun st ~episode snap ->
-          Exec.Checkpoint.save st ~key:ckpt_key
-            (Obs.Json.to_compact (Rlcc.Train.snapshot_to_json snap));
-          Printf.eprintf "[train] snapshot after episode %d\n%!" episode)
+          match
+            Exec.Checkpoint.save st ~key:ckpt_key
+              (Obs.Json.to_compact (Rlcc.Train.snapshot_to_json snap))
+          with
+          | () -> Printf.eprintf "[train] snapshot after episode %d\n%!" episode
+          | exception Chaos.Io.Fault { fault; path; _ } ->
+            (* A failed snapshot must not kill training: the run keeps
+               its in-memory state; only resumability is lost. *)
+            Printf.eprintf "[train] snapshot fault after episode %d: %s at %s\n%!"
+              episode fault path)
         store
     in
     let snapshot_every = if store = None then 0 else snapshot_every in
     let outcome =
-      with_observability ~trace_out ~trace_filter ~metrics_out ~manifest (fun () ->
-          Rlcc.Train.run ?on_snapshot ~snapshot_every ?resume_from cfg)
+      try
+        with_observability ~trace_out ~trace_filter ~metrics_out ~manifest
+          (fun () -> Rlcc.Train.run ?on_snapshot ~snapshot_every ?resume_from cfg)
+      with Chaos.Io.Fault { fault; path; detail } ->
+        (* An injected export fault must not escape as a crash. *)
+        Printf.eprintf "[train] export fault: %s at %s (%s)\n%!" fault path detail;
+        exit 6
     in
     let elapsed = Sys.time () -. t0 in
     let curve = Rlcc.Train.smooth outcome.Rlcc.Train.episode_rewards in
@@ -112,7 +144,8 @@ let run_cmd set_name episodes steps seed randomized delta no_loss checkpoint_dir
     if outcome.Rlcc.Train.rollbacks > 0 then
       Printf.printf "divergence guard: rolled back %d update(s)\n"
         outcome.Rlcc.Train.rollbacks;
-    0
+    if Chaos.Plane.surfaced () > 0 || Chaos.Plane.corrupt_detected () > 0 then 6
+    else 0
 
 let set_name = Arg.(value & opt string "libra" & info [ "set" ] ~doc:"state set")
 let episodes = Arg.(value & opt int 150 & info [ "episodes" ] ~doc:"episodes")
@@ -121,6 +154,21 @@ let seed = Arg.(value & opt int 23 & info [ "seed" ] ~doc:"seed")
 let randomized = Arg.(value & flag & info [ "randomized" ] ~doc:"randomized envs")
 let delta = Arg.(value & flag & info [ "delta" ] ~doc:"train on delta-r")
 let no_loss = Arg.(value & flag & info [ "no-loss" ] ~doc:"drop the loss term")
+
+let chaos =
+  Arg.(
+    value
+    & opt string "none"
+    & info [ "chaos" ] ~docv:"SPEC"
+        ~doc:
+          "inject host faults into snapshot/export persistence (grammar as \
+           experiments --chaos); faults surface as structured errors and \
+           exit code 6, never a crash")
+
+let chaos_seed =
+  Arg.(
+    value & opt int 0
+    & info [ "chaos-seed" ] ~docv:"N" ~doc:"seed for the chaos schedule")
 
 let checkpoint_dir =
   Arg.(
@@ -172,7 +220,7 @@ let cmd =
     (Cmd.info "train" ~doc:"PPO training for the DRL-based CCA")
     Term.(
       const run_cmd $ set_name $ episodes $ steps $ seed $ randomized $ delta
-      $ no_loss $ checkpoint_dir $ resume $ snapshot_every $ trace_out
-      $ trace_filter $ metrics_out)
+      $ no_loss $ chaos $ chaos_seed $ checkpoint_dir $ resume $ snapshot_every
+      $ trace_out $ trace_filter $ metrics_out)
 
 let () = exit (Cmd.eval' cmd)

@@ -7,11 +7,17 @@
    resume can never pick up a checkpoint from a differently-configured
    run: stale checkpoints are simply never found.
 
-   Writes are atomic (temp file + rename in the same directory), so a
-   run killed mid-save leaves either the previous checkpoint or none —
-   never a torn file. *)
+   Every cell is a checksummed, version-stamped Exec.Io record written
+   through the Chaos.Io plane: writes are atomic (temp file + fsync +
+   rename in the same directory), and reads verify the envelope, so a
+   run killed mid-save leaves either the previous checkpoint or an
+   orphaned temp file — never a torn cell served as truth. Opening a
+   store sweeps the orphans a crash (or an injected torn write) left
+   behind, and a cell that fails verification is reported as
+   {!Corrupt}, to be quarantined with {!quarantine} and re-executed by
+   the caller — never served silently. *)
 
-type store = { dir : string }
+type store = { dir : string; swept : int }
 
 let rec mkdir_p dir =
   if dir <> "" && dir <> "/" && dir <> "." && not (Sys.file_exists dir) then begin
@@ -21,9 +27,12 @@ let rec mkdir_p dir =
 
 let create ~dir =
   mkdir_p dir;
-  { dir }
+  (* Startup sweep: remove temp files orphaned by a mid-write kill so
+     they can't accumulate across crashy runs. *)
+  { dir; swept = Chaos.Io.sweep_tmp dir }
 
 let dir s = s.dir
+let swept s = s.swept
 
 (* Digest the identity parts into the store key. Parts are joined with
    NUL so ["ab"; "c"] and ["a"; "bc"] can't collide. *)
@@ -31,26 +40,34 @@ let key ~parts = Digest.to_hex (Digest.string (String.concat "\x00" parts))
 
 let path s ~key = Filename.concat s.dir (key ^ ".ckpt")
 
-let load s ~key =
-  let p = path s ~key in
-  match open_in_bin p with
-  | exception Sys_error _ -> None
-  | ic ->
-    Fun.protect
-      ~finally:(fun () -> close_in_noerr ic)
-      (fun () -> Some (really_input_string ic (in_channel_length ic)))
+type lookup =
+  | Hit of string
+  | Miss
+  | Corrupt of { path : string; reason : string }
+      (* verification failed: [reason] carries the byte position and
+         cause; the cell must be quarantined and re-executed *)
 
-let save s ~key contents =
-  let final = path s ~key in
-  let tmp = final ^ ".tmp" in
-  let oc = open_out_bin tmp in
-  (try
-     output_string oc contents;
-     close_out oc
-   with e ->
-     close_out_noerr oc;
-     (try Sys.remove tmp with Sys_error _ -> ());
-     raise e);
-  Sys.rename tmp final
+let load s ~key =
+  match Io.read_record (path s ~key) with
+  | Io.Hit payload -> Hit payload
+  | Io.Miss -> Miss
+  | Io.Corrupt c ->
+    Corrupt
+      {
+        path = c.Io.path;
+        reason = Printf.sprintf "at byte %d: %s" c.Io.offset c.Io.reason;
+      }
+
+let save s ~key contents = Io.write_record ~path:(path s ~key) contents
 
 let mem s ~key = Sys.file_exists (path s ~key)
+
+(* Move a corrupt cell aside (same directory, `.corrupt` suffix) so the
+   evidence survives while the key reads as Miss again. Never raises;
+   returns the quarantine path on success. *)
+let quarantine s ~key =
+  let p = path s ~key in
+  let q = p ^ ".corrupt" in
+  match Sys.rename p q with
+  | () -> Some q
+  | exception Sys_error _ -> None

@@ -33,8 +33,19 @@ let try_pop t =
   Mutex.unlock t.lock;
   task
 
-(* Worker loop: run queued tasks until shutdown. *)
-let worker t () =
+(* True only while a task popped directly by the worker loop runs: an
+   injected domain kill may only take down a worker in that frame. A
+   caller — or a worker *helping* a nested batch from inside a task
+   body — must survive to collect its batch, so killed tasks it pops
+   are re-queued without raising (see [map_impl] and
+   [help_until_done]). *)
+let kill_ok = Domain.DLS.new_key (fun () -> false)
+
+(* Worker loop: run queued tasks until shutdown. A task that raises
+   [Chaos.Plane.Domain_killed] has already re-queued itself (see
+   [map_impl]); this worker is the simulated casualty — the pool heals
+   by spawning a replacement before the corpse exits. *)
+let rec worker t () =
   let rec loop () =
     Mutex.lock t.lock;
     while Queue.is_empty t.queue && not t.stopping do
@@ -43,12 +54,22 @@ let worker t () =
     let task = Queue.take_opt t.queue in
     Mutex.unlock t.lock;
     match task with
-    | Some task ->
-      task ();
-      loop ()
+    | Some task -> (
+      Domain.DLS.set kill_ok true;
+      match task () with
+      | () -> loop ()
+      | exception Chaos.Plane.Domain_killed _ -> respawn t)
     | None -> if not t.stopping then loop ()
   in
   loop ()
+
+and respawn t =
+  Mutex.lock t.lock;
+  if not t.stopping then begin
+    Chaos.Plane.note_respawn ();
+    t.workers <- Domain.spawn (worker t) :: t.workers
+  end;
+  Mutex.unlock t.lock
 
 let create ~size () =
   let size = max 1 size in
@@ -75,8 +96,21 @@ let shutdown t =
   t.stopping <- true;
   Condition.broadcast t.work_ready;
   Mutex.unlock t.lock;
-  List.iter Domain.join t.workers;
-  t.workers <- []
+  (* A dying worker spawns its replacement under [t.lock], so the list
+     may still grow until every domain has observed [stopping]: drain
+     until it stays empty. *)
+  let rec drain () =
+    Mutex.lock t.lock;
+    let ws = t.workers in
+    t.workers <- [];
+    Mutex.unlock t.lock;
+    match ws with
+    | [] -> ()
+    | ws ->
+      List.iter Domain.join ws;
+      drain ()
+  in
+  drain ()
 
 (* A batch: one [map] call's tasks, with its own completion latch. *)
 type batch = {
@@ -104,6 +138,9 @@ let rec help_until_done t batch =
   if not finished then
     match try_pop t with
     | Some task ->
+      (* Helping frames must not die to an injected kill — this domain
+         still owes its own batch a collection. *)
+      Domain.DLS.set kill_ok false;
       task ();
       help_until_done t batch
     | None ->
@@ -121,19 +158,58 @@ let rec help_until_done t batch =
    parallel branches. *)
 let run_task f x = Netsim.Budget.unobserved (fun () -> f x)
 
+(* Kill fates are decided at task *start*, before the body runs, so a
+   resurrected task cannot have half-emitted traces or half-charged
+   budgets: every attempt is all-or-nothing and the surviving attempt's
+   output is identical to an unkilled run's. Sequence numbers are
+   assigned at fan-out time in submission order, so which tasks die is
+   a function of the chaos seed alone — not of domain scheduling. *)
 let map_impl t f arr =
   let n = Array.length arr in
-  if t.size <= 1 || n <= 1 then Array.map (run_task f) arr
+  let kills = Chaos.Plane.kills_scheduled () in
+  if t.size <= 1 || n <= 1 then
+    if not kills then Array.map (run_task f) arr
+    else
+      (* Inline branch: no domain to kill, but the same fates are drawn
+         and the same resurrections counted, so a --domains 1 run
+         exercises (and reports) the identical schedule. *)
+      Array.map
+        (fun x ->
+          let seq = Chaos.Plane.task_seq () in
+          let rec go attempt =
+            if Chaos.Plane.kill_task ~seq ~attempt then begin
+              Chaos.Plane.note_resurrection ();
+              go (attempt + 1)
+            end
+            else run_task f x
+          in
+          go 1)
+        arr
   else begin
     let results : ('b, exn) result option array = Array.make n None in
     let batch =
       { b_lock = Mutex.create (); b_done = Condition.create (); left = n }
     in
     for i = 0 to n - 1 do
-      push_task t (fun () ->
+      let seq = if kills then Chaos.Plane.task_seq () else 0 in
+      let rec task attempt () =
+        if kills && Chaos.Plane.kill_task ~seq ~attempt then begin
+          (* The domain running this task dies before the body starts:
+             resurrect the task on a surviving domain, then let the
+             worker loop take the casualty down (the caller, helping,
+             never dies — it must outlive the batch). *)
+          Chaos.Plane.note_resurrection ();
+          push_task t (task (attempt + 1));
+          if Domain.DLS.get kill_ok then
+            raise (Chaos.Plane.Domain_killed { seq; attempt })
+        end
+        else begin
           let r = try Ok (run_task f arr.(i)) with e -> Error e in
           results.(i) <- Some r;
-          batch_task_finished batch)
+          batch_task_finished batch
+        end
+      in
+      push_task t (task 1)
     done;
     help_until_done t batch;
     Array.map

@@ -24,6 +24,11 @@ type kind =
   | Invariant of { spec : string; index : int; count : int }
     (* the online invariant checker recorded violations (lib/check):
        [spec] and [index] identify the first, [count] the total *)
+  | Corrupt of { path : string; fault : string }
+    (* a host fault surfaced: an injected I/O fault ([fault] names the
+       class — torn/enospc/eio) or a checkpoint cell that failed
+       verification. [path] is host-chosen, so it is excluded from
+       {!digest}. *)
 
 type failure = {
   context : string;  (* supervision context, e.g. the experiment id *)
@@ -45,6 +50,7 @@ let kind_name = function
   | Deadline _ -> "deadline"
   | Wall _ -> "deadline"
   | Invariant _ -> "violation"
+  | Corrupt _ -> "corrupt"
 
 (* The raw backtrace string embeds build paths and line numbers that
    shift with unrelated edits; a short digest keeps failure reports
@@ -67,6 +73,7 @@ let digest f =
     | Wall _ -> "wall"
     | Invariant { spec; index; count } ->
       Printf.sprintf "violation:%s@%d:%d" spec index count
+    | Corrupt { fault; _ } -> "corrupt:" ^ fault
   in
   let parts =
     [
@@ -93,6 +100,10 @@ let render f =
     | Invariant { spec; index; count } ->
       Printf.sprintf "invariant violated: %s at event index %d (%d violation(s))"
         spec index count
+    | Corrupt { path; fault } ->
+      (* [exn] carries the detail — for a verify failure, the byte
+         position and cause; for an injected fault, its rendering. *)
+      Printf.sprintf "host fault: %s at %s: %s" fault path f.exn
   in
   [
     describe;
@@ -141,6 +152,7 @@ let protect ?(retries = 0) ?deadline_events ?wall_s ?(seed = 0) ~context f =
         | Netsim.Budget.Wall_exceeded { budget_s } -> Wall { budget_s }
         | Check.Checker.Violation_error { spec; index; count; _ } ->
           Invariant { spec; index; count }
+        | Chaos.Io.Fault { fault; path; _ } -> Corrupt { path; fault }
         | _ -> Crash
       in
       let exn_s = Printexc.to_string e in
@@ -169,7 +181,7 @@ let protect ?(retries = 0) ?deadline_events ?wall_s ?(seed = 0) ~context f =
             (match fl.kind with
             | Deadline d -> float_of_int d.budget
             | Invariant v -> float_of_int v.count
-            | _ -> 0.0);
+            | Crash | Wall _ | Corrupt _ -> 0.0);
         Error fl
       end
   in

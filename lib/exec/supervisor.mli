@@ -17,6 +17,10 @@ type kind =
       (** the online invariant checker recorded violations
           ([Check.Checker.Violation_error]): [spec]/[index] identify
           the first, [count] the total *)
+  | Corrupt of { path : string; fault : string }
+      (** a host fault surfaced ([Chaos.Io.Fault]): [fault] names the
+          class (torn/enospc/eio), [path] the file it hit. [path] is
+          host-chosen and excluded from {!digest}. *)
 
 type failure = {
   context : string;
@@ -51,7 +55,7 @@ val protect :
 
 (** Trace-event kind for a failure: ["failure"] for crashes,
     ["deadline"] for budget or wall expiry, ["violation"] for invariant
-    violations. *)
+    violations, ["corrupt"] for host faults. *)
 val kind_name : kind -> string
 
 (** Deterministic 16-hex digest of a failure. Covers context, kind,

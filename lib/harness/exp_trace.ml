@@ -114,11 +114,8 @@ let artifacts ?pool () =
     ("exp_trace_metrics.csv", Obs.Metrics.to_csv merged);
   ]
 
-let write_file name contents =
-  let oc = open_out_bin name in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc contents)
+(* Through the chaos I/O plane: atomic write, faults structured. *)
+let write_file name contents = Chaos.Io.write_file name contents
 
 let run () =
   let files = artifacts () in

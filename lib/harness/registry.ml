@@ -98,9 +98,15 @@ type outcome = {
   report : Report.t;
   failure : Exec.Supervisor.failure option;
   resumed : bool;
+  corrupt : Exec.Supervisor.failure option;
+    (* a checkpoint cell failed verification: quarantined, flight-dumped
+       and re-executed — the served report is the re-execution's *)
+  io_fault : string option;
+    (* an injected checkpoint I/O fault (load or save) degraded the
+       cell to re-execution / no-save; names the fault class *)
 }
 
-type summary = { total : int; ok : int; failed : int; resumed : int }
+type summary = { total : int; ok : int; failed : int; resumed : int; corrupt : int }
 
 (* The checkpoint identity of an entry: everything that changes the
    cell's output must be in here, so a resume can never serve a report
@@ -162,19 +168,72 @@ let run_entries ?pool ?(wrap = fun _i run -> run ())
   let run_one e =
     Obs.Span.timed (group_span e) (fun () ->
         let key = cell_key e in
+        let corrupt = ref None in
+        let io_fault = ref None in
+        (* A cell that fails verification is never served: it is
+           quarantined (the evidence survives), dumped to the flight
+           recorder, rendered as a structured Corrupt failure for the
+           stderr report — and the entry re-executes. *)
+        let on_corrupt store ~path ~reason =
+          let qpath = Exec.Checkpoint.quarantine store ~key in
+          let flight = Obs.Flight.dump ~reason:(e.id ^ "-corrupt") () in
+          let detail =
+            match qpath with
+            | Some q -> Printf.sprintf "%s (quarantined to %s)" reason q
+            | None -> reason
+          in
+          corrupt :=
+            Some
+              {
+                Exec.Supervisor.context = e.id;
+                exn = detail;
+                backtrace = "none";
+                attempts = 1;
+                backoffs = [];
+                kind = Exec.Supervisor.Corrupt { path; fault = "verify" };
+                flight;
+              };
+          emit_checkpoint_event ~id:e.id ~detail:"corrupt"
+        in
         let cached =
           match sv.checkpoint with
-          | Some store when sv.resume ->
-            Option.bind (Exec.Checkpoint.load store ~key) (fun blob ->
-                match Obs.Json.parse blob with
-                | Ok j -> Report.of_json j
-                | Error _ -> None)
+          | Some store when sv.resume -> (
+            match Exec.Checkpoint.load store ~key with
+            | Exec.Checkpoint.Hit blob -> (
+              (* The envelope checksum passed, but the payload must
+                 still parse as a report — anything else is format
+                 drift or garbage, rejected like byte corruption. *)
+              match Obs.Json.parse blob with
+              | Ok j -> (
+                match Report.of_json j with
+                | Some r -> Some r
+                | None ->
+                  Chaos.Plane.note_corrupt_detected ();
+                  on_corrupt store
+                    ~path:(Exec.Checkpoint.path store ~key)
+                    ~reason:"sealed payload is not a report";
+                  None)
+              | Error msg ->
+                Chaos.Plane.note_corrupt_detected ();
+                on_corrupt store
+                  ~path:(Exec.Checkpoint.path store ~key)
+                  ~reason:("sealed payload is not valid JSON: " ^ msg);
+                None)
+            | Exec.Checkpoint.Miss -> None
+            | Exec.Checkpoint.Corrupt { path; reason } ->
+              on_corrupt store ~path ~reason;
+              None
+            | exception Chaos.Io.Fault { fault; path; _ } ->
+              (* Injected read fault: resume degrades to re-execution. *)
+              io_fault := Some (Printf.sprintf "load: %s at %s" fault path);
+              None)
           | _ -> None
         in
         match cached with
         | Some report ->
           emit_checkpoint_event ~id:e.id ~detail:"resume";
-          { entry = e; report; failure = None; resumed = true }
+          { entry = e; report; failure = None; resumed = true; corrupt = None;
+            io_fault = None }
         | None -> (
           match
             Exec.Supervisor.protect ~retries:sv.retries
@@ -189,13 +248,23 @@ let run_entries ?pool ?(wrap = fun _i run -> run ())
           with
           | Ok report ->
             (match sv.checkpoint with
-            | Some store ->
-              Exec.Checkpoint.save store ~key
-                (Obs.Json.to_compact (Report.to_json report));
-              emit_checkpoint_event ~id:e.id ~detail:"save"
+            | Some store -> (
+              match
+                Exec.Checkpoint.save store ~key
+                  (Obs.Json.to_compact (Report.to_json report))
+              with
+              | () -> emit_checkpoint_event ~id:e.id ~detail:"save"
+              | exception Chaos.Io.Fault { fault; path; _ } ->
+                (* A failed save must not fail the run — the report is
+                   already in hand; the cell just won't resume. *)
+                io_fault := Some (Printf.sprintf "save: %s at %s" fault path);
+                emit_checkpoint_event ~id:e.id ~detail:("save-fault:" ^ fault))
             | None -> ());
-            { entry = e; report; failure = None; resumed = false }
-          | Error f -> { entry = e; report = failure_report e f; failure = Some f; resumed = false }))
+            { entry = e; report; failure = None; resumed = false;
+              corrupt = !corrupt; io_fault = !io_fault }
+          | Error f ->
+            { entry = e; report = failure_report e f; failure = Some f;
+              resumed = false; corrupt = !corrupt; io_fault = !io_fault }))
   in
   let outcomes =
     Exec.Pool.map pool
@@ -212,8 +281,9 @@ let summarize outcomes =
         ok = (s.ok + if o.failure = None then 1 else 0);
         failed = (s.failed + if o.failure <> None then 1 else 0);
         resumed = (s.resumed + if o.resumed then 1 else 0);
+        corrupt = (s.corrupt + if o.corrupt <> None then 1 else 0);
       })
-    { total = 0; ok = 0; failed = 0; resumed = 0 }
+    { total = 0; ok = 0; failed = 0; resumed = 0; corrupt = 0 }
     outcomes
 
 (* Compatibility shape used by tests: (group, report) pairs for the
@@ -231,14 +301,31 @@ let run_all ?pool ?wrap ?supervision ?entries () =
   let outcomes = run_entries ?pool ?wrap ?supervision ?entries () in
   List.iter (fun o -> Report.print o.report) outcomes;
   let s = summarize outcomes in
-  Printf.eprintf "[registry] %d group(s): %d ok, %d failed, %d resumed\n%!" s.total
-    s.ok s.failed s.resumed;
+  Printf.eprintf "[registry] %d group(s): %d ok, %d failed, %d resumed%s\n%!" s.total
+    s.ok s.failed s.resumed
+    (if s.corrupt > 0 then Printf.sprintf ", %d corrupt" s.corrupt else "");
   List.iter
     (fun o ->
       match o.failure with
       | Some f ->
         Printf.eprintf "[registry] FAILED %s: %s (digest %s)\n%!" o.entry.id f.exn
           (Exec.Supervisor.digest f)
+      | None -> ())
+    outcomes;
+  (* Host-fault evidence, in registry order: corrupt cells that were
+     quarantined and re-executed, and injected checkpoint I/O faults
+     that degraded a cell to re-execution / no-save. *)
+  List.iter
+    (fun (o : outcome) ->
+      (match o.corrupt with
+      | Some f ->
+        Printf.eprintf "[registry] CORRUPT %s:\n%!" o.entry.id;
+        List.iter
+          (fun l -> Printf.eprintf "[registry]   %s\n%!" l)
+          (Exec.Supervisor.render f)
+      | None -> ());
+      match o.io_fault with
+      | Some d -> Printf.eprintf "[registry] CHECKPOINT FAULT %s: %s\n%!" o.entry.id d
       | None -> ())
     outcomes;
   s

@@ -291,41 +291,63 @@ let counterexample_to_string (c : counterexample) =
   add "duration" (Printf.sprintf "%g" c.duration);
   Buffer.contents b
 
+(* Writes go through the chaos I/O plane: atomic tmp+rename, faults
+   structured. *)
 let to_file path (c : counterexample) =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (counterexample_to_string c))
+  Chaos.Io.write_file path (counterexample_to_string c)
+
+(* The keys {!counterexample_to_string} emits (plus the provenance
+   header). Anything else in a scenario file is garbage and rejected —
+   with the line it sits on — rather than silently ignored. *)
+let known_keys =
+  [
+    "manifest"; "name"; "cca"; "impair"; "bandwidth_mbps"; "rtt"; "buffer_kb";
+    "flows"; "threshold"; "degradation"; "seed"; "duration";
+  ]
 
 let counterexample_of_string ~fallback_name s =
   let ( let* ) = Result.bind in
-  let kvs =
+  (* Parse "key: value" lines, keeping 1-based line numbers so every
+     rejection names the position of the offending line. *)
+  let* kvs =
     String.split_on_char '\n' s
-    |> List.filter_map (fun line ->
-           let line = String.trim line in
-           if line = "" || line.[0] = '#' then None
+    |> List.mapi (fun i line -> (i + 1, String.trim line))
+    |> List.fold_left
+         (fun acc (ln, line) ->
+           let* acc = acc in
+           if line = "" || line.[0] = '#' then Ok acc
            else
              match String.index_opt line ':' with
-             | None -> Some (line, "")
+             | None ->
+               Error (Printf.sprintf "line %d: %S is not a 'key: value' line" ln line)
              | Some i ->
-               Some
-                 ( String.trim (String.sub line 0 i),
-                   String.trim (String.sub line (i + 1) (String.length line - i - 1))
-                 ))
+               let k = String.trim (String.sub line 0 i) in
+               let v =
+                 String.trim (String.sub line (i + 1) (String.length line - i - 1))
+               in
+               if not (List.mem k known_keys) then
+                 Error (Printf.sprintf "line %d: unknown key %S" ln k)
+               else Ok ((k, (ln, v)) :: acc))
+         (Ok [])
   in
-  let get k = List.assoc_opt k kvs in
+  let kvs = List.rev kvs in
+  let get k = Option.map snd (List.assoc_opt k kvs) in
   let num k default =
-    match get k with
+    match List.assoc_opt k kvs with
     | None -> Ok default
-    | Some v -> (
+    | Some (ln, v) -> (
       match float_of_string_opt v with
       | Some f -> Ok f
-      | None -> Error (Printf.sprintf "scenario key %s: %S is not a number" k v))
+      | None ->
+        Error (Printf.sprintf "line %d: key %s: %S is not a number" ln k v))
   in
   let* impair =
-    match get "impair" with
+    match List.assoc_opt "impair" kvs with
     | None -> Error "scenario file: missing required key 'impair'"
-    | Some v -> Faults.Spec.of_string v
+    | Some (ln, v) -> (
+      match Faults.Spec.of_string v with
+      | Ok s -> Ok s
+      | Error m -> Error (Printf.sprintf "line %d: %s" ln m))
   in
   let* cca =
     match get "cca" with

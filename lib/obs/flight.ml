@@ -127,10 +127,11 @@ let dump ~reason () =
     let path = Filename.concat !dir ("flight-" ^ sanitize reason ^ ".jsonl") in
     let b = Buffer.create 4096 in
     iter_lane (fun ev -> Event.to_json_line ~lane:buf.lane b ev) buf;
+    (* Through the chaos I/O plane. A dump is best-effort evidence
+       gathered while already failing: an injected fault on the dump
+       itself must not mask the original failure, so both real and
+       injected write errors degrade to [None]. *)
     try
-      let oc = open_out path in
-      Fun.protect
-        ~finally:(fun () -> close_out oc)
-        (fun () -> Buffer.output_buffer oc b);
+      Chaos.Io.write_file path (Buffer.contents b);
       Some (path, buf.len)
-    with Sys_error _ -> None)
+    with Sys_error _ | Chaos.Io.Fault _ -> None)

@@ -291,6 +291,5 @@ let to_csv reg =
     (dump reg);
   Buffer.contents b
 
-let write_csv reg path =
-  let oc = open_out path in
-  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_csv reg))
+(* Through the chaos I/O plane: atomic write, faults structured. *)
+let write_csv reg path = Chaos.Io.write_file path (to_csv reg)

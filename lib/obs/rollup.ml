@@ -292,10 +292,8 @@ let write ?manifest ~lanes path =
     | None -> ());
     List.iter (fun (lane, r) -> add_jsonl r ~lane b) lanes
   end;
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> Buffer.output_buffer oc b)
+  (* Through the chaos I/O plane: atomic write, faults structured. *)
+  Chaos.Io.write_file path (Buffer.contents b)
 
 (* ---- ambient rollup ---- *)
 

@@ -233,9 +233,10 @@ let to_csv t =
     (sorted_lanes t);
   Buffer.contents b
 
-let write_file path contents =
-  let oc = open_out path in
-  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc contents)
+(* Exports go through the chaos I/O plane: atomic tmp+rename writes,
+   and any installed fault schedule applies (a fault surfaces as the
+   structured [Chaos.Io.Fault], never a bare Sys_error). *)
+let write_file path contents = Chaos.Io.write_file path contents
 
 let write_jsonl t path = write_file path (to_jsonl t)
 let write_csv t path = write_file path (to_csv t)
